@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the evaluation-reproduction benches: argument
+ * handling, run-time scaling and fixed-width table output.
+ *
+ * Every bench accepts key=value arguments:
+ *   iters=N      override the workload iteration count (0 = default)
+ *   quick=1      reduce iteration counts ~4x for a fast smoke pass
+ *   workloads=a,b,c   restrict to a subset of benchmarks
+ */
+
+#ifndef SCIQ_BENCH_BENCH_UTIL_HH
+#define SCIQ_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/simulator.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+namespace bench {
+
+struct BenchArgs
+{
+    std::uint64_t iters = 0;  ///< 0 = kernel default
+    bool quick = false;
+    std::vector<std::string> workloads;
+    ConfigMap raw;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
+{
+    BenchArgs args;
+    args.raw = ConfigMap::fromArgs(argc, argv);
+    args.iters =
+        static_cast<std::uint64_t>(args.raw.getInt("iters", 0));
+    args.quick = args.raw.getBool("quick", false);
+    std::string wls = args.raw.getString("workloads", "");
+    if (wls.empty()) {
+        args.workloads = std::move(default_wls);
+    } else {
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+            auto comma = wls.find(',', pos);
+            args.workloads.push_back(wls.substr(
+                pos, comma == std::string::npos ? comma : comma - pos));
+            pos = comma == std::string::npos ? comma : comma + 1;
+        }
+    }
+    return args;
+}
+
+/** Apply iteration overrides to a config and run it. */
+inline RunResult
+runConfig(SimConfig cfg, const BenchArgs &args)
+{
+    cfg.wl.iterations = args.iters;
+    if (args.quick && args.iters == 0) {
+        // Quick mode: a fixed reduced iteration count (roughly a
+        // quarter of the kernels' calibrated defaults).
+        cfg.wl.iterations = 1500;
+    }
+    cfg.validate = false;  // benches measure; tests validate
+    RunResult r = runSim(cfg);
+    if (!r.haltedCleanly) {
+        std::fprintf(stderr,
+                     "WARNING: %s/%s did not halt within the cycle cap\n",
+                     r.workload.c_str(), r.iqKind.c_str());
+    }
+    return r;
+}
+
+inline void
+hr(char c = '-', int width = 92)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace sciq
+
+#endif // SCIQ_BENCH_BENCH_UTIL_HH

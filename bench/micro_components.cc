@@ -1,0 +1,116 @@
+/**
+ * @file
+ * M1: google-benchmark microbenchmarks of the simulator's hot
+ * components - useful when tuning the simulator itself (the per-cycle
+ * cost of the segmented IQ's tick dominates large-queue runs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/branch_predictor.hh"
+#include "branch/hit_miss_predictor.hh"
+#include "common/random.hh"
+#include "core/ooo_core.hh"
+#include "isa/functional_core.hh"
+#include "mem/hierarchy.hh"
+#include "sim/sim_config.hh"
+#include "workload/workloads.hh"
+
+using namespace sciq;
+
+namespace {
+
+void
+BM_FunctionalCoreStep(benchmark::State &state)
+{
+    WorkloadParams wp;
+    wp.iterations = 1 << 20;
+    Program prog = buildSwim(wp);
+    FunctionalCore core(prog);
+    for (auto _ : state) {
+        if (core.halted())
+            state.SkipWithError("program ended early");
+        core.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalCoreStep);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    MemHierarchy mem;
+    // Warm one line.
+    mem.dcache().warmInsert(0x8000);
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        mem.dcache().access(0x8000, false, ++cycle,
+                            [](Cycle, AccessOutcome) {});
+        mem.tick(cycle + 10);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    HybridBranchPredictor bp;
+    Random rng(1);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        auto snap = bp.snapshot();
+        bool pred = bp.predict(pc);
+        benchmark::DoNotOptimize(pred);
+        bp.update(pc, rng.chance(0.5), snap);
+        pc = 0x1000 + (rng.next() & 0xFFC);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_HitMissPredict(benchmark::State &state)
+{
+    HitMissPredictor hmp;
+    Random rng(2);
+    for (auto _ : state) {
+        Addr pc = 0x1000 + (rng.next() & 0xFFC);
+        bool hit = hmp.peekHit(pc);
+        benchmark::DoNotOptimize(hit);
+        hmp.update(pc, rng.chance(0.9));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HitMissPredict);
+
+/** Whole-pipeline cycles/second for each IQ design on swim. */
+void
+BM_CoreTick(benchmark::State &state)
+{
+    const auto kind = static_cast<IqKind>(state.range(0));
+    WorkloadParams wp;
+    wp.iterations = 1 << 20;  // effectively unbounded for the bench
+    Program prog = buildSwim(wp);
+    CoreParams params;
+    params.iqKind = kind;
+    params.iq.numEntries = 512;
+    params.iq.maxChains = 128;
+    params.iq.useHmp = true;
+    params.iq.useLrp = true;
+    OooCore core(prog, params);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(iqKindName(kind));
+}
+BENCHMARK(BM_CoreTick)
+    ->Arg(static_cast<int>(IqKind::Ideal))
+    ->Arg(static_cast<int>(IqKind::Segmented))
+    ->Arg(static_cast<int>(IqKind::Prescheduled))
+    ->Arg(static_cast<int>(IqKind::Fifo))
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Explores the segmented IQ's design space the way an architect using
+ * this library would: sweep the chain-wire budget and the segment
+ * geometry for one workload and print the resulting IPC surface, plus
+ * the chain-usage statistics that explain it (paper sections 6.2/7).
+ *
+ * Usage: design_space [workload=swim] [iters=N]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/simulator.hh"
+
+using namespace sciq;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap args = ConfigMap::fromArgs(argc, argv);
+    const std::string wl = args.getString("workload", "equake");
+    const auto iters =
+        static_cast<std::uint64_t>(args.getInt("iters", 3000));
+
+    std::printf("Segmented-IQ design space on '%s'\n\n", wl.c_str());
+
+    // --- 1. Chain-wire budget at 512 entries -------------------------
+    std::printf("Chain budget sweep (512 entries, 16x32 segments, "
+                "HMP+LRP):\n");
+    std::printf("  %8s %8s %12s %12s %12s\n", "chains", "ipc",
+                "avg in use", "peak", "stall-free?");
+    for (int chains : {16, 32, 64, 128, 256, -1}) {
+        SimConfig cfg = makeSegmentedConfig(512, chains, true, true, wl);
+        cfg.wl.iterations = iters;
+        cfg.validate = false;
+        RunResult r = runSim(cfg);
+        std::printf("  %8s %8.3f %12.1f %12.0f %12s\n",
+                    chains < 0 ? "inf" : std::to_string(chains).c_str(),
+                    r.ipc, r.avgChains, r.peakChains,
+                    chains < 0 || r.peakChains < chains ? "yes" : "no");
+    }
+
+    // --- 2. Segment geometry at fixed capacity ------------------------
+    std::printf("\nSegment geometry sweep (512 entries, 128 chains):\n");
+    std::printf("  %14s %8s %14s\n", "geometry", "ipc",
+                "seg0 ready avg");
+    for (unsigned seg_size : {8, 16, 32, 64, 128, 256}) {
+        SimConfig cfg = makeSegmentedConfig(512, 128, true, true, wl);
+        cfg.core.iq.segmentSize = seg_size;
+        cfg.wl.iterations = iters;
+        cfg.validate = false;
+        RunResult r = runSim(cfg);
+        std::printf("  %6ux%-7u %8.3f %14.1f\n", 512 / seg_size,
+                    seg_size, r.ipc, r.seg0ReadyAvg);
+    }
+
+    std::printf("\nNotes: wakeup/select complexity scales with the "
+                "segment size, so the left column is\nroughly 'cycle "
+                "time' and the middle 'IPC' - the paper argues 32-entry "
+                "segments hit the sweet\nspot. Peak chain usage above "
+                "the wire budget means dispatch stalled on chains.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for the ROB, LSQ and pipeline
+ * latches.  Supports removal from the tail (squash) as well as the head
+ * (commit), which std::deque would allow but without the capacity bound
+ * these structures model.
+ */
+
+#ifndef SCIQ_COMMON_CIRCULAR_QUEUE_HH
+#define SCIQ_COMMON_CIRCULAR_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace sciq {
+
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(std::size_t capacity = 0)
+        : buf(capacity ? capacity : 1), cap(capacity)
+    {
+    }
+
+    void
+    setCapacity(std::size_t capacity)
+    {
+        SCIQ_ASSERT(empty(), "resizing a non-empty queue");
+        cap = capacity;
+        buf.assign(capacity ? capacity : 1, T{});
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+    std::size_t freeEntries() const { return cap - count; }
+
+    /** Append at the tail (youngest end). */
+    void
+    pushBack(T v)
+    {
+        SCIQ_ASSERT(!full(), "push to full queue");
+        buf[(head + count) % buf.size()] = std::move(v);
+        ++count;
+    }
+
+    /** Remove from the head (oldest end). */
+    T
+    popFront()
+    {
+        SCIQ_ASSERT(!empty(), "pop from empty queue");
+        T v = std::move(buf[head]);
+        head = (head + 1) % buf.size();
+        --count;
+        return v;
+    }
+
+    /** Remove from the tail (youngest end) - used when squashing. */
+    T
+    popBack()
+    {
+        SCIQ_ASSERT(!empty(), "popBack from empty queue");
+        --count;
+        return std::move(buf[(head + count) % buf.size()]);
+    }
+
+    T &front() { return at(0); }
+    const T &front() const { return at(0); }
+    T &back() { return at(count - 1); }
+    const T &back() const { return at(count - 1); }
+
+    /** Element i positions from the head (0 = oldest). */
+    T &
+    at(std::size_t i)
+    {
+        SCIQ_ASSERT(i < count, "index %zu out of range (size %zu)", i,
+                    count);
+        return buf[(head + i) % buf.size()];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        SCIQ_ASSERT(i < count, "index %zu out of range (size %zu)", i,
+                    count);
+        return buf[(head + i) % buf.size()];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> buf;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_CIRCULAR_QUEUE_HH

@@ -1,0 +1,95 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace sciq {
+
+ConfigMap
+ConfigMap::fromArgs(int argc, const char *const *argv)
+{
+    ConfigMap cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string tok(argv[i]);
+        if (!cfg.parseLine(tok))
+            cfg.args.push_back(tok);
+    }
+    return cfg;
+}
+
+bool
+ConfigMap::parseLine(const std::string &line)
+{
+    auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(line.substr(0, eq), line.substr(eq + 1));
+    return true;
+}
+
+void
+ConfigMap::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+ConfigMap::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::string
+ConfigMap::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+std::int64_t
+ConfigMap::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not an integer", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+ConfigMap::getDouble(const std::string &key, double def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+ConfigMap::getBool(const std::string &key, bool def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(),
+          it->second.c_str());
+}
+
+} // namespace sciq

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal key=value configuration store used by examples and benches to
+ * override simulator parameters from the command line.
+ */
+
+#ifndef SCIQ_COMMON_CONFIG_HH
+#define SCIQ_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sciq {
+
+/** Parsed key=value options with typed accessors and defaults. */
+class ConfigMap
+{
+  public:
+    ConfigMap() = default;
+
+    /** Parse argv-style "key=value" tokens; others are positional. */
+    static ConfigMap fromArgs(int argc, const char *const *argv);
+
+    /** Parse one "key=value" string; returns false if malformed. */
+    bool parseLine(const std::string &line);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::vector<std::string> &positional() const { return args; }
+    const std::map<std::string, std::string> &entries() const
+    {
+        return values;
+    }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> args;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_CONFIG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A cycle-ordered event queue used by the memory hierarchy to schedule
+ * fill completions, bandwidth slots, and MSHR retirements.
+ */
+
+#ifndef SCIQ_COMMON_EVENT_QUEUE_HH
+#define SCIQ_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace sciq {
+
+/**
+ * Min-heap of (cycle, callback) events.
+ *
+ * Events scheduled for the same cycle fire in FIFO order of scheduling,
+ * which keeps the simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at the given absolute cycle. */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        SCIQ_ASSERT(when >= now, "scheduling event in the past (%llu < %llu)",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(now));
+        heap.push(Event{when, nextTieBreaker++, std::move(cb)});
+    }
+
+    /** Run all events scheduled at or before `upto`, advancing time. */
+    void
+    runUntil(Cycle upto)
+    {
+        while (!heap.empty() && heap.top().when <= upto) {
+            // Copy out before pop: the callback may schedule new events.
+            Event ev = heap.top();
+            heap.pop();
+            now = ev.when;
+            ev.cb();
+        }
+        now = upto;
+    }
+
+    /** Current simulated cycle (last advanced-to point). */
+    Cycle curCycle() const { return now; }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+    /** Cycle of the earliest pending event (kCycleNever if empty). */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap.empty() ? kCycleNever : heap.top().when;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t order;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return order > o.order;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    Cycle now = 0;
+    std::uint64_t nextTieBreaker = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_EVENT_QUEUE_HH

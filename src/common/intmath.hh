@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef SCIQ_COMMON_INTMATH_HH
+#define SCIQ_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace sciq {
+
+/** True if the value is a (positive) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log base 2. floorLog2(0) is defined as 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Ceiling of log base 2. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round v up to the next multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round v down to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Ceiling integer division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract bits [lo, hi] (inclusive) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    std::uint64_t mask =
+        (hi - lo >= 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Insert val into bits [lo, hi] of base. */
+constexpr std::uint64_t
+insertBits(std::uint64_t base, unsigned hi, unsigned lo, std::uint64_t val)
+{
+    std::uint64_t mask =
+        (hi - lo >= 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1);
+    return (base & ~(mask << lo)) | ((val & mask) << lo);
+}
+
+/** Sign-extend the low `bits` bits of v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned bit_count)
+{
+    if (bit_count == 0 || bit_count >= 64)
+        return static_cast<std::int64_t>(v);
+    std::uint64_t m = 1ULL << (bit_count - 1);
+    v &= (1ULL << bit_count) - 1;
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_INTMATH_HH

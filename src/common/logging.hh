@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in us).
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, impossible parameter combination).
+ * warn()   - something looks dubious but the simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef SCIQ_COMMON_LOGGING_HH
+#define SCIQ_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sciq {
+
+/** Exception thrown by panic() so tests can assert on invariants. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal() for user-level configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Report an internal invariant violation and throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    throw PanicError("panic: " + detail::formatMessage(fmt, args...));
+}
+
+/** Report an unrecoverable user error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    throw FatalError("fatal: " + detail::formatMessage(fmt, args...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** Print an informational message to stdout. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** panic() unless the condition holds. */
+#define SCIQ_ASSERT(cond, ...)                                       \
+    do {                                                             \
+        if (!(cond)) {                                               \
+            ::sciq::panic("assertion '%s' failed at %s:%d: %s",      \
+                          #cond, __FILE__, __LINE__,                 \
+                          ::sciq::detail::formatMessage(             \
+                              __VA_ARGS__).c_str());                 \
+        }                                                            \
+    } while (0)
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_LOGGING_HH

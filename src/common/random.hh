@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic xorshift PRNG so experiments are exactly reproducible
+ * across runs and platforms (no dependence on libstdc++'s distributions).
+ */
+
+#ifndef SCIQ_COMMON_RANDOM_HH
+#define SCIQ_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace sciq {
+
+/** xorshift128+ generator with convenience helpers. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding avoids the all-zero state.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        for (auto *s : {&s0, &s1}) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            *s = x ^ (x >> 31);
+        }
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability p (0..1). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t s0 = 1;
+    std::uint64_t s1 = 2;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_RANDOM_HH

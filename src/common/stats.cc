@@ -1,0 +1,91 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace sciq {
+namespace stats {
+
+double
+Group::lookup(const std::string &name) const
+{
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        const std::string rest = name.substr(dot + 1);
+        for (const auto *child : children) {
+            if (child->name() == head)
+                return child->lookup(rest);
+        }
+        panic("stat group '%s' has no child '%s'", groupName.c_str(),
+              head.c_str());
+    }
+
+    if (auto it = scalars.find(name); it != scalars.end())
+        return it->second.stat->value();
+    if (auto it = averages.find(name); it != averages.end())
+        return it->second.stat->value();
+    panic("stat '%s' not found in group '%s'", name.c_str(),
+          groupName.c_str());
+}
+
+bool
+Group::contains(const std::string &name) const
+{
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        const std::string rest = name.substr(dot + 1);
+        for (const auto *child : children) {
+            if (child->name() == head)
+                return child->contains(rest);
+        }
+        return false;
+    }
+    return scalars.count(name) > 0 || averages.count(name) > 0 ||
+           distributions.count(name) > 0;
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? groupName : prefix + "." + groupName;
+
+    auto emit = [&](const std::string &name, double value,
+                    const std::string &desc) {
+        os << std::left << std::setw(48) << (full + "." + name)
+           << std::setprecision(6) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+
+    for (const auto &[name, e] : scalars)
+        emit(name, e.stat->value(), e.desc);
+    for (const auto &[name, e] : averages)
+        emit(name, e.stat->value(), e.desc);
+    for (const auto &[name, e] : distributions) {
+        emit(name + ".mean", e.stat->mean(), e.desc);
+        emit(name + ".min", e.stat->min(), "");
+        emit(name + ".max", e.stat->max(), "");
+        emit(name + ".samples", static_cast<double>(e.stat->samples()), "");
+    }
+    for (const auto *child : children)
+        child->dump(os, full);
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[name, e] : scalars)
+        e.stat->reset();
+    for (auto &[name, e] : averages)
+        e.stat->reset();
+    for (auto &[name, e] : distributions)
+        e.stat->reset();
+    for (auto *child : children)
+        child->resetAll();
+}
+
+} // namespace stats
+} // namespace sciq

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Lightweight statistics package modelled on gem5's Stats.
+ *
+ * A StatGroup owns named statistics; each simulated component registers
+ * its counters with its group.  Groups can be dumped as text and queried
+ * programmatically by the benchmark harnesses.
+ */
+
+#ifndef SCIQ_COMMON_STATS_HH
+#define SCIQ_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace sciq {
+namespace stats {
+
+/** A named scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    void inc(double v = 1.0) { val += v; }
+    void set(double v) { val = v; }
+    double value() const { return val; }
+    void reset() { val = 0.0; }
+
+  private:
+    double val = 0.0;
+};
+
+/** Running average (sum / count). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    double value() const { return count ? sum / count : 0.0; }
+    double total() const { return sum; }
+    std::uint64_t samples() const { return count; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        count = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Min/max/mean tracker with fixed-width histogram buckets. */
+class Distribution
+{
+  public:
+    Distribution() { configure(0, 64, 1); }
+
+    /** Buckets cover [lo, hi) with the given bucket width. */
+    void
+    configure(double lo_, double hi_, double bucket_width)
+    {
+        SCIQ_ASSERT(hi_ > lo_ && bucket_width > 0,
+                    "bad distribution bounds");
+        lo = lo_;
+        hi = hi_;
+        width = bucket_width;
+        buckets.assign(
+            static_cast<std::size_t>((hi_ - lo_) / bucket_width) + 1, 0);
+        reset();
+    }
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+        if (count == 1 || v < minVal)
+            minVal = v;
+        if (count == 1 || v > maxVal)
+            maxVal = v;
+        std::size_t idx;
+        if (v < lo) {
+            ++underflow;
+            return;
+        } else if (v >= hi) {
+            idx = buckets.size() - 1;
+        } else {
+            idx = static_cast<std::size_t>((v - lo) / width);
+        }
+        ++buckets[idx];
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    double min() const { return count ? minVal : 0.0; }
+    double max() const { return count ? maxVal : 0.0; }
+    std::uint64_t samples() const { return count; }
+    const std::vector<std::uint64_t> &histogram() const { return buckets; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        count = 0;
+        underflow = 0;
+        minVal = 0.0;
+        maxVal = 0.0;
+        for (auto &b : buckets)
+            b = 0;
+    }
+
+  private:
+    double lo = 0.0, hi = 64.0, width = 1.0;
+    double sum = 0.0;
+    double minVal = 0.0, maxVal = 0.0;
+    std::uint64_t count = 0;
+    std::uint64_t underflow = 0;
+    std::vector<std::uint64_t> buckets;
+};
+
+/**
+ * A named collection of statistics.
+ *
+ * Values are registered by pointer; the owning component must outlive
+ * the group.  Lookup by dotted name supports the experiment harness.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name_) : groupName(std::move(name_)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    void
+    addScalar(const std::string &name, Scalar *s, const std::string &desc)
+    {
+        scalars[name] = {s, desc};
+    }
+
+    void
+    addAverage(const std::string &name, Average *a, const std::string &desc)
+    {
+        averages[name] = {a, desc};
+    }
+
+    void
+    addDistribution(const std::string &name, Distribution *d,
+                    const std::string &desc)
+    {
+        distributions[name] = {d, desc};
+    }
+
+    /** Attach a child group (e.g. core.iq). */
+    void addChild(Group *child) { children.push_back(child); }
+
+    /** Value of a scalar/average by name; panics on unknown name. */
+    double lookup(const std::string &name) const;
+
+    /** True if the (possibly dotted) name resolves in this group tree. */
+    bool contains(const std::string &name) const;
+
+    /** Print every statistic, one per line: name value # desc. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset every registered statistic (incl. children). */
+    void resetAll();
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        T *stat = nullptr;
+        std::string desc;
+    };
+
+    std::string groupName;
+    std::map<std::string, Entry<Scalar>> scalars;
+    std::map<std::string, Entry<Average>> averages;
+    std::map<std::string, Entry<Distribution>> distributions;
+    std::vector<Group *> children;
+};
+
+} // namespace stats
+} // namespace sciq
+
+#endif // SCIQ_COMMON_STATS_HH

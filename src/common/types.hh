@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef SCIQ_COMMON_TYPES_HH
+#define SCIQ_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sciq {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Dynamic-instruction sequence number (monotonic across fetch). */
+using SeqNum = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::uint16_t;
+
+/** Chain identifier in the segmented IQ (one-hot wire per chain). */
+using ChainId = std::int32_t;
+
+/** Sentinel for "no chain". */
+constexpr ChainId kNoChain = -1;
+
+/** Sentinel for "invalid register". */
+constexpr RegIndex kInvalidReg = std::numeric_limits<RegIndex>::max();
+
+/** Sentinel for "never" / unknown cycle. */
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel sequence number meaning "no instruction". */
+constexpr SeqNum kInvalidSeqNum = 0;
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_TYPES_HH

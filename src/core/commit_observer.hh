@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Observation hook for per-instruction pipeline events, used by
+ * tracing/visualisation tools without coupling the core to them.
+ */
+
+#ifndef SCIQ_CORE_COMMIT_OBSERVER_HH
+#define SCIQ_CORE_COMMIT_OBSERVER_HH
+
+#include "core/dyn_inst.hh"
+
+namespace sciq {
+
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+
+    /** An instruction committed at `cycle`. */
+    virtual void onCommit(const DynInst &inst, Cycle cycle) = 0;
+
+    /** An in-flight instruction was squashed at `cycle`. */
+    virtual void onSquash(const DynInst &inst, Cycle cycle) = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_COMMIT_OBSERVER_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * DynInst: one dynamic (in-flight) instruction.  Carries the decoded
+ * static instruction, the oracle outcome computed by execute-at-fetch,
+ * rename state, timing state, and the per-design scheduler state used
+ * by the instruction-queue implementations.
+ */
+
+#ifndef SCIQ_CORE_DYN_INST_HH
+#define SCIQ_CORE_DYN_INST_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "branch/branch_predictor.hh"
+#include "branch/ras.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace sciq {
+
+/** Speculative fetch-state checkpoint taken after a control inst. */
+struct FetchCheckpoint
+{
+    std::array<std::uint64_t, kNumArchRegs> regs;
+    ReturnAddressStack::Snapshot ras;
+};
+
+/**
+ * Membership of an instruction in one dependence chain (paper 3.2/3.3).
+ * Each IQ entry tracks: chain id, current delay value, the chain head's
+ * segment location, and whether the chain is in self-timed mode.
+ */
+struct ChainMembership
+{
+    ChainId chain = kNoChain;
+    std::uint32_t gen = 0;   ///< chain-wire generation (reuse safety)
+    std::uint64_t appliedSeq = 0;  ///< last chain-wire signal applied
+    int delay = 0;
+    int headSegment = 0;
+    bool selfTimed = false;
+    bool suspended = false;  ///< self-timing suspended (head missed)
+};
+
+/** Scheduler state for the segmented IQ. */
+struct SegIqState
+{
+    ChainMembership memberships[2];
+    int numMemberships = 0;
+    ChainId headedChain = kNoChain;  ///< chain this inst is the head of
+    std::uint32_t headedGen = 0;
+    bool chainReleased = false;      ///< headed chain already freed
+    int segment = -1;        ///< current segment index (0 = issue buffer)
+};
+
+/** Scheduler state for the prescheduling IQ (Michaud-Seznec). */
+struct PreschedState
+{
+    int line = -1;           ///< scheduling-array line, -1 = issue buffer
+};
+
+class DynInst
+{
+  public:
+    // ---- Static / oracle -------------------------------------------------
+    Instruction staticInst;
+    Addr pc = 0;
+    SeqNum seq = kInvalidSeqNum;
+
+    Addr oracleNextPc = 0;      ///< architected successor along this path
+    bool oracleTaken = false;
+    bool isHalt = false;
+    Addr effAddr = 0;           ///< memory ops: effective address
+    std::uint64_t memValue = 0; ///< load result / store data (oracle)
+    std::uint64_t dstValue = 0; ///< architectural result (oracle)
+    bool onWrongPath = false;   ///< fetched beyond a mispredicted branch
+
+    // ---- Branch prediction ------------------------------------------------
+    bool predictedTaken = false;
+    Addr predictedNextPc = 0;
+    bool mispredicted = false;  ///< prediction != oracle (resolves at exec)
+    bool usedCondPredictor = false;
+    HybridBranchPredictor::HistorySnapshot historySnap = 0;
+    std::unique_ptr<FetchCheckpoint> checkpoint;  ///< control insts only
+
+    // ---- Rename -----------------------------------------------------------
+    std::array<RegIndex, 2> archSrc{kInvalidReg, kInvalidReg};
+    RegIndex archDst = kInvalidReg;
+    std::array<RegIndex, 2> physSrc{kInvalidReg, kInvalidReg};
+    RegIndex physDst = kInvalidReg;
+    RegIndex prevPhysDst = kInvalidReg;  ///< for squash undo
+
+    // ---- Pipeline status ---------------------------------------------------
+    bool dispatched = false;
+    bool issued = false;
+    bool completed = false;   ///< result produced; may commit
+    bool squashed = false;
+    bool committed = false;
+
+    Cycle fetchCycle = 0;
+    Cycle dispatchReadyCycle = 0;  ///< earliest dispatch (front-end depth)
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+
+    int lsqIndex = -1;
+    bool addrReady = false;       ///< address generation finished
+    bool memAccessDone = false;   ///< load data returned
+    bool memAccessSent = false;
+    bool loadForwarded = false;   ///< satisfied by store-to-load forward
+    bool loadWasL1Hit = false;    ///< actual outcome (HMP training)
+    bool loadWasDelayedHit = false;
+
+    // ---- Predictor bookkeeping (paper 4.3/4.4) ------------------------------
+    bool hmpPredictedHit = false;
+    bool hmpUsed = false;
+    bool lrpUsed = false;
+    bool lrpPredictedLeft = false;
+    bool hadTwoOutstanding = false;
+    std::array<Cycle, 2> srcReadyCycle{0, 0};  ///< for LRP training
+
+    // ---- IQ-design-specific scheduler state ---------------------------------
+    SegIqState seg;
+    PreschedState presched;
+    int fifoId = -1;  ///< for the Palacharla FIFO design
+
+    // Convenience forwarding helpers.
+    OpClass opClass() const { return staticInst.opClass(); }
+    bool isLoad() const { return staticInst.isLoad(); }
+    bool isStore() const { return staticInst.isStore(); }
+    bool isControl() const { return staticInst.isControl(); }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_DYN_INST_HH

@@ -1,0 +1,121 @@
+#include "fu_pool.hh"
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+FuPool::FuPool(const FuPoolParams &p) : params(p), statsGroup("fu")
+{
+    auto init = [](Pool &pool, unsigned units) {
+        pool.units = units;
+        pool.busyUntil.assign(units, 0);
+    };
+    init(pools[PoolIntAlu], p.intAluUnits);
+    init(pools[PoolIntMul], p.intMulUnits);
+    init(pools[PoolFpAdd], p.fpAddUnits);
+    init(pools[PoolFpMul], p.fpMulUnits);
+    init(pools[PoolPorts], p.cachePorts);
+
+    statsGroup.addScalar("structural_stalls", &structuralStalls,
+                         "issue attempts rejected by busy units");
+}
+
+unsigned
+FuPool::latency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::MemRead:   // address generation
+      case OpClass::MemWrite:  // address generation
+      case OpClass::Nop:
+      case OpClass::Halt:
+        return params.intAluLat;
+      case OpClass::IntMul:
+        return params.intMulLat;
+      case OpClass::IntDiv:
+        return params.intDivLat;
+      case OpClass::FpAdd:
+        return params.fpAddLat;
+      case OpClass::FpMul:
+        return params.fpMulLat;
+      case OpClass::FpDiv:
+        return params.fpDivLat;
+      case OpClass::FpSqrt:
+        return params.fpSqrtLat;
+      case OpClass::NumClasses:
+        break;
+    }
+    panic("latency of invalid op class");
+}
+
+FuPool::PoolId
+FuPool::poolOf(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+      case OpClass::Nop:
+      case OpClass::Halt:
+        return PoolIntAlu;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return PoolIntMul;
+      case OpClass::FpAdd:
+        return PoolFpAdd;
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return PoolFpMul;
+      default:
+        panic("pool of invalid op class");
+    }
+}
+
+void
+FuPool::beginCycle(Cycle)
+{
+    // Nothing to do with the busy-until representation; kept for
+    // interface stability (and future per-cycle issue caps).
+}
+
+bool
+FuPool::tryAcquire(OpClass cls, Cycle cycle)
+{
+    Pool &pool = pools[poolOf(cls)];
+
+    // Divide and sqrt monopolise their unit; everything else is fully
+    // pipelined and only occupies the issue slot for one cycle.
+    const bool unpipelined = cls == OpClass::IntDiv ||
+                             cls == OpClass::FpDiv ||
+                             cls == OpClass::FpSqrt;
+    const Cycle occupy = unpipelined ? latency(cls) : 1;
+
+    for (unsigned u = 0; u < pool.units; ++u) {
+        if (pool.busyUntil[u] <= cycle) {
+            pool.busyUntil[u] = cycle + occupy;
+            return true;
+        }
+    }
+    structuralStalls.inc();
+    return false;
+}
+
+bool
+FuPool::tryAcquirePort(Cycle cycle)
+{
+    Pool &pool = pools[PoolPorts];
+    for (unsigned u = 0; u < pool.units; ++u) {
+        if (pool.busyUntil[u] <= cycle) {
+            pool.busyUntil[u] = cycle + 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace sciq

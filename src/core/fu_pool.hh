@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Function-unit pool with the Table 1 configuration: 8 units each of
+ * integer ALU, integer multiply(/divide), FP add/sub, FP mul/div/sqrt
+ * and data-cache read/write ports.  All operations are fully pipelined
+ * except divide and square root, which occupy their unit to completion.
+ */
+
+#ifndef SCIQ_CORE_FU_POOL_HH
+#define SCIQ_CORE_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace sciq {
+
+struct FuPoolParams
+{
+    unsigned intAluUnits = 8;
+    unsigned intMulUnits = 8;
+    unsigned fpAddUnits = 8;
+    unsigned fpMulUnits = 8;   ///< shared by FP mul/div/sqrt
+    unsigned cachePorts = 8;   ///< data-cache rd/wr ports
+
+    unsigned intAluLat = 1;
+    unsigned intMulLat = 3;
+    unsigned intDivLat = 20;
+    unsigned fpAddLat = 2;
+    unsigned fpMulLat = 4;
+    unsigned fpDivLat = 12;
+    unsigned fpSqrtLat = 24;
+};
+
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolParams &params = {});
+
+    /** Execution latency of an op class (branches/mem use the int ALU). */
+    unsigned latency(OpClass cls) const;
+
+    /**
+     * Try to start an operation of class `cls` at `cycle`.
+     * @return true and reserve a unit, false on a structural hazard.
+     */
+    bool tryAcquire(OpClass cls, Cycle cycle);
+
+    /** Try to reserve a data-cache port for this cycle. */
+    bool tryAcquirePort(Cycle cycle);
+
+    /** Must be called once per cycle before any acquires. */
+    void beginCycle(Cycle cycle);
+
+    stats::Group &statGroup() { return statsGroup; }
+
+    stats::Scalar structuralStalls;
+
+  private:
+    /** One pool of identical units, each free when busyUntil <= now. */
+    struct Pool
+    {
+        unsigned units = 8;
+        std::vector<Cycle> busyUntil;
+    };
+
+    enum PoolId : unsigned
+    {
+        PoolIntAlu,
+        PoolIntMul,
+        PoolFpAdd,
+        PoolFpMul,
+        PoolPorts,
+        NumPools
+    };
+
+    PoolId poolOf(OpClass cls) const;
+
+    FuPoolParams params;
+    stats::Group statsGroup;
+    std::array<Pool, NumPools> pools;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_FU_POOL_HH

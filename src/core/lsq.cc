@@ -1,0 +1,207 @@
+#include "lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+Lsq::Lsq(unsigned capacity, Cache &dcache_, FuPool &fu_,
+         const Scoreboard &scoreboard_, Callbacks callbacks)
+    : entries(capacity), dcache(dcache_), fu(fu_),
+      scoreboard(scoreboard_), cb(std::move(callbacks)), statsGroup("lsq")
+{
+    statsGroup.addScalar("loads_issued", &loadsIssued,
+                         "loads sent to the data cache");
+    statsGroup.addScalar("load_forwards", &loadForwards,
+                         "loads satisfied by store-to-load forwarding");
+    statsGroup.addScalar("load_conflict_stalls", &loadConflictStalls,
+                         "load-cycles stalled on older stores");
+    statsGroup.addScalar("store_drains", &storeDrains,
+                         "committed stores written to the cache");
+    statsGroup.addScalar("port_stalls", &portStalls,
+                         "accesses delayed by cache-port contention");
+}
+
+void
+Lsq::insert(const DynInstPtr &inst)
+{
+    SCIQ_ASSERT(!entries.full(), "LSQ overflow");
+    inst->lsqIndex = 0;  // meaningful only as "is in LSQ"
+    entries.pushBack(Entry{inst, false});
+}
+
+void
+Lsq::setAddrReady(const DynInstPtr &inst, Cycle cycle)
+{
+    inst->addrReady = true;
+    // Stores whose data is already available become commit-eligible
+    // immediately; others are caught by tick()'s scan.
+    if (inst->isStore()) {
+        RegIndex data_reg = inst->physSrc[1];
+        if (scoreboard.isReady(data_reg))
+            cb.onStoreReady(inst, cycle);
+    }
+}
+
+int
+Lsq::classifyLoad(std::size_t idx) const
+{
+    const DynInstPtr &load = entries.at(idx).inst;
+    const Addr lo = load->effAddr;
+    const Addr hi = lo + load->staticInst.memSize();
+
+    // Scan older entries youngest-first so the first overlapping store
+    // found is the forwarding candidate.
+    for (std::size_t j = idx; j-- > 0;) {
+        const DynInstPtr &st = entries.at(j).inst;
+        if (!st->isStore())
+            continue;
+        if (!st->addrReady)
+            return 2;  // unknown older address: conservative wait
+        const Addr slo = st->effAddr;
+        const Addr shi = slo + st->staticInst.memSize();
+        if (slo < hi && lo < shi) {
+            // Overlap: forward only on full coverage with ready data.
+            const bool covers = slo <= lo && shi >= hi;
+            const bool data_ready = scoreboard.isReady(st->physSrc[1]);
+            return (covers && data_ready) ? 1 : 2;
+        }
+    }
+    return 0;
+}
+
+void
+Lsq::sendLoadAccess(Entry &entry, Cycle cycle)
+{
+    DynInstPtr inst = entry.inst;
+    entry.accessSent = true;
+    inst->memAccessSent = true;
+    loadsIssued.inc();
+    ++pendingAccesses;
+
+    dcache.access(
+        inst->effAddr, false, cycle,
+        [this, inst](Cycle when, AccessOutcome outcome) {
+            --pendingAccesses;
+            if (inst->squashed)
+                return;
+            inst->loadWasL1Hit = outcome == AccessOutcome::Hit;
+            inst->loadWasDelayedHit = outcome == AccessOutcome::DelayedHit;
+            inst->memAccessDone = true;
+            cb.onLoadComplete(inst, when);
+        },
+        [this, inst](Cycle when) {
+            if (!inst->squashed)
+                cb.onLoadMiss(inst, when);
+        });
+}
+
+void
+Lsq::tick(Cycle cycle)
+{
+    // 1. Complete matured store-to-load forwards.
+    for (auto it = pendingForwards.begin(); it != pendingForwards.end();) {
+        if (it->first->squashed) {
+            it = pendingForwards.erase(it);
+        } else if (it->second <= cycle) {
+            DynInstPtr inst = it->first;
+            inst->memAccessDone = true;
+            cb.onLoadComplete(inst, cycle);
+            it = pendingForwards.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // 2. Drain committed stores to the data cache through free ports.
+    while (!drainBuffer.empty() && fu.tryAcquirePort(cycle)) {
+        auto [addr, size] = drainBuffer.front();
+        drainBuffer.pop_front();
+        (void)size;
+        storeDrains.inc();
+        ++pendingAccesses;
+        dcache.access(addr, true, cycle,
+                      [this](Cycle, AccessOutcome) { --pendingAccesses; });
+    }
+
+    // 3. Stores whose data just became ready are now commit-eligible.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries.at(i);
+        if (e.inst->isStore() && e.inst->addrReady && !e.inst->completed &&
+            scoreboard.isReady(e.inst->physSrc[1])) {
+            cb.onStoreReady(e.inst, cycle);
+        }
+    }
+
+    // 4. Issue ready loads (oldest first; non-conflicting loads may
+    //    bypass stalled ones).
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries.at(i);
+        DynInstPtr &inst = e.inst;
+        if (!inst->isLoad() || !inst->addrReady || e.accessSent ||
+            inst->memAccessDone) {
+            continue;
+        }
+        int cls = classifyLoad(i);
+        if (cls == 2) {
+            loadConflictStalls.inc();
+            continue;
+        }
+        if (!fu.tryAcquirePort(cycle)) {
+            portStalls.inc();
+            break;  // all ports consumed this cycle
+        }
+        if (cls == 1) {
+            e.accessSent = true;
+            inst->memAccessSent = true;
+            inst->loadForwarded = true;
+            loadForwards.inc();
+            pendingForwards.emplace_back(inst, cycle + 1);
+        } else {
+            sendLoadAccess(e, cycle);
+        }
+    }
+}
+
+void
+Lsq::commitStore(const DynInstPtr &inst, Cycle cycle)
+{
+    SCIQ_ASSERT(!entries.empty() && entries.front().inst == inst,
+                "committing store that is not the LSQ head");
+    entries.popFront();
+    inst->lsqIndex = -1;
+    drainBuffer.emplace_back(inst->effAddr, inst->staticInst.memSize());
+    (void)cycle;
+}
+
+void
+Lsq::commitLoad(const DynInstPtr &inst)
+{
+    SCIQ_ASSERT(!entries.empty() && entries.front().inst == inst,
+                "committing load that is not the LSQ head");
+    entries.popFront();
+    inst->lsqIndex = -1;
+}
+
+void
+Lsq::squash(SeqNum youngest_kept)
+{
+    while (!entries.empty() && entries.back().inst->seq > youngest_kept)
+        entries.popBack();
+    pendingForwards.erase(
+        std::remove_if(pendingForwards.begin(), pendingForwards.end(),
+                       [youngest_kept](const auto &p) {
+                           return p.first->seq > youngest_kept;
+                       }),
+        pendingForwards.end());
+}
+
+bool
+Lsq::busy() const
+{
+    return pendingAccesses > 0 || !drainBuffer.empty() ||
+           !pendingForwards.empty();
+}
+
+} // namespace sciq

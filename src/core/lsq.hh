@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Load/store queue.  Memory instructions split into an address
+ * generation (scheduled by the IQ as an integer op) and a memory access
+ * managed here (paper section 5).  A load may access the cache once its
+ * address is known and it provably does not conflict with any older
+ * pending store; fully-covering older stores with ready data forward
+ * directly.  Stores access the cache after commit from a drain buffer.
+ */
+
+#ifndef SCIQ_CORE_LSQ_HH
+#define SCIQ_CORE_LSQ_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/circular_queue.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/rename.hh"
+#include "mem/cache.hh"
+
+namespace sciq {
+
+class Lsq
+{
+  public:
+    struct Callbacks
+    {
+        /** Load data available: wake dependents, mark completed. */
+        std::function<void(const DynInstPtr &, Cycle)> onLoadComplete;
+        /** L1 lookup missed: segmented IQ suspends the load's chain. */
+        std::function<void(const DynInstPtr &, Cycle)> onLoadMiss;
+        /** Store has address + data: eligible to commit. */
+        std::function<void(const DynInstPtr &, Cycle)> onStoreReady;
+    };
+
+    Lsq(unsigned capacity, Cache &dcache, FuPool &fu,
+        const Scoreboard &scoreboard, Callbacks callbacks);
+
+    bool full() const { return entries.full(); }
+    std::size_t size() const { return entries.size(); }
+    std::size_t freeEntries() const { return entries.freeEntries(); }
+
+    /** Insert at dispatch (program order). */
+    void insert(const DynInstPtr &inst);
+
+    /** Address generation finished for this memory instruction. */
+    void setAddrReady(const DynInstPtr &inst, Cycle cycle);
+
+    /** Per-cycle processing: issue loads, check stores, drain buffer. */
+    void tick(Cycle cycle);
+
+    /** The store at the LSQ head commits: drain its access to the cache. */
+    void commitStore(const DynInstPtr &inst, Cycle cycle);
+
+    /** Remove a committed load from the queue. */
+    void commitLoad(const DynInstPtr &inst);
+
+    /** Remove everything younger than `youngest_kept`. */
+    void squash(SeqNum youngest_kept);
+
+    /** In-flight cache accesses or undrained committed stores exist. */
+    bool busy() const;
+
+    stats::Group &statGroup() { return statsGroup; }
+
+    stats::Scalar loadsIssued;
+    stats::Scalar loadForwards;
+    stats::Scalar loadConflictStalls;
+    stats::Scalar storeDrains;
+    stats::Scalar portStalls;
+
+  private:
+    struct Entry
+    {
+        DynInstPtr inst;
+        bool accessSent = false;
+    };
+
+    /**
+     * Conflict scan for the load in `entries[idx]`.
+     * @return 0 = free to access cache, 1 = can forward, 2 = must wait.
+     */
+    int classifyLoad(std::size_t idx) const;
+
+    void sendLoadAccess(Entry &entry, Cycle cycle);
+
+    CircularQueue<Entry> entries;
+    Cache &dcache;
+    FuPool &fu;
+    const Scoreboard &scoreboard;
+    Callbacks cb;
+    stats::Group statsGroup;
+
+    /** Committed stores waiting for a cache port. */
+    std::deque<std::pair<Addr, unsigned>> drainBuffer;
+
+    /** Forwarded loads completing next cycle. */
+    std::vector<std::pair<DynInstPtr, Cycle>> pendingForwards;
+
+    unsigned pendingAccesses = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_LSQ_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Register renaming: architectural-to-physical map with a free list,
+ * plus the physical-register ready scoreboard the schedulers consult.
+ * Squash recovery walks the ROB youngest-first undoing each mapping,
+ * so no map checkpoints are needed.
+ */
+
+#ifndef SCIQ_CORE_RENAME_HH
+#define SCIQ_CORE_RENAME_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace sciq {
+
+/** Ready bit per physical register. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(unsigned num_phys_regs)
+        : ready(num_phys_regs, true)
+    {
+    }
+
+    bool isReady(RegIndex phys) const
+    {
+        return phys == kInvalidReg || ready[phys];
+    }
+
+    void setReady(RegIndex phys) { ready[phys] = true; }
+    void clearReady(RegIndex phys) { ready[phys] = false; }
+
+    std::size_t size() const { return ready.size(); }
+
+  private:
+    std::vector<bool> ready;
+};
+
+class RenameMap
+{
+  public:
+    /**
+     * @param num_phys_regs Total physical registers; must be at least
+     *        kNumArchRegs + the maximum number of in-flight dests.
+     */
+    explicit RenameMap(unsigned num_phys_regs)
+        : map(kNumArchRegs), numPhys(num_phys_regs)
+    {
+        SCIQ_ASSERT(num_phys_regs > kNumArchRegs,
+                    "need more physical than architectural registers");
+        // Identity-map the architectural registers; the rest are free.
+        for (RegIndex r = 0; r < kNumArchRegs; ++r)
+            map[r] = r;
+        for (RegIndex p = kNumArchRegs; p < num_phys_regs; ++p)
+            freeList.push_back(p);
+    }
+
+    /** Current physical register holding architectural register r. */
+    RegIndex
+    lookup(RegIndex arch) const
+    {
+        SCIQ_ASSERT(arch < kNumArchRegs, "bad arch reg %u", arch);
+        return map[arch];
+    }
+
+    bool hasFreeReg() const { return !freeList.empty(); }
+    std::size_t freeRegs() const { return freeList.size(); }
+
+    /**
+     * Allocate a new physical register for `arch`.
+     * @return {new phys, previous phys (for undo/freeing at commit)}.
+     */
+    std::pair<RegIndex, RegIndex>
+    allocate(RegIndex arch)
+    {
+        SCIQ_ASSERT(!freeList.empty(), "rename out of physical registers");
+        RegIndex phys = freeList.back();
+        freeList.pop_back();
+        RegIndex prev = map[arch];
+        map[arch] = phys;
+        return {phys, prev};
+    }
+
+    /** Undo an allocation during squash (youngest-first order!). */
+    void
+    undo(RegIndex arch, RegIndex allocated, RegIndex prev)
+    {
+        SCIQ_ASSERT(map[arch] == allocated,
+                    "rename undo out of order (arch %u)", arch);
+        map[arch] = prev;
+        freeList.push_back(allocated);
+    }
+
+    /** Release the previous mapping once an instruction commits. */
+    void
+    release(RegIndex prev_phys)
+    {
+        if (prev_phys != kInvalidReg)
+            freeList.push_back(prev_phys);
+    }
+
+    unsigned numPhysRegs() const { return numPhys; }
+
+  private:
+    std::vector<RegIndex> map;
+    std::vector<RegIndex> freeList;
+    unsigned numPhys;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_RENAME_HH

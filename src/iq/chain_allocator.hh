@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Allocator for dependence-chain wires.  Chain IDs are physical wire
+ * indices; each carries a generation number so that in-flight signals
+ * of a deallocated chain can never be confused with signals of a new
+ * chain reusing the same wire.
+ */
+
+#ifndef SCIQ_IQ_CHAIN_ALLOCATOR_HH
+#define SCIQ_IQ_CHAIN_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace sciq {
+
+class ChainAllocator
+{
+  public:
+    /** @param max_chains Number of chain wires; -1 = unlimited. */
+    explicit ChainAllocator(int max_chains) : maxChains(max_chains)
+    {
+        if (max_chains > 0) {
+            gens.assign(static_cast<std::size_t>(max_chains), 0);
+            for (int i = max_chains - 1; i >= 0; --i)
+                freeList.push_back(i);
+        }
+    }
+
+    bool
+    available() const
+    {
+        return maxChains < 0 || !freeList.empty();
+    }
+
+    /** Allocate a chain wire.  @return (id, generation). */
+    std::pair<ChainId, std::uint32_t>
+    alloc()
+    {
+        ChainId id;
+        if (!freeList.empty()) {
+            id = freeList.back();
+            freeList.pop_back();
+        } else {
+            SCIQ_ASSERT(maxChains < 0, "chain allocator exhausted");
+            id = static_cast<ChainId>(gens.size());
+            gens.push_back(0);
+        }
+        ++inUseCount;
+        if (inUseCount > peakCount)
+            peakCount = inUseCount;
+        return {id, gens[static_cast<std::size_t>(id)]};
+    }
+
+    /** Release a chain wire; its generation is bumped immediately. */
+    void
+    free(ChainId id)
+    {
+        SCIQ_ASSERT(inUseCount > 0, "freeing with none allocated");
+        ++gens[static_cast<std::size_t>(id)];
+        freeList.push_back(id);
+        --inUseCount;
+    }
+
+    std::uint32_t
+    generation(ChainId id) const
+    {
+        return gens[static_cast<std::size_t>(id)];
+    }
+
+    unsigned inUse() const { return inUseCount; }
+    unsigned peak() const { return peakCount; }
+    int capacity() const { return maxChains; }
+
+  private:
+    int maxChains;
+    std::vector<std::uint32_t> gens;
+    std::vector<ChainId> freeList;
+    unsigned inUseCount = 0;
+    unsigned peakCount = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_IQ_CHAIN_ALLOCATOR_HH

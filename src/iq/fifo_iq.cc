@@ -1,0 +1,134 @@
+#include "fifo_iq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+FifoIq::FifoIq(const IqParams &params_, const Scoreboard &scoreboard_,
+               const FuPool &fu_)
+    : IqBase(params_, scoreboard_, fu_, "iq")
+{
+    fifos.resize(params.numFifos);
+    statsGroup.addScalar("steered_behind_producer", &steeredBehindProducer,
+                         "insts placed directly behind a producer");
+    statsGroup.addScalar("steered_to_empty", &steeredToEmpty,
+                         "insts placed at the head of an empty FIFO");
+    statsGroup.addScalar("no_empty_fifo_stalls", &noEmptyFifoStalls,
+                         "dispatch stalls waiting for an empty FIFO");
+}
+
+std::size_t
+FifoIq::occupancy() const
+{
+    std::size_t total = 0;
+    for (const auto &f : fifos)
+        total += f.size();
+    return total;
+}
+
+int
+FifoIq::steer(const DynInstPtr &inst) const
+{
+    // Prefer a FIFO whose tail produces one of our pending operands.
+    const auto srcs = inst->staticInst.srcRegs();
+    for (int i = 0; i < 2; ++i) {
+        if (srcs[i] == kInvalidReg)
+            continue;
+        if (inst->isStore() && i == 1)
+            continue;
+        const DynInstPtr &p = producer[srcs[i]];
+        if (!p || p->squashed || p->issued)
+            continue;
+        for (std::size_t f = 0; f < fifos.size(); ++f) {
+            if (!fifos[f].empty() && fifos[f].back() == p &&
+                fifos[f].size() < params.fifoDepth) {
+                return static_cast<int>(f);
+            }
+        }
+    }
+    // Otherwise an empty FIFO.
+    for (std::size_t f = 0; f < fifos.size(); ++f) {
+        if (fifos[f].empty())
+            return static_cast<int>(f);
+    }
+    return -1;
+}
+
+bool
+FifoIq::canInsert(const DynInstPtr &inst)
+{
+    if (steer(inst) < 0) {
+        noEmptyFifoStalls.inc();
+        dispatchStallsFull.inc();
+        return false;
+    }
+    return true;
+}
+
+void
+FifoIq::insert(const DynInstPtr &inst, Cycle)
+{
+    int f = steer(inst);
+    SCIQ_ASSERT(f >= 0, "insert into FIFO IQ with no slot");
+    if (fifos[static_cast<std::size_t>(f)].empty())
+        steeredToEmpty.inc();
+    else
+        steeredBehindProducer.inc();
+    inst->fifoId = f;
+    fifos[static_cast<std::size_t>(f)].push_back(inst);
+    instsInserted.inc();
+
+    RegIndex dst = inst->staticInst.dstReg();
+    if (dst != kInvalidReg)
+        producer[dst] = inst;
+}
+
+void
+FifoIq::issueSelect(Cycle, const TryIssue &try_issue)
+{
+    // Consider only FIFO heads, oldest first across FIFOs.
+    std::vector<std::size_t> ready;
+    for (std::size_t f = 0; f < fifos.size(); ++f) {
+        if (!fifos[f].empty() && operandsReady(*fifos[f].front()))
+            ready.push_back(f);
+    }
+    std::sort(ready.begin(), ready.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return fifos[a].front()->seq < fifos[b].front()->seq;
+              });
+
+    unsigned issued = 0;
+    for (std::size_t f : ready) {
+        if (issued >= params.issueWidth)
+            break;
+        DynInstPtr inst = fifos[f].front();
+        if (!try_issue(inst))
+            continue;  // structural hazard; another head may still go
+        fifos[f].pop_front();
+        instsIssued.inc();
+        ++issued;
+    }
+}
+
+void
+FifoIq::tick(Cycle, bool)
+{
+    occupancyAvg.sample(static_cast<double>(occupancy()));
+}
+
+void
+FifoIq::squash(SeqNum youngest_kept)
+{
+    for (auto &f : fifos) {
+        while (!f.empty() && f.back()->seq > youngest_kept)
+            f.pop_back();
+    }
+    for (auto &p : producer) {
+        if (p && p->seq > youngest_kept)
+            p = nullptr;
+    }
+}
+
+} // namespace sciq

@@ -1,0 +1,62 @@
+#include "ideal_iq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+IdealIq::IdealIq(const IqParams &params, const Scoreboard &scoreboard,
+                 const FuPool &fu)
+    : IqBase(params, scoreboard, fu, "iq")
+{
+    insts.reserve(params.numEntries);
+}
+
+bool
+IdealIq::canInsert(const DynInstPtr &)
+{
+    return insts.size() < params.numEntries;
+}
+
+void
+IdealIq::insert(const DynInstPtr &inst, Cycle)
+{
+    SCIQ_ASSERT(insts.size() < params.numEntries, "ideal IQ overflow");
+    instsInserted.inc();
+    insts.push_back(inst);
+}
+
+void
+IdealIq::issueSelect(Cycle, const TryIssue &try_issue)
+{
+    unsigned issued = 0;
+    for (auto it = insts.begin();
+         it != insts.end() && issued < params.issueWidth;) {
+        if (operandsReady(**it) && try_issue(*it)) {
+            instsIssued.inc();
+            ++issued;
+            it = insts.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+IdealIq::tick(Cycle, bool)
+{
+    occupancyAvg.sample(static_cast<double>(insts.size()));
+}
+
+void
+IdealIq::squash(SeqNum youngest_kept)
+{
+    insts.erase(std::remove_if(insts.begin(), insts.end(),
+                               [youngest_kept](const DynInstPtr &p) {
+                                   return p->seq > youngest_kept;
+                               }),
+                insts.end());
+}
+
+} // namespace sciq

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The idealised monolithic instruction queue: single-cycle wakeup and
+ * select over the entire window, any size.  This is the paper's upper
+ * bound ("ideal" curves in Figures 2 and 3); a real implementation of
+ * this structure at 512 entries would not meet cycle time.
+ */
+
+#ifndef SCIQ_IQ_IDEAL_IQ_HH
+#define SCIQ_IQ_IDEAL_IQ_HH
+
+#include <vector>
+
+#include "iq/iq_base.hh"
+
+namespace sciq {
+
+class IdealIq : public IqBase
+{
+  public:
+    IdealIq(const IqParams &params, const Scoreboard &scoreboard,
+            const FuPool &fu);
+
+    bool canInsert(const DynInstPtr &inst) override;
+    void insert(const DynInstPtr &inst, Cycle cycle) override;
+    void issueSelect(Cycle cycle, const TryIssue &try_issue) override;
+    void tick(Cycle cycle, bool core_busy) override;
+    void squash(SeqNum youngest_kept) override;
+    std::size_t occupancy() const override { return insts.size(); }
+
+  private:
+    /** Held in dispatch (= program) order, so oldest-first is a scan. */
+    std::vector<DynInstPtr> insts;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_IQ_IDEAL_IQ_HH

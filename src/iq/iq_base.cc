@@ -1,0 +1,20 @@
+#include "iq_base.hh"
+
+namespace sciq {
+
+IqBase::IqBase(const IqParams &params_, const Scoreboard &scoreboard_,
+               const FuPool &fu_, const std::string &stat_name)
+    : params(params_), scoreboard(scoreboard_), fu(fu_),
+      statsGroup(stat_name)
+{
+    statsGroup.addScalar("inserted", &instsInserted,
+                         "instructions dispatched into the queue");
+    statsGroup.addScalar("issued", &instsIssued,
+                         "instructions issued to function units");
+    statsGroup.addScalar("dispatch_stalls_full", &dispatchStallsFull,
+                         "dispatch attempts rejected (capacity/chains)");
+    statsGroup.addAverage("occupancy", &occupancyAvg,
+                          "average queue occupancy per cycle");
+}
+
+} // namespace sciq

@@ -1,0 +1,180 @@
+#include "prescheduled_iq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+PrescheduledIq::PrescheduledIq(const IqParams &params_,
+                               const Scoreboard &scoreboard_,
+                               const FuPool &fu_)
+    : IqBase(params_, scoreboard_, fu_, "iq")
+{
+    SCIQ_ASSERT(params.numEntries > params.issueBufferSize,
+                "prescheduled IQ smaller than its issue buffer");
+    const unsigned array_slots = params.numEntries - params.issueBufferSize;
+    SCIQ_ASSERT(array_slots % params.preschedLineWidth == 0,
+                "scheduling array (%u) not a multiple of line width %u",
+                array_slots, params.preschedLineWidth);
+    lines.resize(array_slots / params.preschedLineWidth);
+    issueBuffer.reserve(params.issueBufferSize);
+
+    statsGroup.addScalar("array_stall_cycles", &arrayStallCycles,
+                         "cycles the array could not shift");
+    statsGroup.addAverage("issue_buffer_occ", &issueBufferOcc,
+                          "issue-buffer occupancy per cycle");
+}
+
+std::size_t
+PrescheduledIq::occupancy() const
+{
+    std::size_t total = issueBuffer.size();
+    for (const auto &line : lines)
+        total += line.size();
+    return total;
+}
+
+unsigned
+PrescheduledIq::predictedLatency(const DynInst &inst) const
+{
+    if (inst.isLoad())
+        return params.predictedLoadLatency;  // loads predicted as hits
+    return fu.latency(inst.opClass());
+}
+
+unsigned
+PrescheduledIq::predictedDelay(const DynInst &inst) const
+{
+    std::uint64_t ready = shiftCount;
+    const auto srcs = inst.staticInst.srcRegs();
+    for (int i = 0; i < 2; ++i) {
+        if (srcs[i] == kInvalidReg)
+            continue;
+        if (inst.isStore() && i == 1)
+            continue;  // store data is the LSQ's problem
+        ready = std::max(ready, regReadyShift[srcs[i]]);
+    }
+    return static_cast<unsigned>(ready - shiftCount);
+}
+
+int
+PrescheduledIq::findLine(unsigned want) const
+{
+    unsigned idx = std::min<unsigned>(want,
+                                      static_cast<unsigned>(lines.size()) - 1);
+    for (unsigned k = idx; k < lines.size(); ++k) {
+        if (lines[k].size() < params.preschedLineWidth)
+            return static_cast<int>(k);
+    }
+    return -1;
+}
+
+bool
+PrescheduledIq::canInsert(const DynInstPtr &inst)
+{
+    if (findLine(predictedDelay(*inst)) < 0) {
+        dispatchStallsFull.inc();
+        return false;
+    }
+    return true;
+}
+
+void
+PrescheduledIq::insert(const DynInstPtr &inst, Cycle)
+{
+    const unsigned delay = predictedDelay(*inst);
+    int line = findLine(delay);
+    SCIQ_ASSERT(line >= 0, "insert into full prescheduled IQ");
+    inst->presched.line = line;
+    lines[static_cast<std::size_t>(line)].push_back(inst);
+    instsInserted.inc();
+
+    RegIndex dst = inst->staticInst.dstReg();
+    if (dst != kInvalidReg) {
+        undoLog.push_back({inst->seq, dst, regReadyShift[dst]});
+        // Result predicted ready once the instruction reaches the
+        // issue buffer (`line`+1 shifts) and executes.  Using the
+        // *placed* line (post clamping/overflow) keeps dependents
+        // behind this instruction in the array.
+        regReadyShift[dst] = shiftCount + static_cast<std::uint64_t>(line) +
+                             1 + predictedLatency(*inst);
+    }
+}
+
+void
+PrescheduledIq::issueSelect(Cycle, const TryIssue &try_issue)
+{
+    issueBufferOcc.sample(static_cast<double>(issueBuffer.size()));
+    unsigned issued = 0;
+    for (auto it = issueBuffer.begin();
+         it != issueBuffer.end() && issued < params.issueWidth;) {
+        if (operandsReady(**it) && try_issue(*it)) {
+            instsIssued.inc();
+            ++issued;
+            it = issueBuffer.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+PrescheduledIq::tick(Cycle, bool)
+{
+    // Shift the scheduling array one line toward the issue buffer,
+    // stalling if the oldest line does not fit.
+    auto &oldest = lines.front();
+    if (issueBuffer.size() + oldest.size() <= params.issueBufferSize) {
+        for (auto &inst : oldest) {
+            inst->presched.line = -1;
+            issueBuffer.push_back(inst);
+        }
+        oldest.clear();
+        lines.pop_front();
+        lines.emplace_back();
+        ++shiftCount;
+    } else {
+        arrayStallCycles.inc();
+    }
+
+    std::sort(issueBuffer.begin(), issueBuffer.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+
+    occupancyAvg.sample(static_cast<double>(occupancy()));
+}
+
+void
+PrescheduledIq::onCommit(const DynInstPtr &inst)
+{
+    while (!undoLog.empty() && undoLog.front().seq <= inst->seq)
+        undoLog.pop_front();
+}
+
+void
+PrescheduledIq::onSquashInst(const DynInstPtr &inst)
+{
+    while (!undoLog.empty() && undoLog.back().seq == inst->seq) {
+        regReadyShift[undoLog.back().archDst] = undoLog.back().prevReady;
+        undoLog.pop_back();
+    }
+}
+
+void
+PrescheduledIq::squash(SeqNum youngest_kept)
+{
+    auto prune = [youngest_kept](std::vector<DynInstPtr> &v) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [youngest_kept](const DynInstPtr &p) {
+                                   return p->seq > youngest_kept;
+                               }),
+                v.end());
+    };
+    prune(issueBuffer);
+    for (auto &line : lines)
+        prune(line);
+}
+
+} // namespace sciq

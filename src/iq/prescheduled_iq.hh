@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Michaud & Seznec-style prescheduling instruction queue, the paper's
+ * main quantitative comparison point (section 6.3).
+ *
+ * Instructions are placed at dispatch into a *scheduling array* line
+ * chosen by their predicted ready time (a quasi-static schedule built
+ * from predicted operation latencies; loads are predicted to hit).
+ * The array shifts one line per cycle into a small fully-associative
+ * issue buffer, and instructions issue from the issue buffer only.
+ * Latency mispredictions cannot reflow the array - instructions that
+ * arrive early simply sit in the issue buffer, which is the weakness
+ * the segmented IQ addresses.
+ */
+
+#ifndef SCIQ_IQ_PRESCHEDULED_IQ_HH
+#define SCIQ_IQ_PRESCHEDULED_IQ_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "iq/iq_base.hh"
+
+namespace sciq {
+
+class PrescheduledIq : public IqBase
+{
+  public:
+    PrescheduledIq(const IqParams &params, const Scoreboard &scoreboard,
+                   const FuPool &fu);
+
+    bool canInsert(const DynInstPtr &inst) override;
+    void insert(const DynInstPtr &inst, Cycle cycle) override;
+    void issueSelect(Cycle cycle, const TryIssue &try_issue) override;
+    void tick(Cycle cycle, bool core_busy) override;
+    void onCommit(const DynInstPtr &inst) override;
+    void onSquashInst(const DynInstPtr &inst) override;
+    void squash(SeqNum youngest_kept) override;
+    std::size_t occupancy() const override;
+
+    /** Like the segmented IQ, prescheduling adds a dispatch stage. */
+    unsigned extraDispatchCycles() const override { return 1; }
+
+    unsigned numLines() const { return static_cast<unsigned>(lines.size()); }
+    std::size_t issueBufferOccupancy() const { return issueBuffer.size(); }
+
+    stats::Scalar arrayStallCycles;   ///< shifts blocked by a full buffer
+    stats::Average issueBufferOcc;
+
+  private:
+    struct Undo
+    {
+        SeqNum seq;
+        RegIndex archDst;
+        std::uint64_t prevReady;
+    };
+
+    /**
+     * Predicted scheduling-array line for this instruction.
+     *
+     * Ready times are tracked in *shift counts* rather than absolute
+     * cycles: when the array stalls (full issue buffer), everything in
+     * it slips together, so shift-based predictions keep dependents
+     * behind their producers and the array free of priority
+     * inversions (which would deadlock the issue buffer).
+     */
+    unsigned predictedDelay(const DynInst &inst) const;
+
+    unsigned predictedLatency(const DynInst &inst) const;
+
+    /** First line index at or after `want` with a free slot, or -1. */
+    int findLine(unsigned want) const;
+
+    std::deque<std::vector<DynInstPtr>> lines;  ///< [0] = oldest line
+    std::vector<DynInstPtr> issueBuffer;        ///< seq-sorted
+
+    /** Predicted ready time per architectural register, in shifts. */
+    std::array<std::uint64_t, kNumArchRegs> regReadyShift{};
+
+    /** Total successful array shifts so far. */
+    std::uint64_t shiftCount = 0;
+
+    std::deque<Undo> undoLog;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_IQ_PRESCHEDULED_IQ_HH

@@ -1,0 +1,799 @@
+#include "segmented_iq.hh"
+
+#include <algorithm>
+
+#include "branch/hit_miss_predictor.hh"
+#include "branch/left_right_predictor.hh"
+#include "common/logging.hh"
+
+namespace sciq {
+
+SegmentedIq::SegmentedIq(const IqParams &params_,
+                         const Scoreboard &scoreboard_, const FuPool &fu_,
+                         HitMissPredictor *hmp_, LeftRightPredictor *lrp_)
+    : IqBase(params_, scoreboard_, fu_, "iq"),
+      chains(params_.maxChains), hmp(hmp_), lrp(lrp_)
+{
+    SCIQ_ASSERT(params.numEntries % params.segmentSize == 0,
+                "IQ size %u not a multiple of segment size %u",
+                params.numEntries, params.segmentSize);
+    const unsigned n = params.numEntries / params.segmentSize;
+    SCIQ_ASSERT(n >= 1, "need at least one segment");
+    segments.resize(n);
+    freePrevCycle.assign(n, params.segmentSize);
+    if (params.maxChains > 0)
+        chainStates.resize(static_cast<std::size_t>(params.maxChains));
+
+    SCIQ_ASSERT(!params.useHmp || hmp != nullptr,
+                "useHmp set but no hit/miss predictor supplied");
+    SCIQ_ASSERT(!params.useLrp || lrp != nullptr,
+                "useLrp set but no left/right predictor supplied");
+
+    statsGroup.addScalar("chains_created", &chainsCreated,
+                         "chain heads allocated");
+    statsGroup.addScalar("heads_from_loads", &headsFromLoads,
+                         "chains created for load instructions");
+    statsGroup.addScalar("two_outstanding", &twoOutstanding,
+                         "insts with two pending operands in diff chains");
+    statsGroup.addScalar("chain_stalls", &chainStalls,
+                         "dispatch stalls due to exhausted chain wires");
+    statsGroup.addScalar("promotions", &promotions,
+                         "segment-to-segment promotions");
+    statsGroup.addScalar("pushdown_promotions", &pushdownPromotions,
+                         "promotions forced by the pushdown mechanism");
+    statsGroup.addScalar("deadlock_cycles", &deadlockCycles,
+                         "cycles with the deadlock condition asserted");
+    statsGroup.addScalar("deadlock_recoveries", &deadlockRecoveries,
+                         "deadlock recovery actions performed");
+    statsGroup.addAverage("chains_in_use", &chainsInUseAvg,
+                          "chains allocated, sampled per cycle");
+    statsGroup.addAverage("seg0_occupancy", &seg0Occupancy,
+                          "instructions in segment 0 per cycle");
+    statsGroup.addAverage("seg0_ready", &seg0Ready,
+                          "ready instructions in segment 0 per cycle");
+    statsGroup.addAverage("dispatch_segment", &dispatchSegment,
+                          "segment instructions dispatch into (bypass)");
+    statsGroup.addScalar("resize_grows", &resizeGrows,
+                         "segments re-enabled by dynamic resizing");
+    statsGroup.addScalar("resize_shrinks", &resizeShrinks,
+                         "segments gated off by dynamic resizing");
+    statsGroup.addScalar("segment_cycles_active", &segmentCyclesActive,
+                         "sum over cycles of powered segments");
+    statsGroup.addAverage("active_segments", &activeSegmentsAvg,
+                          "powered segments per cycle");
+
+    // With resizing off all segments are always powered; with it on we
+    // start minimal and grow under dispatch pressure.
+    activeSegments = params.dynamicResize ? 1 : n;
+}
+
+std::size_t
+SegmentedIq::occupancy() const
+{
+    std::size_t total = 0;
+    for (const auto &seg : segments)
+        total += seg.size();
+    return total;
+}
+
+SegmentedIq::ChainState &
+SegmentedIq::stateOf(ChainId id)
+{
+    auto idx = static_cast<std::size_t>(id);
+    if (idx >= chainStates.size())
+        chainStates.resize(idx + 1);
+    return chainStates[idx];
+}
+
+const SegmentedIq::ChainState &
+SegmentedIq::stateOf(ChainId id) const
+{
+    return const_cast<SegmentedIq *>(this)->stateOf(id);
+}
+
+bool
+SegmentedIq::entryAvailable(const RegInfoEntry &e)
+{
+    if (!e.pending)
+        return true;
+    return e.selfTimed && !e.suspended && e.latency <= 0;
+}
+
+unsigned
+SegmentedIq::predictedLatency(const DynInst &inst) const
+{
+    if (inst.isLoad())
+        return params.predictedLoadLatency;
+    return fu.latency(inst.opClass());
+}
+
+SegmentedIq::Plan
+SegmentedIq::computePlan(const DynInstPtr &inst, bool counting) const
+{
+    Plan plan;
+
+    // Collect pending-source memberships from the register info table,
+    // with head position/self-timed status read from the (compact)
+    // per-chain-wire state.
+    const auto srcs = inst->staticInst.srcRegs();
+    const bool is_store = inst->isStore();
+    ChainMembership mem[2];
+    int src_of[2] = {-1, -1};
+    int n = 0;
+    for (int i = 0; i < 2; ++i) {
+        RegIndex r = srcs[i];
+        if (r == kInvalidReg)
+            continue;
+        if (is_store && i == 1)
+            continue;  // store data does not gate address generation
+        const RegInfoEntry &e = regInfo[r];
+        if (entryAvailable(e))
+            continue;
+        // A chain freed since this entry was written means its head
+        // wrote back long ago; the entry self-times to completion, so
+        // keep it only while its countdown is still pending (handled
+        // by entryAvailable); with a stale generation the wire carries
+        // a different chain, so fall back to a pure countdown.
+        ChainMembership m;
+        m.chain = e.chain;
+        m.gen = e.gen;
+        if (e.chain != kNoChain) {
+            const ChainState &cs = stateOf(e.chain);
+            if (cs.gen != e.gen) {
+                // Wire reused: head long gone, value effectively ready.
+                continue;
+            }
+            m.appliedSeq = cs.seqCounter;
+            m.headSegment = cs.headSegment;
+            m.selfTimed = cs.selfTimed;
+            m.suspended = cs.suspended;
+            m.delay = cs.selfTimed ? e.latency
+                                   : 2 * cs.headSegment + e.latency;
+        } else {
+            m.selfTimed = true;
+            m.suspended = false;
+            m.delay = e.latency;
+        }
+        src_of[n] = i;
+        mem[n++] = m;
+    }
+
+    // Merge two memberships of the same chain (track the later one),
+    // and two pure-countdown memberships (the max delay dominates).
+    const bool same_chain = n == 2 && mem[0].chain != kNoChain &&
+                            mem[0].chain == mem[1].chain &&
+                            mem[0].gen == mem[1].gen;
+    const bool both_countdown =
+        n == 2 && mem[0].chain == kNoChain && mem[1].chain == kNoChain;
+    if (same_chain || both_countdown) {
+        if (mem[1].delay > mem[0].delay) {
+            mem[0] = mem[1];
+            src_of[0] = src_of[1];
+        }
+        n = 1;
+    }
+
+    const bool two_real_chains = n == 2 && mem[0].chain != kNoChain &&
+                                 mem[1].chain != kNoChain;
+    if (two_real_chains)
+        plan.hadTwoOutstanding = true;
+
+    if (n == 2 && params.useLrp) {
+        // Follow only the operand predicted to arrive later (4.3).
+        plan.usedLrp = true;
+        bool left = counting ? lrp->predictLeftCritical(inst->pc)
+                             : lrp->peekLeftCritical(inst->pc);
+        plan.lrpPickedLeft = left;
+        int keep = -1;
+        for (int k = 0; k < 2; ++k) {
+            if ((left && src_of[k] == 0) || (!left && src_of[k] == 1))
+                keep = k;
+        }
+        // If the predicted operand is not pending, keep the pending one.
+        if (keep < 0)
+            keep = 0;
+        mem[0] = mem[keep];
+        n = 1;
+    }
+
+    plan.numMemberships = n;
+    for (int k = 0; k < n; ++k)
+        plan.memberships[k] = mem[k];
+
+    // Chain-head creation policy (3.4).
+    if (inst->isLoad()) {
+        bool predicted_hit = false;
+        if (params.useHmp) {
+            plan.usedHmp = true;
+            predicted_hit = counting ? hmp->predictHit(inst->pc)
+                                     : hmp->peekHit(inst->pc);
+            plan.hmpPredictedHit = predicted_hit;
+        }
+        if (!predicted_hit) {
+            plan.needNewChain = true;
+            plan.isLoadHead = true;
+        }
+    } else if (two_real_chains && !params.useLrp &&
+               inst->staticInst.dstReg() != kInvalidReg) {
+        // A two-chain instruction must head a new chain so that its
+        // dependents never need to follow more than two chains.
+        plan.needNewChain = true;
+    }
+
+    return plan;
+}
+
+int
+SegmentedIq::targetSegment() const
+{
+    // Dispatch is confined to the powered segments.
+    const int n = static_cast<int>(activeSegments);
+    if (!params.enableBypass) {
+        return segments[n - 1].size() < params.segmentSize ? n - 1 : -1;
+    }
+    int highest = -1;
+    for (int k = n - 1; k >= 0; --k) {
+        if (!segments[k].empty()) {
+            highest = k;
+            break;
+        }
+    }
+    if (highest < 0)
+        return 0;  // entire queue empty: straight to the issue buffer
+    if (segments[highest].size() < params.segmentSize)
+        return highest;
+    if (highest + 1 < n)
+        return highest + 1;
+    return -1;  // top (active) segment full
+}
+
+bool
+SegmentedIq::canInsert(const DynInstPtr &inst)
+{
+    if (targetSegment() < 0) {
+        dispatchStallsFull.inc();
+        return false;
+    }
+    Plan plan = computePlan(inst, false);
+    if (plan.needNewChain && !chains.available()) {
+        chainStalls.inc();
+        return false;
+    }
+    return true;
+}
+
+void
+SegmentedIq::insertSorted(std::vector<DynInstPtr> &seg,
+                          const DynInstPtr &inst)
+{
+    auto pos = std::lower_bound(seg.begin(), seg.end(), inst,
+                                [](const DynInstPtr &a, const DynInstPtr &b) {
+                                    return a->seq < b->seq;
+                                });
+    seg.insert(pos, inst);
+}
+
+void
+SegmentedIq::insert(const DynInstPtr &inst, Cycle)
+{
+    const int target = targetSegment();
+    SCIQ_ASSERT(target >= 0, "insert into full segmented IQ");
+
+    Plan plan = computePlan(inst, true);
+    SCIQ_ASSERT(!plan.needNewChain || chains.available(),
+                "insert without a free chain");
+
+    inst->hadTwoOutstanding = plan.hadTwoOutstanding;
+    inst->lrpUsed = plan.usedLrp;
+    inst->lrpPredictedLeft = plan.lrpPickedLeft;
+    inst->hmpUsed = plan.usedHmp;
+    inst->hmpPredictedHit = plan.hmpPredictedHit;
+    if (plan.hadTwoOutstanding)
+        twoOutstanding.inc();
+
+    auto &seg_state = inst->seg;
+    seg_state.numMemberships = plan.numMemberships;
+    for (int k = 0; k < plan.numMemberships; ++k)
+        seg_state.memberships[k] = plan.memberships[k];
+
+    if (plan.needNewChain) {
+        auto [id, gen] = chains.alloc();
+        seg_state.headedChain = id;
+        seg_state.headedGen = gen;
+        seg_state.chainReleased = false;
+        ChainState &cs = stateOf(id);
+        cs.gen = gen;
+        cs.headSegment = target;
+        cs.selfTimed = false;
+        cs.suspended = false;
+        cs.seqCounter = 0;
+        cs.log.clear();
+        chainsCreated.inc();
+        if (plan.isLoadHead)
+            headsFromLoads.inc();
+    }
+
+    seg_state.segment = target;
+    insertSorted(segments[target], inst);
+    instsInserted.inc();
+    dispatchSegment.sample(static_cast<double>(target));
+
+    // Update the register information table for the destination.
+    RegIndex dst = inst->staticInst.dstReg();
+    if (dst != kInvalidReg) {
+        undoLog.push_back({inst->seq, dst, regInfo[dst]});
+        RegInfoEntry e;
+        e.pending = true;
+        const int exec_lat = static_cast<int>(predictedLatency(*inst));
+        if (seg_state.headedChain != kNoChain) {
+            e.chain = seg_state.headedChain;
+            e.gen = seg_state.headedGen;
+            e.appliedSeq = 0;
+            e.latency = exec_lat;
+            e.headSeg = target;
+            e.selfTimed = false;
+        } else {
+            // Prefer to express the destination relative to a real
+            // chain among the memberships (the latest one).
+            int best = -1;
+            for (int k = 0; k < plan.numMemberships; ++k) {
+                if (plan.memberships[k].chain == kNoChain)
+                    continue;
+                if (best < 0 || plan.memberships[k].delay >
+                                    plan.memberships[best].delay) {
+                    best = k;
+                }
+            }
+            if (best >= 0) {
+                const ChainMembership &m = plan.memberships[best];
+                e.chain = m.chain;
+                e.gen = m.gen;
+                e.appliedSeq = m.appliedSeq;
+                e.headSeg = m.headSegment;
+                e.selfTimed = m.selfTimed;
+                e.suspended = m.suspended;
+                e.latency = (m.selfTimed
+                                 ? m.delay
+                                 : m.delay - 2 * m.headSegment) + exec_lat;
+            } else {
+                // No real chains: pure countdown from now.
+                int longest = 0;
+                for (int k = 0; k < plan.numMemberships; ++k)
+                    longest = std::max(longest,
+                                       plan.memberships[k].delay);
+                e.chain = kNoChain;
+                e.selfTimed = true;
+                e.latency = longest + exec_lat;
+            }
+        }
+        regInfo[dst] = e;
+    }
+}
+
+int
+SegmentedIq::effectiveDelay(const DynInst &inst) const
+{
+    int d = 0;
+    for (int k = 0; k < inst.seg.numMemberships; ++k)
+        d = std::max(d, inst.seg.memberships[k].delay);
+    return d;
+}
+
+void
+SegmentedIq::emitSignal(const DynInstPtr &head, SignalKind kind,
+                        int origin_segment, Cycle cycle)
+{
+    if (head->seg.headedChain == kNoChain || head->seg.chainReleased)
+        return;
+    ChainState &cs = stateOf(head->seg.headedChain);
+    if (cs.gen != head->seg.headedGen)
+        return;
+
+    switch (kind) {
+      case SignalKind::Assert:
+        if (cs.headSegment > 0)
+            cs.headSegment -= 1;
+        else
+            cs.selfTimed = true;
+        break;
+      case SignalKind::Suspend:
+        cs.suspended = true;
+        break;
+      case SignalKind::Resume:
+        cs.suspended = false;
+        break;
+    }
+    cs.log.push_back(LoggedSignal{++cs.seqCounter, cycle, origin_segment,
+                                  kind});
+}
+
+void
+SegmentedIq::deliverToMembership(ChainMembership &m, int segment, Cycle now)
+{
+    if (m.chain == kNoChain)
+        return;
+    const ChainState &cs = stateOf(m.chain);
+    if (cs.gen != m.gen)
+        return;  // chain wire reused; all relevant signals were seen
+    for (const LoggedSignal &sig : cs.log) {
+        if (sig.seq <= m.appliedSeq)
+            continue;
+        const Cycle lag = segment > sig.originSegment
+                              ? static_cast<Cycle>(segment -
+                                                   sig.originSegment)
+                              : 0;
+        if (now < sig.cycle + lag)
+            break;  // not yet visible here; later signals even less so
+        m.appliedSeq = sig.seq;
+        switch (sig.kind) {
+          case SignalKind::Assert:
+            if (m.headSegment > 0) {
+                m.headSegment -= 1;
+                m.delay = std::max(0, m.delay - 2);
+            } else {
+                m.selfTimed = true;
+            }
+            break;
+          case SignalKind::Suspend:
+            m.suspended = true;
+            break;
+          case SignalKind::Resume:
+            m.suspended = false;
+            break;
+        }
+    }
+}
+
+void
+SegmentedIq::deliverToTable(Cycle now)
+{
+    const int top = static_cast<int>(segments.size()) - 1;
+    for (auto &e : regInfo) {
+        if (!e.pending || e.chain == kNoChain)
+            continue;
+        const ChainState &cs = stateOf(e.chain);
+        if (cs.gen != e.gen)
+            continue;
+        for (const LoggedSignal &sig : cs.log) {
+            if (sig.seq <= e.appliedSeq)
+                continue;
+            const Cycle lag = top > sig.originSegment
+                                  ? static_cast<Cycle>(top -
+                                                       sig.originSegment)
+                                  : 0;
+            if (now < sig.cycle + lag)
+                break;
+            e.appliedSeq = sig.seq;
+            switch (sig.kind) {
+              case SignalKind::Assert:
+                if (e.headSeg > 0)
+                    e.headSeg -= 1;
+                else
+                    e.selfTimed = true;
+                break;
+              case SignalKind::Suspend:
+                e.suspended = true;
+                break;
+              case SignalKind::Resume:
+                e.suspended = false;
+                break;
+            }
+        }
+    }
+}
+
+void
+SegmentedIq::issueSelect(Cycle cycle, const TryIssue &try_issue)
+{
+    auto &seg0 = segments[0];
+    unsigned ready = 0;
+    for (const auto &inst : seg0) {
+        if (operandsReady(*inst))
+            ++ready;
+    }
+    seg0Ready.sample(static_cast<double>(ready));
+    seg0Occupancy.sample(static_cast<double>(seg0.size()));
+
+    unsigned issued = 0;
+    for (auto it = seg0.begin();
+         it != seg0.end() && issued < params.issueWidth;) {
+        DynInstPtr inst = *it;
+        if (operandsReady(*inst) && try_issue(inst)) {
+            instsIssued.inc();
+            ++issued;
+            ++issuedThisCycle;
+            emitSignal(inst, SignalKind::Assert, 0, cycle);
+            it = seg0.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SegmentedIq::moveInst(const DynInstPtr &inst, unsigned from, unsigned to,
+                      Cycle cycle)
+{
+    auto &src = segments[from];
+    auto it = std::find(src.begin(), src.end(), inst);
+    SCIQ_ASSERT(it != src.end(), "moveInst: inst not in segment %u", from);
+    src.erase(it);
+    inst->seg.segment = static_cast<int>(to);
+    insertSorted(segments[to], inst);
+
+    // A promoting chain head asserts its wire in the segment it leaves.
+    emitSignal(inst, SignalKind::Assert, static_cast<int>(from), cycle);
+}
+
+void
+SegmentedIq::tick(Cycle cycle, bool core_busy)
+{
+    const unsigned n = static_cast<unsigned>(segments.size());
+
+    // 0. Release chain wires whose drain delay has matured.
+    while (!chainDrainQueue.empty() &&
+           chainDrainQueue.front().second <= cycle) {
+        chains.free(chainDrainQueue.front().first);
+        chainDrainQueue.pop_front();
+    }
+
+    // 1. Promotion, per segment boundary, oldest-eligible first,
+    //    limited by inter-segment bandwidth and by the *previous*
+    //    cycle's free count in the destination (section 3.1).
+    promotedThisCycle = 0;
+    for (unsigned k = 1; k < n; ++k) {
+        auto &seg = segments[k];
+        if (seg.empty())
+            continue;
+
+        const int thresh = threshold(k - 1);
+        std::vector<DynInstPtr> eligible, pushdown;
+        for (auto &inst : seg) {
+            if (effectiveDelay(*inst) < thresh)
+                eligible.push_back(inst);
+        }
+
+        if (params.enablePushdown) {
+            const unsigned iw = params.issueWidth;
+            const std::size_t free_here = params.segmentSize - seg.size();
+            const std::size_t free_below =
+                params.segmentSize - segments[k - 1].size();
+            if (free_here < iw &&
+                free_below * 2 > 3 * iw) {  // > 1.5*IW without floats
+                for (auto &inst : seg) {
+                    if (pushdown.size() >= iw)
+                        break;
+                    if (effectiveDelay(*inst) >= thresh)
+                        pushdown.push_back(inst);
+                }
+            }
+        }
+
+        unsigned budget = std::min<unsigned>(
+            params.issueWidth,
+            std::min<unsigned>(
+                freePrevCycle[k - 1],
+                static_cast<unsigned>(params.segmentSize -
+                                      segments[k - 1].size())));
+
+        for (auto &inst : eligible) {
+            if (budget == 0)
+                break;
+            moveInst(inst, k, k - 1, cycle);
+            promotions.inc();
+            ++promotedThisCycle;
+            --budget;
+        }
+        for (auto &inst : pushdown) {
+            if (budget == 0)
+                break;
+            moveInst(inst, k, k - 1, cycle);
+            promotions.inc();
+            pushdownPromotions.inc();
+            ++promotedThisCycle;
+            --budget;
+        }
+    }
+
+    // 2. Deliver chain-wire signals (including those generated by this
+    //    cycle's issues and promotions) with pipelined visibility.
+    for (unsigned k = 0; k < n; ++k) {
+        for (auto &inst : segments[k]) {
+            for (int m = 0; m < inst->seg.numMemberships; ++m) {
+                deliverToMembership(inst->seg.memberships[m],
+                                    static_cast<int>(k), cycle);
+            }
+        }
+    }
+    deliverToTable(cycle);
+
+    // 3. Self-timed countdowns (members and table entries).
+    for (auto &seg : segments) {
+        for (auto &inst : seg) {
+            for (int m = 0; m < inst->seg.numMemberships; ++m) {
+                ChainMembership &mem = inst->seg.memberships[m];
+                if (mem.selfTimed && !mem.suspended && mem.delay > 0)
+                    mem.delay -= 1;
+            }
+        }
+    }
+    for (auto &e : regInfo) {
+        if (e.pending && e.selfTimed && !e.suspended && e.latency > 0)
+            e.latency -= 1;
+    }
+
+    // 4. Deadlock detection and recovery (section 4.5).
+    const std::size_t occ = occupancy();
+    if (occ > 0 && issuedThisCycle == 0 && promotedThisCycle == 0 &&
+        !core_busy) {
+        deadlockCycles.inc();
+        runDeadlockRecovery(cycle);
+    }
+    issuedThisCycle = 0;
+
+    // 5. Previous-cycle free counts for the next promotion round, and
+    //    signal-log pruning (everything older than the wire pipeline
+    //    depth has been seen everywhere).
+    for (unsigned k = 0; k < n; ++k) {
+        freePrevCycle[k] = static_cast<unsigned>(params.segmentSize -
+                                                 segments[k].size());
+    }
+    if (cycle > n + 1) {
+        const Cycle horizon = cycle - n - 1;
+        for (auto &cs : chainStates) {
+            while (!cs.log.empty() && cs.log.front().cycle < horizon)
+                cs.log.pop_front();
+        }
+    }
+
+    // 6. Dynamic segment resizing (paper section 7): gate segments by
+    //    occupancy, shrinking only when the segment being turned off
+    //    is already empty so no instruction is orphaned.
+    if (params.dynamicResize && cycle >= nextResizeCheck) {
+        nextResizeCheck = cycle + params.resizeInterval;
+        const double active_cap =
+            static_cast<double>(activeSegments) * params.segmentSize;
+        if (activeSegments < n &&
+            static_cast<double>(occ) > params.resizeGrowOcc * active_cap) {
+            ++activeSegments;
+            resizeGrows.inc();
+        } else if (activeSegments > 1 &&
+                   segments[activeSegments - 1].empty() &&
+                   static_cast<double>(occ) <
+                       params.resizeShrinkOcc *
+                           static_cast<double>(activeSegments - 1) *
+                           params.segmentSize) {
+            --activeSegments;
+            resizeShrinks.inc();
+        }
+    }
+    segmentCyclesActive.inc(static_cast<double>(activeSegments));
+    activeSegmentsAvg.sample(static_cast<double>(activeSegments));
+
+    occupancyAvg.sample(static_cast<double>(occ));
+    chainsInUseAvg.sample(static_cast<double>(chains.inUse()));
+}
+
+void
+SegmentedIq::runDeadlockRecovery(Cycle cycle)
+{
+    deadlockRecoveries.inc();
+    const unsigned n = static_cast<unsigned>(segments.size());
+
+    // If the issue buffer is full of non-ready instructions, recycle
+    // its youngest back to the top segment (placed after the bottom-up
+    // force promotions have guaranteed it a slot).
+    DynInstPtr recycled;
+    if (activeSegments > 1 && segments[0].size() >= params.segmentSize) {
+        recycled = segments[0].back();
+        segments[0].pop_back();
+    }
+
+    // Force every full segment to promote one instruction downward;
+    // processing bottom-up guarantees the destination has a slot.
+    for (unsigned k = 1; k < n; ++k) {
+        if (segments[k].size() < params.segmentSize)
+            continue;
+        if (segments[k - 1].size() >= params.segmentSize)
+            continue;  // cannot happen after bottom-up processing
+        DynInstPtr oldest = segments[k].front();
+        moveInst(oldest, k, k - 1, cycle);
+        promotions.inc();
+        ++promotedThisCycle;
+    }
+
+    // With nothing full, nothing promoted and nothing in flight, the
+    // scheduler has stalled on stale delay values; nudge the oldest
+    // instruction in the lowest non-empty segment downward so the
+    // oldest ready instruction eventually reaches the issue buffer.
+    if (promotedThisCycle == 0 && !recycled) {
+        for (unsigned k = 1; k < n; ++k) {
+            if (segments[k].empty())
+                continue;
+            if (segments[k - 1].size() < params.segmentSize) {
+                DynInstPtr oldest = segments[k].front();
+                moveInst(oldest, k, k - 1, cycle);
+                promotions.inc();
+                ++promotedThisCycle;
+            }
+            break;
+        }
+    }
+
+    if (recycled) {
+        const unsigned top = activeSegments - 1;
+        recycled->seg.segment = static_cast<int>(top);
+        if (recycled->seg.headedChain != kNoChain &&
+            !recycled->seg.chainReleased) {
+            ChainState &cs = stateOf(recycled->seg.headedChain);
+            if (cs.gen == recycled->seg.headedGen)
+                cs.headSegment = static_cast<int>(top);
+        }
+        insertSorted(segments[top], recycled);
+        SCIQ_ASSERT(segments[top].size() <= params.segmentSize,
+                    "deadlock recovery overflowed the top segment");
+    }
+}
+
+void
+SegmentedIq::onLoadMiss(const DynInstPtr &inst, Cycle cycle)
+{
+    emitSignal(inst, SignalKind::Suspend, 0, cycle);
+}
+
+void
+SegmentedIq::onLoadComplete(const DynInstPtr &inst, Cycle cycle)
+{
+    emitSignal(inst, SignalKind::Resume, 0, cycle);
+}
+
+void
+SegmentedIq::releaseChain(const DynInstPtr &inst, Cycle cycle)
+{
+    if (inst->seg.headedChain == kNoChain || inst->seg.chainReleased)
+        return;
+    // Delay the wire's reuse until every in-flight signal has been
+    // seen at the top of the queue.
+    inst->seg.chainReleased = true;
+    chainDrainQueue.emplace_back(inst->seg.headedChain,
+                                 cycle + segments.size() + 2);
+}
+
+void
+SegmentedIq::onWriteback(const DynInstPtr &inst, Cycle cycle)
+{
+    // Chains are deallocated when the head writes back (section 6.1).
+    releaseChain(inst, cycle);
+}
+
+void
+SegmentedIq::onCommit(const DynInstPtr &inst)
+{
+    while (!undoLog.empty() && undoLog.front().seq <= inst->seq)
+        undoLog.pop_front();
+}
+
+void
+SegmentedIq::onSquashInst(const DynInstPtr &inst)
+{
+    // Called youngest-first: table restores unwind in reverse order.
+    while (!undoLog.empty() && undoLog.back().seq == inst->seq) {
+        regInfo[undoLog.back().archDst] = undoLog.back().prev;
+        undoLog.pop_back();
+    }
+    releaseChain(inst, 0);
+}
+
+void
+SegmentedIq::squash(SeqNum youngest_kept)
+{
+    for (auto &seg : segments) {
+        seg.erase(std::remove_if(seg.begin(), seg.end(),
+                                 [youngest_kept](const DynInstPtr &p) {
+                                     return p->seq > youngest_kept;
+                                 }),
+                  seg.end());
+    }
+}
+
+} // namespace sciq

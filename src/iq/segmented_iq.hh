@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The paper's contribution: a segmented instruction queue scheduled by
+ * dependence chains (Raasch, Binkert & Reinhardt, ISCA 2002).
+ *
+ * The queue is a pipeline of small segments; instructions issue only
+ * from segment 0 (the issue buffer).  Promotion from segment to segment
+ * is governed by per-instruction *delay values* maintained as a fixed
+ * latency behind a *chain head*:
+ *
+ *  - each segment k admits instructions whose delay is below its
+ *    threshold 2*(k+1); dispatch into the top segment is unconditional;
+ *  - chain heads broadcast one-hot chain-wire signals when they promote
+ *    or issue; the wires are pipelined upward one segment per cycle;
+ *  - members decrement their delay by 2 per head promotion, and enter
+ *    self-timed (1/cycle) mode once the head issues;
+ *  - a load head that misses sends a suspend signal up its chain, and a
+ *    resume signal on completion;
+ *  - enhancements: full-segment pushdown (4.1), empty-segment dispatch
+ *    bypass (4.2), left/right operand prediction (4.3), hit/miss
+ *    prediction (4.4), and deadlock detection/recovery (4.5).
+ *
+ * Implementation note: chain-wire signals are kept in a per-chain log
+ * with an explicit generation cycle and origin segment; an entry in
+ * segment s applies a signal generated at cycle g from segment o once
+ * the current cycle reaches g + (s - o).  This models the paper's
+ * one-segment-per-cycle wire pipelining exactly while guaranteeing
+ * that entries which move between segments (promotion, dispatch
+ * bypass, deadlock recovery) never miss or double-apply a signal.
+ */
+
+#ifndef SCIQ_IQ_SEGMENTED_IQ_HH
+#define SCIQ_IQ_SEGMENTED_IQ_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "iq/chain_allocator.hh"
+#include "iq/iq_base.hh"
+
+namespace sciq {
+
+class HitMissPredictor;
+class LeftRightPredictor;
+
+class SegmentedIq : public IqBase
+{
+  public:
+    /**
+     * @param hmp Optional hit/miss predictor (used when params.useHmp).
+     * @param lrp Optional left/right predictor (used when params.useLrp).
+     */
+    SegmentedIq(const IqParams &params, const Scoreboard &scoreboard,
+                const FuPool &fu, HitMissPredictor *hmp,
+                LeftRightPredictor *lrp);
+
+    bool canInsert(const DynInstPtr &inst) override;
+    void insert(const DynInstPtr &inst, Cycle cycle) override;
+    void issueSelect(Cycle cycle, const TryIssue &try_issue) override;
+    void tick(Cycle cycle, bool core_busy) override;
+    void onLoadMiss(const DynInstPtr &inst, Cycle cycle) override;
+    void onLoadComplete(const DynInstPtr &inst, Cycle cycle) override;
+    void onWriteback(const DynInstPtr &inst, Cycle cycle) override;
+    void onCommit(const DynInstPtr &inst) override;
+    void onSquashInst(const DynInstPtr &inst) override;
+    void squash(SeqNum youngest_kept) override;
+    std::size_t occupancy() const override;
+
+    /** The segmented design adds a dispatch pipeline stage (section 5). */
+    unsigned extraDispatchCycles() const override { return 1; }
+
+    unsigned
+    numSegments() const
+    {
+        return static_cast<unsigned>(segments.size());
+    }
+
+    std::size_t segmentOccupancy(unsigned k) const
+    {
+        return segments[k].size();
+    }
+
+    /** Promotion threshold of segment k (paper section 3.1). */
+    static int threshold(unsigned k) { return 2 * (static_cast<int>(k) + 1); }
+
+    unsigned chainsInUse() const { return chains.inUse(); }
+    unsigned chainsPeak() const { return chains.peak(); }
+
+    /** Segments currently powered (== numSegments unless resizing). */
+    unsigned activeSegmentCount() const { return activeSegments; }
+
+    // --- Statistics (Table 2, Figure 2 and section 6 text) ---------------
+    stats::Scalar chainsCreated;
+    stats::Scalar headsFromLoads;
+    stats::Scalar twoOutstanding;     ///< insts w/ 2 pending operand chains
+    stats::Scalar chainStalls;        ///< dispatch stalls: no free chain
+    stats::Scalar promotions;
+    stats::Scalar pushdownPromotions;
+    stats::Scalar deadlockCycles;
+    stats::Scalar deadlockRecoveries;
+    stats::Average chainsInUseAvg;
+    stats::Average seg0Occupancy;
+    stats::Average seg0Ready;         ///< ready instructions in segment 0
+    stats::Average dispatchSegment;   ///< bypass effectiveness
+
+    // Dynamic-resizing / power-proxy statistics (section 7).
+    stats::Scalar resizeGrows;
+    stats::Scalar resizeShrinks;
+    stats::Scalar segmentCyclesActive;  ///< sum over cycles of segments on
+    stats::Average activeSegmentsAvg;
+
+  private:
+    enum class SignalKind : std::uint8_t { Assert, Suspend, Resume };
+
+    /** One chain-wire event, pipelined upward from originSegment. */
+    struct LoggedSignal
+    {
+        std::uint64_t seq;
+        Cycle cycle;
+        int originSegment;
+        SignalKind kind;
+    };
+
+    /**
+     * Authoritative per-chain-wire state, read by dispatch when a new
+     * member joins, plus the signal log in-flight entries consume.
+     */
+    struct ChainState
+    {
+        std::uint32_t gen = 0;
+        int headSegment = 0;
+        bool selfTimed = false;   ///< head has issued
+        bool suspended = false;
+        std::uint64_t seqCounter = 0;
+        std::deque<LoggedSignal> log;
+    };
+
+    /** Dispatch-stage register information table entry (section 3.3). */
+    struct RegInfoEntry
+    {
+        bool pending = false;
+        ChainId chain = kNoChain;   ///< kNoChain: pure countdown entry
+        std::uint32_t gen = 0;
+        std::uint64_t appliedSeq = 0;
+        int latency = 0;            ///< rel. to head issue / to now if selfTimed
+        int headSeg = 0;            ///< tracked head location (lagged)
+        bool selfTimed = false;
+        bool suspended = false;
+    };
+
+    /** Undo record for squash recovery of the table. */
+    struct Undo
+    {
+        SeqNum seq;
+        RegIndex archDst;
+        RegInfoEntry prev;
+    };
+
+    /** Everything insert() needs, precomputed identically by canInsert. */
+    struct Plan
+    {
+        ChainMembership memberships[2];
+        int numMemberships = 0;
+        bool needNewChain = false;
+        bool isLoadHead = false;
+        bool hadTwoOutstanding = false;
+        bool usedLrp = false;
+        bool lrpPickedLeft = false;
+        bool usedHmp = false;
+        bool hmpPredictedHit = false;
+    };
+
+    /** True once the table says this operand's value is available. */
+    static bool entryAvailable(const RegInfoEntry &e);
+
+    /** Predicted latency from issue to dependent-ready (section 3.3). */
+    unsigned predictedLatency(const DynInst &inst) const;
+
+    /**
+     * Build the chain/membership plan for an instruction.
+     * @param counting true to update predictor statistics (insert path).
+     */
+    Plan computePlan(const DynInstPtr &inst, bool counting) const;
+
+    /** Dispatch target segment honouring the bypass rule (section 4.2). */
+    int targetSegment() const;
+
+    int effectiveDelay(const DynInst &inst) const;
+
+    ChainState &stateOf(ChainId id);
+    const ChainState &stateOf(ChainId id) const;
+
+    /** Record a signal on a chain's wire (updates authoritative state). */
+    void emitSignal(const DynInstPtr &head, SignalKind kind,
+                    int origin_segment, Cycle cycle);
+
+    /** Apply every signal now visible at this entry's segment. */
+    void deliverToMembership(ChainMembership &m, int segment, Cycle now);
+
+    void deliverToTable(Cycle now);
+
+    void insertSorted(std::vector<DynInstPtr> &seg, const DynInstPtr &inst);
+
+    /** Move inst down one pipeline step; heads assert their wire. */
+    void moveInst(const DynInstPtr &inst, unsigned from, unsigned to,
+                  Cycle cycle);
+
+    /** Begin the delayed release of a head's chain wire. */
+    void releaseChain(const DynInstPtr &inst, Cycle cycle);
+
+    void runDeadlockRecovery(Cycle cycle);
+
+    std::vector<std::vector<DynInstPtr>> segments;  ///< [0]=issue buffer
+    std::vector<unsigned> freePrevCycle;            ///< per segment
+
+    std::vector<ChainState> chainStates;
+    std::deque<std::pair<ChainId, Cycle>> chainDrainQueue;
+
+    std::array<RegInfoEntry, kNumArchRegs> regInfo;
+    std::deque<Undo> undoLog;
+
+    mutable ChainAllocator chains;
+    HitMissPredictor *hmp;
+    LeftRightPredictor *lrp;
+
+    unsigned issuedThisCycle = 0;
+    unsigned promotedThisCycle = 0;
+    unsigned activeSegments = 1;
+    Cycle nextResizeCheck = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_IQ_SEGMENTED_IQ_HH

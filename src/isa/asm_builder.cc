@@ -1,0 +1,345 @@
+#include "asm_builder.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "isa/codec.hh"
+
+namespace sciq {
+
+AsmBuilder &
+AsmBuilder::label(const std::string &name)
+{
+    auto [it, inserted] = labels.emplace(name, insts.size());
+    SCIQ_ASSERT(inserted, "duplicate label '%s'", name.c_str());
+    (void)it;
+    return *this;
+}
+
+AsmBuilder &
+AsmBuilder::emit(const Instruction &inst)
+{
+    insts.push_back(inst);
+    return *this;
+}
+
+AsmBuilder &
+AsmBuilder::emitR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::emitI(Opcode op, RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                       const std::string &target)
+{
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    fixups.push_back({insts.size(), target});
+    return emit(i);
+}
+
+// Integer ALU ---------------------------------------------------------------
+AsmBuilder &AsmBuilder::add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::ADD, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SUB, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::AND, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::OR, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::XOR, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SLL, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SRL, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::sra(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SRA, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::slt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SLT, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::sltu(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::SLTU, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::addi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::ADDI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::andi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::ANDI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::ori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::ORI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::xori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::XORI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::slti(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::SLTI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::slli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::SLLI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::srli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::SRLI, rd, rs1, imm); }
+AsmBuilder &AsmBuilder::srai(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emitI(Opcode::SRAI, rd, rs1, imm); }
+
+// Integer mul/div -------------------------------------------------------------
+AsmBuilder &AsmBuilder::mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::MUL, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::mulh(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::MULH, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::div(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::DIV, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::rem(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::REM, rd, rs1, rs2); }
+
+// Floating point --------------------------------------------------------------
+AsmBuilder &AsmBuilder::fadd(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FADD, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fsub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FSUB, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fmul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FMUL, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fdiv(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FDIV, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fsqrt(RegIndex rd, RegIndex rs1)
+{ return emitI(Opcode::FSQRT, rd, rs1, 0); }
+AsmBuilder &AsmBuilder::fmin(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FMIN, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fmax(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FMAX, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fneg(RegIndex rd, RegIndex rs1)
+{ return emitI(Opcode::FNEG, rd, rs1, 0); }
+AsmBuilder &AsmBuilder::fabs_(RegIndex rd, RegIndex rs1)
+{ return emitI(Opcode::FABS, rd, rs1, 0); }
+AsmBuilder &AsmBuilder::fmov(RegIndex rd, RegIndex rs1)
+{ return emitI(Opcode::FMOV, rd, rs1, 0); }
+AsmBuilder &AsmBuilder::fcmpeq(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FCMPEQ, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fcmplt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FCMPLT, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fcmple(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emitR(Opcode::FCMPLE, rd, rs1, rs2); }
+AsmBuilder &AsmBuilder::fcvtif(RegIndex fd, RegIndex rs1)
+{ return emitI(Opcode::FCVTIF, fd, rs1, 0); }
+AsmBuilder &AsmBuilder::fcvtfi(RegIndex rd, RegIndex fs1)
+{ return emitI(Opcode::FCVTFI, rd, fs1, 0); }
+
+// Memory ----------------------------------------------------------------------
+AsmBuilder &AsmBuilder::ld(RegIndex rd, RegIndex base, std::int64_t off)
+{ return emitI(Opcode::LD, rd, base, off); }
+AsmBuilder &AsmBuilder::lw(RegIndex rd, RegIndex base, std::int64_t off)
+{ return emitI(Opcode::LW, rd, base, off); }
+AsmBuilder &AsmBuilder::fld(RegIndex fd, RegIndex base, std::int64_t off)
+{ return emitI(Opcode::FLD, fd, base, off); }
+
+AsmBuilder &
+AsmBuilder::st(RegIndex rs2, RegIndex base, std::int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.rs2 = rs2;
+    i.rs1 = base;
+    i.imm = off;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::sw(RegIndex rs2, RegIndex base, std::int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::SW;
+    i.rs2 = rs2;
+    i.rs1 = base;
+    i.imm = off;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::fst(RegIndex fs2, RegIndex base, std::int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::FST;
+    i.rs2 = fs2;
+    i.rs1 = base;
+    i.imm = off;
+    return emit(i);
+}
+
+// Control ----------------------------------------------------------------------
+AsmBuilder &AsmBuilder::beq(RegIndex rs1, RegIndex rs2,
+                            const std::string &t)
+{ return emitBranch(Opcode::BEQ, rs1, rs2, t); }
+AsmBuilder &AsmBuilder::bne(RegIndex rs1, RegIndex rs2,
+                            const std::string &t)
+{ return emitBranch(Opcode::BNE, rs1, rs2, t); }
+AsmBuilder &AsmBuilder::blt(RegIndex rs1, RegIndex rs2,
+                            const std::string &t)
+{ return emitBranch(Opcode::BLT, rs1, rs2, t); }
+AsmBuilder &AsmBuilder::bge(RegIndex rs1, RegIndex rs2,
+                            const std::string &t)
+{ return emitBranch(Opcode::BGE, rs1, rs2, t); }
+AsmBuilder &AsmBuilder::bltu(RegIndex rs1, RegIndex rs2,
+                             const std::string &t)
+{ return emitBranch(Opcode::BLTU, rs1, rs2, t); }
+AsmBuilder &AsmBuilder::bgeu(RegIndex rs1, RegIndex rs2,
+                             const std::string &t)
+{ return emitBranch(Opcode::BGEU, rs1, rs2, t); }
+
+AsmBuilder &
+AsmBuilder::j(const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    fixups.push_back({insts.size(), target});
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::jal(RegIndex rd, const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::JAL;
+    i.rd = rd;
+    fixups.push_back({insts.size(), target});
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::jr(RegIndex rs1)
+{
+    Instruction i;
+    i.op = Opcode::JR;
+    i.rs1 = rs1;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::jalr(RegIndex rd, RegIndex rs1)
+{
+    Instruction i;
+    i.op = Opcode::JALR;
+    i.rd = rd;
+    i.rs1 = rs1;
+    return emit(i);
+}
+
+// Misc / pseudo ------------------------------------------------------------------
+AsmBuilder &
+AsmBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::NOP;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    return emit(i);
+}
+
+AsmBuilder &
+AsmBuilder::mov(RegIndex rd, RegIndex rs1)
+{
+    return addi(rd, rs1, 0);
+}
+
+AsmBuilder &
+AsmBuilder::li(RegIndex rd, std::int64_t value)
+{
+    if (value >= kImm14Min && value <= kImm14Max)
+        return addi(rd, kZeroReg, value);
+
+    // Build the constant 13 bits at a time from the most significant
+    // chunk down, so the ORI immediates are always non-negative.
+    constexpr unsigned kChunk = 13;
+    auto uval = static_cast<std::uint64_t>(value);
+    unsigned top_bit = 63;
+    while (top_bit > 0 && ((uval >> top_bit) & 1) == ((uval >> 63) & 1))
+        --top_bit;
+    unsigned sig_bits = top_bit + 2;  // bits needed incl. one sign bit
+    unsigned chunks = (sig_bits + kChunk - 1) / kChunk;
+    unsigned shift = (chunks - 1) * kChunk;
+
+    // Top chunk via ADDI (sign-extended).
+    std::int64_t top = value >> shift;
+    addi(rd, kZeroReg, top);
+    while (shift > 0) {
+        shift -= kChunk;
+        slli(rd, rd, kChunk);
+        std::int64_t chunk =
+            static_cast<std::int64_t>((uval >> shift) & ((1u << kChunk) - 1));
+        if (chunk != 0)
+            ori(rd, rd, chunk);
+    }
+    return *this;
+}
+
+AsmBuilder &
+AsmBuilder::data(Addr addr, std::vector<std::uint8_t> bytes)
+{
+    blobs.push_back({addr, std::move(bytes)});
+    return *this;
+}
+
+AsmBuilder &
+AsmBuilder::doubles(Addr addr, const std::vector<double> &values)
+{
+    std::vector<std::uint8_t> bytes(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        auto raw = std::bit_cast<std::uint64_t>(values[i]);
+        std::memcpy(&bytes[i * 8], &raw, 8);
+    }
+    return data(addr, std::move(bytes));
+}
+
+AsmBuilder &
+AsmBuilder::words(Addr addr, const std::vector<std::uint64_t> &values)
+{
+    std::vector<std::uint8_t> bytes(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        std::memcpy(&bytes[i * 8], &values[i], 8);
+    return data(addr, std::move(bytes));
+}
+
+Program
+AsmBuilder::build(const std::string &name)
+{
+    for (const auto &fx : fixups) {
+        auto it = labels.find(fx.label);
+        SCIQ_ASSERT(it != labels.end(), "undefined label '%s'",
+                    fx.label.c_str());
+        insts[fx.instIndex].imm =
+            static_cast<std::int64_t>(it->second) -
+            static_cast<std::int64_t>(fx.instIndex);
+    }
+
+    Program prog(baseAddr);
+    prog.name = name;
+    for (const auto &i : insts) {
+        SCIQ_ASSERT(encodable(i), "instruction %zu not encodable",
+                    static_cast<std::size_t>(&i - insts.data()));
+        prog.append(i);
+    }
+    for (auto &b : blobs)
+        prog.addData(b.addr, b.bytes);
+    return prog;
+}
+
+} // namespace sciq

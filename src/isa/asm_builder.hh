@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fluent, label-resolving program builder — the "assembler API" used by
+ * the synthetic workload kernels, tests and examples.
+ *
+ * Branch/jump targets may be given as label strings; `build()` resolves
+ * them to relative instruction offsets and panics on undefined labels.
+ */
+
+#ifndef SCIQ_ISA_ASM_BUILDER_HH
+#define SCIQ_ISA_ASM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace sciq {
+
+class AsmBuilder
+{
+  public:
+    explicit AsmBuilder(Addr base = Program::kDefaultBase) : baseAddr(base)
+    {
+    }
+
+    /** Define a label at the current position. */
+    AsmBuilder &label(const std::string &name);
+
+    /** Append a raw instruction. */
+    AsmBuilder &emit(const Instruction &inst);
+
+    // --- Integer ALU -----------------------------------------------------
+    AsmBuilder &add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    AsmBuilder &srai(RegIndex rd, RegIndex rs1, std::int64_t imm);
+
+    // --- Integer mul/div --------------------------------------------------
+    AsmBuilder &mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &mulh(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &rem(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // --- Floating point ---------------------------------------------------
+    AsmBuilder &fadd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fsub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fmul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fdiv(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fsqrt(RegIndex rd, RegIndex rs1);
+    AsmBuilder &fmin(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fmax(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fneg(RegIndex rd, RegIndex rs1);
+    AsmBuilder &fabs_(RegIndex rd, RegIndex rs1);
+    AsmBuilder &fmov(RegIndex rd, RegIndex rs1);
+    AsmBuilder &fcmpeq(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fcmplt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fcmple(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &fcvtif(RegIndex fd, RegIndex rs1);
+    AsmBuilder &fcvtfi(RegIndex rd, RegIndex fs1);
+
+    // --- Memory -----------------------------------------------------------
+    AsmBuilder &ld(RegIndex rd, RegIndex base, std::int64_t off = 0);
+    AsmBuilder &lw(RegIndex rd, RegIndex base, std::int64_t off = 0);
+    AsmBuilder &fld(RegIndex fd, RegIndex base, std::int64_t off = 0);
+    AsmBuilder &st(RegIndex rs2, RegIndex base, std::int64_t off = 0);
+    AsmBuilder &sw(RegIndex rs2, RegIndex base, std::int64_t off = 0);
+    AsmBuilder &fst(RegIndex fs2, RegIndex base, std::int64_t off = 0);
+
+    // --- Control (label targets) -------------------------------------------
+    AsmBuilder &beq(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &bne(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &blt(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &bge(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &bltu(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &bgeu(RegIndex rs1, RegIndex rs2, const std::string &target);
+    AsmBuilder &j(const std::string &target);
+    AsmBuilder &jal(RegIndex rd, const std::string &target);
+    AsmBuilder &jr(RegIndex rs1);
+    AsmBuilder &jalr(RegIndex rd, RegIndex rs1);
+
+    // --- Misc / pseudo-instructions ----------------------------------------
+    AsmBuilder &nop();
+    AsmBuilder &halt();
+    /** mov rd, rs  (ADDI rd, rs, 0). */
+    AsmBuilder &mov(RegIndex rd, RegIndex rs1);
+    /** Load an arbitrary 64-bit constant (expands to 1..6 instructions). */
+    AsmBuilder &li(RegIndex rd, std::int64_t value);
+    /** Load an address constant (alias for li). */
+    AsmBuilder &la(RegIndex rd, Addr addr) {
+        return li(rd, static_cast<std::int64_t>(addr));
+    }
+
+    /** Attach an initialised-data blob. */
+    AsmBuilder &data(Addr addr, std::vector<std::uint8_t> bytes);
+    AsmBuilder &doubles(Addr addr, const std::vector<double> &values);
+    AsmBuilder &words(Addr addr, const std::vector<std::uint64_t> &values);
+
+    /** Index of the next instruction to be emitted. */
+    std::size_t here() const { return insts.size(); }
+
+    /** Resolve labels and return the finished program. */
+    Program build(const std::string &name = "program");
+
+  private:
+    AsmBuilder &emitR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+    AsmBuilder &emitI(Opcode op, RegIndex rd, RegIndex rs1,
+                      std::int64_t imm);
+    AsmBuilder &emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                           const std::string &target);
+
+    struct Fixup
+    {
+        std::size_t instIndex;
+        std::string label;
+    };
+
+    struct Blob
+    {
+        Addr addr;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    Addr baseAddr;
+    std::vector<Instruction> insts;
+    std::vector<Blob> blobs;
+    std::map<std::string, std::size_t> labels;
+    std::vector<Fixup> fixups;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_ASM_BUILDER_HH

@@ -1,0 +1,356 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/asm_builder.hh"
+#include "isa/codec.hh"
+
+namespace sciq {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+bool
+parseReg(const std::string &tok, RegIndex &out)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'f'))
+        return false;
+    char *end = nullptr;
+    long n = std::strtol(tok.c_str() + 1, &end, 10);
+    if (*end != '\0' || n < 0 || n > 31)
+        return false;
+    out = tok[0] == 'r' ? intReg(static_cast<unsigned>(n))
+                        : fpReg(static_cast<unsigned>(n));
+    return true;
+}
+
+bool
+parseInt(const std::string &tok, std::int64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoll(tok.c_str(), &end, 0);
+    return *end == '\0' && end != tok.c_str();
+}
+
+bool
+parseDouble(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return *end == '\0' && end != tok.c_str();
+}
+
+/** Parse "off(base)" memory operands. */
+bool
+parseMemOperand(const std::string &tok, std::int64_t &off, RegIndex &base)
+{
+    auto lp = tok.find('(');
+    auto rp = tok.find(')');
+    if (lp == std::string::npos || rp != tok.size() - 1 || rp <= lp + 1)
+        return false;
+    std::string off_str = tok.substr(0, lp);
+    std::string base_str = tok.substr(lp + 1, rp - lp - 1);
+    if (off_str.empty())
+        off = 0;
+    else if (!parseInt(off_str, off))
+        return false;
+    return parseReg(base_str, base);
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static std::map<std::string, Opcode> m = [] {
+        std::map<std::string, Opcode> t;
+        for (unsigned i = 0; i < kNumOpcodes; ++i) {
+            auto op = static_cast<Opcode>(i);
+            t[std::string(opInfo(op).mnemonic)] = op;
+        }
+        return t;
+    }();
+    return m;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    std::istringstream in(source);
+    std::string line;
+    unsigned line_no = 0;
+
+    // First non-directive pass note: .base must precede code, so we
+    // buffer parsed lines and construct the builder lazily.
+    Addr base = Program::kDefaultBase;
+    bool saw_code = false;
+
+    struct PendingData
+    {
+        bool is_double;
+        Addr addr;
+        std::vector<double> dvals;
+        std::vector<std::uint64_t> wvals;
+    };
+
+    struct ParsedInst
+    {
+        unsigned line;
+        Instruction inst;
+        std::string label_target;  // for branch fixup ("" = none)
+        bool is_label = false;
+        std::string label_name;
+    };
+
+    std::vector<ParsedInst> items;
+    std::vector<PendingData> datas;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto toks = tokenize(line);
+        if (toks.empty())
+            continue;
+
+        // Label definitions (possibly followed by an instruction).
+        while (!toks.empty() && toks[0].back() == ':') {
+            ParsedInst pl;
+            pl.line = line_no;
+            pl.is_label = true;
+            pl.label_name = toks[0].substr(0, toks[0].size() - 1);
+            if (pl.label_name.empty())
+                throw AsmError(line_no, "empty label");
+            items.push_back(pl);
+            toks.erase(toks.begin());
+        }
+        if (toks.empty())
+            continue;
+
+        const std::string &mn = toks[0];
+
+        if (mn == ".base") {
+            if (saw_code)
+                throw AsmError(line_no, ".base after code");
+            std::int64_t v;
+            if (toks.size() != 2 || !parseInt(toks[1], v))
+                throw AsmError(line_no, "malformed .base");
+            base = static_cast<Addr>(v);
+            continue;
+        }
+        if (mn == ".doubles" || mn == ".words") {
+            std::int64_t addr_v;
+            if (toks.size() < 3 || !parseInt(toks[1], addr_v))
+                throw AsmError(line_no, "malformed data directive");
+            PendingData pd;
+            pd.is_double = (mn == ".doubles");
+            pd.addr = static_cast<Addr>(addr_v);
+            for (std::size_t i = 2; i < toks.size(); ++i) {
+                if (pd.is_double) {
+                    double d;
+                    if (!parseDouble(toks[i], d))
+                        throw AsmError(line_no, "bad double '" + toks[i] +
+                                                    "'");
+                    pd.dvals.push_back(d);
+                } else {
+                    std::int64_t w;
+                    if (!parseInt(toks[i], w))
+                        throw AsmError(line_no, "bad word '" + toks[i] +
+                                                    "'");
+                    pd.wvals.push_back(static_cast<std::uint64_t>(w));
+                }
+            }
+            datas.push_back(std::move(pd));
+            continue;
+        }
+
+        auto it = mnemonicMap().find(mn);
+        if (it == mnemonicMap().end())
+            throw AsmError(line_no, "unknown mnemonic '" + mn + "'");
+
+        saw_code = true;
+        ParsedInst pi;
+        pi.line = line_no;
+        pi.inst.op = it->second;
+        const Format fmt = opInfo(it->second).format;
+        const auto &t = toks;
+        auto need = [&](std::size_t n) {
+            if (t.size() != n + 1)
+                throw AsmError(line_no, "expected " + std::to_string(n) +
+                                            " operands for '" + mn + "'");
+        };
+        auto reg = [&](std::size_t i) {
+            RegIndex r;
+            if (!parseReg(t[i], r))
+                throw AsmError(line_no, "bad register '" + t[i] + "'");
+            return r;
+        };
+        auto imm_or_label = [&](std::size_t i) {
+            std::int64_t v;
+            if (parseInt(t[i], v))
+                pi.inst.imm = v;
+            else
+                pi.label_target = t[i];
+        };
+
+        switch (fmt) {
+          case Format::R:
+            need(3);
+            pi.inst.rd = reg(1);
+            pi.inst.rs1 = reg(2);
+            pi.inst.rs2 = reg(3);
+            break;
+          case Format::I:
+            // Unary FP ops take two register operands.
+            if (pi.inst.op == Opcode::FSQRT || pi.inst.op == Opcode::FNEG ||
+                pi.inst.op == Opcode::FABS || pi.inst.op == Opcode::FMOV ||
+                pi.inst.op == Opcode::FCVTIF ||
+                pi.inst.op == Opcode::FCVTFI) {
+                need(2);
+                pi.inst.rd = reg(1);
+                pi.inst.rs1 = reg(2);
+            } else {
+                need(3);
+                pi.inst.rd = reg(1);
+                pi.inst.rs1 = reg(2);
+                std::int64_t v;
+                if (!parseInt(t[3], v))
+                    throw AsmError(line_no, "bad immediate '" + t[3] + "'");
+                pi.inst.imm = v;
+            }
+            break;
+          case Format::M: {
+            need(2);
+            RegIndex data_reg = reg(1);
+            std::int64_t off;
+            RegIndex base_reg;
+            if (!parseMemOperand(t[2], off, base_reg))
+                throw AsmError(line_no, "bad memory operand '" + t[2] + "'");
+            if (opInfo(pi.inst.op).opClass == OpClass::MemWrite)
+                pi.inst.rs2 = data_reg;
+            else
+                pi.inst.rd = data_reg;
+            pi.inst.rs1 = base_reg;
+            pi.inst.imm = off;
+            break;
+          }
+          case Format::B:
+            need(3);
+            pi.inst.rs1 = reg(1);
+            pi.inst.rs2 = reg(2);
+            imm_or_label(3);
+            break;
+          case Format::J:
+            if (pi.inst.op == Opcode::J) {
+                need(1);
+                imm_or_label(1);
+                pi.inst.rd = kInvalidReg;
+            } else {  // JAL, LUI
+                need(2);
+                pi.inst.rd = reg(1);
+                if (pi.inst.op == Opcode::JAL) {
+                    imm_or_label(2);
+                } else {
+                    std::int64_t v;
+                    if (!parseInt(t[2], v))
+                        throw AsmError(line_no,
+                                       "bad immediate '" + t[2] + "'");
+                    pi.inst.imm = v;
+                }
+            }
+            break;
+          case Format::JR:
+            if (pi.inst.op == Opcode::JR) {
+                need(1);
+                pi.inst.rs1 = reg(1);
+                pi.inst.rd = kInvalidReg;
+            } else {
+                need(2);
+                pi.inst.rd = reg(1);
+                pi.inst.rs1 = reg(2);
+            }
+            break;
+          case Format::N:
+            need(0);
+            break;
+        }
+        items.push_back(std::move(pi));
+    }
+
+    // Resolve labels to instruction indices.
+    std::map<std::string, std::size_t> labels;
+    std::size_t idx = 0;
+    for (const auto &item : items) {
+        if (item.is_label) {
+            if (!labels.emplace(item.label_name, idx).second)
+                throw AsmError(item.line,
+                               "duplicate label '" + item.label_name + "'");
+        } else {
+            ++idx;
+        }
+    }
+
+    Program prog(base);
+    prog.name = name;
+    idx = 0;
+    for (const auto &item : items) {
+        if (item.is_label)
+            continue;
+        Instruction inst = item.inst;
+        if (!item.label_target.empty()) {
+            auto it = labels.find(item.label_target);
+            if (it == labels.end())
+                throw AsmError(item.line, "undefined label '" +
+                                              item.label_target + "'");
+            inst.imm = static_cast<std::int64_t>(it->second) -
+                       static_cast<std::int64_t>(idx);
+        }
+        if (!encodable(inst))
+            throw AsmError(item.line, "operand out of encodable range");
+        prog.append(inst);
+        ++idx;
+    }
+
+    for (const auto &pd : datas) {
+        if (pd.is_double)
+            prog.addDoubles(pd.addr, pd.dvals);
+        else
+            prog.addWords(pd.addr, pd.wvals);
+    }
+    return prog;
+}
+
+} // namespace sciq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text assembler for SRV.  Accepts one instruction per line, labels
+ * ("name:"), '#' comments and simple data directives:
+ *
+ *   .base 0x1000            set the code base address (before any code)
+ *   .doubles 0x8000 1.0 2.5 lay down IEEE doubles at an address
+ *   .words 0x9000 1 2 3     lay down 64-bit integers
+ *
+ * Branch targets may be labels or literal instruction offsets.
+ */
+
+#ifndef SCIQ_ISA_ASSEMBLER_HH
+#define SCIQ_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace sciq {
+
+/** Error raised on malformed assembly input. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(unsigned line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          lineNo(line)
+    {
+    }
+
+    unsigned line() const { return lineNo; }
+
+  private:
+    unsigned lineNo;
+};
+
+/** Assemble a complete source string into a Program. */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_ASSEMBLER_HH

@@ -1,0 +1,154 @@
+#include "codec.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace sciq {
+
+namespace {
+
+bool
+regOk(RegIndex r)
+{
+    return r < kNumArchRegs;
+}
+
+bool
+immFits(std::int64_t imm, std::int64_t lo, std::int64_t hi)
+{
+    return imm >= lo && imm <= hi;
+}
+
+} // namespace
+
+bool
+encodable(const Instruction &inst)
+{
+    if (static_cast<unsigned>(inst.op) >= kNumOpcodes)
+        return false;
+    switch (opInfo(inst.op).format) {
+      case Format::R:
+        return regOk(inst.rd) && regOk(inst.rs1) && regOk(inst.rs2);
+      case Format::I:
+        return regOk(inst.rd) && regOk(inst.rs1) &&
+               immFits(inst.imm, kImm14Min, kImm14Max);
+      case Format::M: {
+        RegIndex data = inst.isStore() ? inst.rs2 : inst.rd;
+        return regOk(data) && regOk(inst.rs1) &&
+               immFits(inst.imm, kImm14Min, kImm14Max);
+      }
+      case Format::B:
+        return regOk(inst.rs1) && regOk(inst.rs2) &&
+               immFits(inst.imm, kImm14Min, kImm14Max);
+      case Format::J:
+        return (inst.rd == kInvalidReg || regOk(inst.rd)) &&
+               immFits(inst.imm, kImm20Min, kImm20Max);
+      case Format::JR:
+        return (inst.rd == kInvalidReg || regOk(inst.rd)) &&
+               regOk(inst.rs1);
+      case Format::N:
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+encode(const Instruction &inst)
+{
+    SCIQ_ASSERT(encodable(inst), "unencodable instruction (op %u imm %lld)",
+                static_cast<unsigned>(inst.op),
+                static_cast<long long>(inst.imm));
+
+    std::uint64_t w = 0;
+    w = insertBits(w, 31, 26, static_cast<unsigned>(inst.op));
+    auto imm_u = static_cast<std::uint64_t>(inst.imm);
+
+    switch (opInfo(inst.op).format) {
+      case Format::R:
+        w = insertBits(w, 25, 20, inst.rd);
+        w = insertBits(w, 19, 14, inst.rs1);
+        w = insertBits(w, 13, 8, inst.rs2);
+        break;
+      case Format::I:
+        w = insertBits(w, 25, 20, inst.rd);
+        w = insertBits(w, 19, 14, inst.rs1);
+        w = insertBits(w, 13, 0, imm_u);
+        break;
+      case Format::M:
+        w = insertBits(w, 25, 20, inst.isStore() ? inst.rs2 : inst.rd);
+        w = insertBits(w, 19, 14, inst.rs1);
+        w = insertBits(w, 13, 0, imm_u);
+        break;
+      case Format::B:
+        w = insertBits(w, 25, 20, inst.rs1);
+        w = insertBits(w, 19, 14, inst.rs2);
+        w = insertBits(w, 13, 0, imm_u);
+        break;
+      case Format::J:
+        w = insertBits(w, 25, 20,
+                       inst.rd == kInvalidReg ? 0u : inst.rd);
+        w = insertBits(w, 19, 0, imm_u);
+        break;
+      case Format::JR:
+        w = insertBits(w, 25, 20,
+                       inst.rd == kInvalidReg ? 0u : inst.rd);
+        w = insertBits(w, 19, 14, inst.rs1);
+        break;
+      case Format::N:
+        break;
+    }
+    return static_cast<std::uint32_t>(w);
+}
+
+Instruction
+decode(std::uint32_t word)
+{
+    Instruction inst;
+    unsigned op_field = static_cast<unsigned>(bits(word, 31, 26));
+    SCIQ_ASSERT(op_field < kNumOpcodes, "invalid opcode field %u",
+                op_field);
+    inst.op = static_cast<Opcode>(op_field);
+
+    switch (opInfo(inst.op).format) {
+      case Format::R:
+        inst.rd = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 19, 14));
+        inst.rs2 = static_cast<RegIndex>(bits(word, 13, 8));
+        break;
+      case Format::I:
+        inst.rd = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 19, 14));
+        inst.imm = signExtend(bits(word, 13, 0), kImm14Bits);
+        break;
+      case Format::M:
+        if (opInfo(inst.op).opClass == OpClass::MemWrite)
+            inst.rs2 = static_cast<RegIndex>(bits(word, 25, 20));
+        else
+            inst.rd = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 19, 14));
+        inst.imm = signExtend(bits(word, 13, 0), kImm14Bits);
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.rs2 = static_cast<RegIndex>(bits(word, 19, 14));
+        inst.imm = signExtend(bits(word, 13, 0), kImm14Bits);
+        break;
+      case Format::J:
+        inst.rd = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.imm = signExtend(bits(word, 19, 0), kImm20Bits);
+        if (inst.op == Opcode::J)
+            inst.rd = kInvalidReg;
+        break;
+      case Format::JR:
+        inst.rd = static_cast<RegIndex>(bits(word, 25, 20));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 19, 14));
+        if (inst.op == Opcode::JR)
+            inst.rd = kInvalidReg;
+        break;
+      case Format::N:
+        break;
+    }
+    return inst;
+}
+
+} // namespace sciq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * 32-bit binary encoding of SRV instructions.
+ *
+ * Layouts (msb..lsb):
+ *   R : op[31:26] rd[25:20] rs1[19:14] rs2[13:8] 0[7:0]
+ *   I : op[31:26] rd[25:20] rs1[19:14] imm[13:0] (signed)
+ *   M : op[31:26] rd-or-rs2[25:20] rs1[19:14] imm[13:0] (signed)
+ *   B : op[31:26] rs1[25:20] rs2[19:14] imm[13:0] (signed, in insts)
+ *   J : op[31:26] rd[25:20] imm[19:0] (signed)
+ *   JR: op[31:26] rd[25:20] rs1[19:14]
+ *   N : op[31:26]
+ */
+
+#ifndef SCIQ_ISA_CODEC_HH
+#define SCIQ_ISA_CODEC_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace sciq {
+
+/** Immediate width for I/M/B formats. */
+constexpr unsigned kImm14Bits = 14;
+/** Immediate width for J format. */
+constexpr unsigned kImm20Bits = 20;
+
+constexpr std::int64_t kImm14Min = -(1LL << (kImm14Bits - 1));
+constexpr std::int64_t kImm14Max = (1LL << (kImm14Bits - 1)) - 1;
+constexpr std::int64_t kImm20Min = -(1LL << (kImm20Bits - 1));
+constexpr std::int64_t kImm20Max = (1LL << (kImm20Bits - 1)) - 1;
+
+/** True if the instruction's fields fit its format's encoding. */
+bool encodable(const Instruction &inst);
+
+/** Encode to a 32-bit word; panics if !encodable(inst). */
+std::uint32_t encode(const Instruction &inst);
+
+/** Decode a 32-bit word; panics on an invalid opcode field. */
+Instruction decode(std::uint32_t word);
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_CODEC_HH

@@ -1,0 +1,93 @@
+#include "disassembler.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+std::string
+regName(RegIndex r)
+{
+    if (r == kInvalidReg)
+        return "-";
+    char buf[8];
+    if (isFpReg(r))
+        std::snprintf(buf, sizeof(buf), "f%u", r - 32);
+    else
+        std::snprintf(buf, sizeof(buf), "r%u", static_cast<unsigned>(r));
+    return buf;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::ostringstream os;
+    os << info.mnemonic;
+
+    auto imm = static_cast<long long>(inst.imm);
+    switch (info.format) {
+      case Format::R:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1) << ", "
+           << regName(inst.rs2);
+        break;
+      case Format::I:
+        // Unary FP ops use I format with an unused immediate.
+        if (inst.op == Opcode::FSQRT || inst.op == Opcode::FNEG ||
+            inst.op == Opcode::FABS || inst.op == Opcode::FMOV ||
+            inst.op == Opcode::FCVTIF || inst.op == Opcode::FCVTFI) {
+            os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1);
+        } else {
+            os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1)
+               << ", " << imm;
+        }
+        break;
+      case Format::M:
+        if (inst.isStore()) {
+            os << ' ' << regName(inst.rs2) << ", " << imm << '('
+               << regName(inst.rs1) << ')';
+        } else {
+            os << ' ' << regName(inst.rd) << ", " << imm << '('
+               << regName(inst.rs1) << ')';
+        }
+        break;
+      case Format::B:
+        os << ' ' << regName(inst.rs1) << ", " << regName(inst.rs2) << ", "
+           << imm;
+        break;
+      case Format::J:
+        if (inst.op == Opcode::JAL)
+            os << ' ' << regName(inst.rd) << ", " << imm;
+        else if (inst.op == Opcode::LUI)
+            os << ' ' << regName(inst.rd) << ", " << imm;
+        else
+            os << ' ' << imm;
+        break;
+      case Format::JR:
+        if (inst.op == Opcode::JALR)
+            os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1);
+        else
+            os << ' ' << regName(inst.rs1);
+        break;
+      case Format::N:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    char pc_buf[24];
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        std::snprintf(pc_buf, sizeof(pc_buf), "%#8llx:  ",
+                      static_cast<unsigned long long>(prog.pcOf(i)));
+        os << pc_buf << disassemble(prog.instructions()[i]) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace sciq

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual disassembly of SRV instructions, inverse of the Assembler.
+ */
+
+#ifndef SCIQ_ISA_DISASSEMBLER_HH
+#define SCIQ_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace sciq {
+
+/** One instruction as text, e.g. "add r3, r1, r2" or "fld f2, 16(r4)". */
+std::string disassemble(const Instruction &inst);
+
+/** Whole program, one instruction per line with PCs. */
+std::string disassemble(const Program &prog);
+
+/** Register name, e.g. "r5" or "f17". */
+std::string regName(RegIndex r);
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_DISASSEMBLER_HH

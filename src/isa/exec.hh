@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Architectural execution semantics for SRV, shared by the functional
+ * simulator and the pipeline's execute-at-fetch oracle.
+ */
+
+#ifndef SCIQ_ISA_EXEC_HH
+#define SCIQ_ISA_EXEC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace sciq {
+
+/**
+ * The state an instruction executes against.  Implemented by the
+ * functional core (architectural state) and by the fetch engine
+ * (speculative registers + store-queue-forwarded memory).
+ *
+ * Register reads/writes of the hardwired zero register are filtered by
+ * execute() itself; implementations never see them.
+ */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    virtual std::uint64_t readReg(RegIndex reg) = 0;
+    virtual void writeReg(RegIndex reg, std::uint64_t val) = 0;
+    virtual std::uint64_t readMem(Addr addr, unsigned size) = 0;
+    virtual void writeMem(Addr addr, unsigned size, std::uint64_t val) = 0;
+};
+
+/** Outcome of architecturally executing one instruction. */
+struct ExecResult
+{
+    Addr nextPc = 0;       ///< successor PC (target if control taken)
+    bool taken = false;    ///< control transfer away from pc+4
+    bool halted = false;   ///< a HALT executed
+    Addr effAddr = 0;      ///< effective address (memory ops)
+    std::uint64_t memValue = 0;  ///< value loaded or stored
+};
+
+/** Execute `inst` at `pc` against `xc` and return the outcome. */
+ExecResult execute(const Instruction &inst, Addr pc, ExecContext &xc);
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_EXEC_HH

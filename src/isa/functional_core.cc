@@ -1,0 +1,54 @@
+#include "functional_core.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+FunctionalCore::FunctionalCore(const Program &prog)
+    : program(prog), curPc(prog.entry())
+{
+    prog.load(mem);
+}
+
+bool
+FunctionalCore::step()
+{
+    if (isHalted)
+        return false;
+
+    const Instruction *inst = program.fetch(curPc);
+    SCIQ_ASSERT(inst != nullptr,
+                "functional core ran off the program at pc %#llx",
+                static_cast<unsigned long long>(curPc));
+
+    ExecResult res = execute(*inst, curPc, *this);
+    ++executed;
+    prevPc = curPc;
+    prevResult = res;
+    prevInst = inst;
+    if (res.halted) {
+        isHalted = true;
+        return false;
+    }
+    curPc = res.nextPc;
+    return true;
+}
+
+std::uint64_t
+FunctionalCore::run(std::uint64_t max_insts)
+{
+    const std::uint64_t start = executed;
+    while (!isHalted && executed - start < max_insts)
+        step();
+    return executed - start;
+}
+
+double
+FunctionalCore::fregAsDouble(unsigned n) const
+{
+    return std::bit_cast<double>(regs[fpReg(n)]);
+}
+
+} // namespace sciq

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The functional (architectural) SRV simulator.  Serves as the golden
+ * reference for the out-of-order pipeline: after a pipelined run, the
+ * committed architectural state must match this core's state exactly.
+ */
+
+#ifndef SCIQ_ISA_FUNCTIONAL_CORE_HH
+#define SCIQ_ISA_FUNCTIONAL_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/exec.hh"
+#include "isa/program.hh"
+#include "isa/sparse_memory.hh"
+
+namespace sciq {
+
+class FunctionalCore : public ExecContext
+{
+  public:
+    explicit FunctionalCore(const Program &prog);
+
+    /** Execute one instruction; returns false once halted. */
+    bool step();
+
+    /**
+     * Run until HALT or max_insts executed.
+     * @return number of instructions executed by this call.
+     */
+    std::uint64_t run(std::uint64_t max_insts = ~0ULL);
+
+    bool halted() const { return isHalted; }
+    Addr pc() const { return curPc; }
+    std::uint64_t instCount() const { return executed; }
+
+    /** PC and outcome of the most recently executed instruction. */
+    Addr lastPc() const { return prevPc; }
+    const ExecResult &lastResult() const { return prevResult; }
+    const Instruction *lastInst() const { return prevInst; }
+
+    std::uint64_t reg(RegIndex r) const { return regs[r]; }
+    double fregAsDouble(unsigned n) const;
+
+    SparseMemory &memory() { return mem; }
+    const SparseMemory &memory() const { return mem; }
+
+    const std::array<std::uint64_t, kNumArchRegs> &regFile() const
+    {
+        return regs;
+    }
+
+    // ExecContext interface.
+    std::uint64_t readReg(RegIndex r) override { return regs[r]; }
+    void writeReg(RegIndex r, std::uint64_t v) override { regs[r] = v; }
+    std::uint64_t
+    readMem(Addr addr, unsigned size) override
+    {
+        return mem.read(addr, size);
+    }
+    void
+    writeMem(Addr addr, unsigned size, std::uint64_t v) override
+    {
+        mem.write(addr, size, v);
+    }
+
+  private:
+    /** Owned copy so callers may pass temporaries safely. */
+    Program program;
+    SparseMemory mem;
+    std::array<std::uint64_t, kNumArchRegs> regs{};
+    Addr curPc;
+    bool isHalted = false;
+    std::uint64_t executed = 0;
+
+    Addr prevPc = 0;
+    ExecResult prevResult{};
+    const Instruction *prevInst = nullptr;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_FUNCTIONAL_CORE_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The static (decoded) form of one SRV instruction, plus the helpers the
+ * pipeline uses to reason about operands and control flow.
+ */
+
+#ifndef SCIQ_ISA_INSTRUCTION_HH
+#define SCIQ_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace sciq {
+
+/**
+ * One decoded instruction.  `imm` is held sign-extended; branch
+ * immediates are in units of instructions relative to the branch's own
+ * PC (target = pc + 4 * imm).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = kInvalidReg;
+    RegIndex rs1 = kInvalidReg;
+    RegIndex rs2 = kInvalidReg;
+    std::int64_t imm = 0;
+
+    OpClass opClass() const { return opInfo(op).opClass; }
+
+    bool isLoad() const { return opClass() == OpClass::MemRead; }
+    bool isStore() const { return opClass() == OpClass::MemWrite; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isHalt() const { return opClass() == OpClass::Halt; }
+    bool isNop() const { return opClass() == OpClass::Nop; }
+
+    /** Any instruction that can redirect the PC. */
+    bool
+    isControl() const
+    {
+        OpClass c = opClass();
+        return c == OpClass::Branch || c == OpClass::Jump;
+    }
+
+    /** Conditional branches (outcome depends on register values). */
+    bool
+    isCondBranch() const
+    {
+        switch (op) {
+          case Opcode::BEQ:
+          case Opcode::BNE:
+          case Opcode::BLT:
+          case Opcode::BGE:
+          case Opcode::BLTU:
+          case Opcode::BGEU:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Control flow whose target comes from a register. */
+    bool
+    isIndirect() const
+    {
+        return op == Opcode::JR || op == Opcode::JALR;
+    }
+
+    /** JAL/JALR write a link register (call); JR with rs1=link is return. */
+    bool isCall() const { return op == Opcode::JAL || op == Opcode::JALR; }
+    bool isReturn() const { return op == Opcode::JR; }
+
+    /**
+     * Source architectural registers, kInvalidReg-padded.
+     * Index 0 is the "left" operand and index 1 the "right" operand in
+     * the sense used by the left/right operand predictor (paper 4.3).
+     */
+    std::array<RegIndex, 2>
+    srcRegs() const
+    {
+        std::array<RegIndex, 2> s{kInvalidReg, kInvalidReg};
+        switch (opInfo(op).format) {
+          case Format::R:
+          case Format::B:
+            s[0] = rs1;
+            s[1] = rs2;
+            break;
+          case Format::I:
+          case Format::JR:
+            s[0] = rs1;
+            break;
+          case Format::M:
+            s[0] = rs1;              // base address
+            if (isStore())
+                s[1] = rs2;          // store data
+            break;
+          case Format::J:
+          case Format::N:
+            break;
+        }
+        // The hardwired zero register is never a real dependence.
+        for (auto &r : s) {
+            if (r == kZeroReg)
+                r = kInvalidReg;
+        }
+        return s;
+    }
+
+    /** Destination architectural register, or kInvalidReg. */
+    RegIndex
+    dstReg() const
+    {
+        if (isStore() || opInfo(op).format == Format::B ||
+            opInfo(op).format == Format::N || op == Opcode::J ||
+            op == Opcode::JR) {
+            return kInvalidReg;
+        }
+        return rd == kZeroReg ? kInvalidReg : rd;
+    }
+
+    /** Memory access size in bytes (loads/stores only). */
+    unsigned
+    memSize() const
+    {
+        switch (op) {
+          case Opcode::LW:
+          case Opcode::SW:
+            return 4;
+          case Opcode::LD:
+          case Opcode::FLD:
+          case Opcode::ST:
+          case Opcode::FST:
+            return 8;
+          default:
+            return 0;
+        }
+    }
+
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && rd == o.rd && rs1 == o.rs1 && rs2 == o.rs2 &&
+               imm == o.imm;
+    }
+};
+
+/** Size of one encoded instruction in simulated memory. */
+constexpr Addr kInstBytes = 4;
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_INSTRUCTION_HH

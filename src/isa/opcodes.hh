@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Opcode and operation-class definitions for the SRV ISA.
+ *
+ * SRV ("Simple RISC for Validation") is the custom 64-bit ISA this
+ * reproduction uses in place of Alpha.  It has 32 integer registers
+ * (r0 hardwired to zero) and 32 floating-point registers, mapped onto a
+ * unified architectural register space of 64 indices so that rename and
+ * dependence tracking can be register-file agnostic.
+ */
+
+#ifndef SCIQ_ISA_OPCODES_HH
+#define SCIQ_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace sciq {
+
+/**
+ * Operation class: selects the function-unit pool and predicted latency.
+ * These mirror Table 1 of the paper.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< 1-cycle integer ops (also branches and address gen)
+    IntMul,   ///< 3-cycle integer multiply
+    IntDiv,   ///< 20-cycle integer divide (unpipelined)
+    FpAdd,    ///< 2-cycle FP add/sub/compare/convert
+    FpMul,    ///< 4-cycle FP multiply
+    FpDiv,    ///< 12-cycle FP divide (unpipelined)
+    FpSqrt,   ///< 24-cycle FP square root (unpipelined)
+    MemRead,  ///< load: address generation in IQ, access via LSQ
+    MemWrite, ///< store: address generation in IQ, access at commit
+    Branch,   ///< direct conditional/unconditional control flow
+    Jump,     ///< indirect control flow (JR/JALR)
+    Nop,      ///< no-op
+    Halt,     ///< terminate the program
+    NumClasses
+};
+
+/** Instruction encoding format (used by the codec and the assembler). */
+enum class Format : std::uint8_t
+{
+    R,  ///< rd, rs1, rs2
+    I,  ///< rd, rs1, imm
+    M,  ///< rd/rs2, imm(rs1)    (loads and stores)
+    B,  ///< rs1, rs2, imm       (conditional branches)
+    J,  ///< rd, imm             (JAL) or imm (J)
+    JR, ///< rd, rs1             (indirect jumps)
+    N   ///< no operands         (NOP, HALT)
+};
+
+/** All SRV opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Integer register-register ALU.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Integer register-immediate ALU.
+    ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI, LUI,
+    // Integer multiply / divide.
+    MUL, MULH, DIV, REM,
+    // Floating point (operands in f-registers unless noted).
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FNEG, FABS, FMOV,
+    FCMPEQ, FCMPLT, FCMPLE,  // rd is an integer register (0/1 result)
+    FCVTIF,                  // int reg -> fp reg
+    FCVTFI,                  // fp reg -> int reg (truncating)
+    // Memory.
+    LD,   // load 64-bit into integer register
+    LW,   // load 32-bit sign-extended into integer register
+    FLD,  // load 64-bit into fp register
+    ST,   // store 64-bit from integer register
+    SW,   // store low 32 bits from integer register
+    FST,  // store 64-bit from fp register
+    // Control.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    J, JAL, JR, JALR,
+    // Misc.
+    NOP, HALT,
+    NumOpcodes
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    OpClass opClass;
+    Format format;
+};
+
+/** Lookup table indexed by Opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Number of opcodes (for parameterised tests). */
+constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Total architectural registers: 32 integer + 32 floating point. */
+constexpr RegIndex kNumArchRegs = 64;
+
+/** Integer register n as an architectural index (r0 is hardwired 0). */
+constexpr RegIndex intReg(unsigned n) { return static_cast<RegIndex>(n); }
+
+/** Floating-point register n as an architectural index. */
+constexpr RegIndex fpReg(unsigned n) { return static_cast<RegIndex>(32 + n); }
+
+/** True if the architectural index names an FP register. */
+constexpr bool isFpReg(RegIndex r) { return r >= 32 && r < 64; }
+
+/** The architectural zero register. */
+constexpr RegIndex kZeroReg = intReg(0);
+
+} // namespace sciq
+
+#endif // SCIQ_ISA_OPCODES_HH

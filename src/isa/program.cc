@@ -1,0 +1,45 @@
+#include "program.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "isa/codec.hh"
+#include "isa/sparse_memory.hh"
+
+namespace sciq {
+
+void
+Program::addDoubles(Addr addr, const std::vector<double> &values)
+{
+    std::vector<std::uint8_t> bytes(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        auto raw = std::bit_cast<std::uint64_t>(values[i]);
+        std::memcpy(&bytes[i * 8], &raw, 8);
+    }
+    addData(addr, std::move(bytes));
+}
+
+void
+Program::addWords(Addr addr, const std::vector<std::uint64_t> &values)
+{
+    std::vector<std::uint8_t> bytes(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        std::memcpy(&bytes[i * 8], &values[i], 8);
+    addData(addr, std::move(bytes));
+}
+
+void
+Program::load(SparseMemory &mem) const
+{
+    // Encoded code image, so that tools reading simulated memory see
+    // real machine words (the pipeline fetches decoded instructions
+    // directly for speed).
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::uint32_t word = encode(code[i]);
+        mem.write(pcOf(i), 4, word);
+    }
+    for (const auto &blob : data)
+        mem.writeBlob(blob.addr, blob.bytes.data(), blob.bytes.size());
+}
+
+} // namespace sciq

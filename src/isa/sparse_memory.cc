@@ -1,0 +1,100 @@
+#include "sparse_memory.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr >> kPageShift);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    auto [it, inserted] = pages.try_emplace(addr >> kPageShift);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+std::uint64_t
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    SCIQ_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    std::uint64_t val = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        const Page *p = findPage(a);
+        std::uint8_t byte = p ? (*p)[a & (kPageSize - 1)] : 0;
+        val |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return val;
+}
+
+void
+SparseMemory::write(Addr addr, unsigned size, std::uint64_t val)
+{
+    SCIQ_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        getPage(a)[a & (kPageSize - 1)] =
+            static_cast<std::uint8_t>(val >> (8 * i));
+    }
+}
+
+void
+SparseMemory::writeBlob(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        getPage(addr + i)[(addr + i) & (kPageSize - 1)] = data[i];
+}
+
+void
+SparseMemory::readBlob(Addr addr, std::uint8_t *data, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        const Page *p = findPage(addr + i);
+        data[i] = p ? (*p)[(addr + i) & (kPageSize - 1)] : 0;
+    }
+}
+
+bool
+SparseMemory::equalContents(const SparseMemory &other) const
+{
+    static const Page kZeroPage = [] {
+        Page p;
+        p.fill(0);
+        return p;
+    }();
+
+    auto covers = [](const SparseMemory &a, const SparseMemory &b) {
+        for (const auto &[page_no, page] : a.pages) {
+            auto it = b.pages.find(page_no);
+            const Page &theirs = it == b.pages.end() ? kZeroPage
+                                                     : it->second;
+            if (std::memcmp(page.data(), theirs.data(), kPageSize) != 0)
+                return false;
+        }
+        return true;
+    };
+    return covers(*this, other) && covers(other, *this);
+}
+
+double
+SparseMemory::readDouble(Addr addr) const
+{
+    return std::bit_cast<double>(read(addr, 8));
+}
+
+void
+SparseMemory::writeDouble(Addr addr, double v)
+{
+    write(addr, 8, std::bit_cast<std::uint64_t>(v));
+}
+
+} // namespace sciq

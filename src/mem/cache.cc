@@ -1,0 +1,225 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace sciq {
+
+Cache::Cache(const CacheParams &params, MemLevel &below_, EventQueue &ev)
+    : params_(params), below(below_), events(ev), statsGroup(params.name)
+{
+    SCIQ_ASSERT(isPowerOf2(params_.lineBytes), "line size must be pow2");
+    SCIQ_ASSERT(params_.sizeBytes % (params_.lineBytes * params_.assoc) == 0,
+                "cache size not divisible by line*assoc");
+    numSets = params_.sizeBytes / (params_.lineBytes * params_.assoc);
+    SCIQ_ASSERT(isPowerOf2(numSets), "set count must be a power of two");
+    lines.assign(numSets * params_.assoc, Line{});
+
+    statsGroup.addScalar("accesses", &accesses, "CPU-side accesses");
+    statsGroup.addScalar("hits", &hits, "accesses that hit");
+    statsGroup.addScalar("misses", &misses, "primary misses");
+    statsGroup.addScalar("delayed_hits", &delayedHits,
+                         "accesses merged into an in-flight miss");
+    statsGroup.addScalar("writebacks", &writebacks,
+                         "dirty lines written back");
+    statsGroup.addScalar("mshr_full_stalls", &mshrFullStalls,
+                         "cycles a miss waited for a free MSHR");
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / params_.lineBytes) & (numSets - 1);
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr)
+{
+    std::size_t set = setIndex(line_addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines[set * params_.assoc + w];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+bool
+Cache::isResident(Addr addr) const
+{
+    Addr la = lineAddrOf(addr);
+    std::size_t set = setIndex(la);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines[set * params_.assoc + w];
+        if (line.valid && line.tag == la)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::warmInsert(Addr addr)
+{
+    const Addr la = lineAddrOf(addr);
+    if (!lookup(la))
+        installLine(la, false, 0);
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+void
+Cache::access(Addr addr, bool is_write, Cycle now, AccessDone done,
+              MissNotify on_miss)
+{
+    accesses.inc();
+    const Addr la = lineAddrOf(addr);
+    const Cycle lookup_cycle = now + params_.latency;
+
+    events.schedule(lookup_cycle, [this, la, is_write, lookup_cycle,
+                                   done = std::move(done),
+                                   on_miss = std::move(on_miss)]() mutable {
+        if (Line *line = lookup(la)) {
+            hits.inc();
+            line->lastUse = lookup_cycle;
+            if (is_write)
+                line->dirty = true;
+            done(lookup_cycle, AccessOutcome::Hit);
+            return;
+        }
+
+        // The lookup has determined this is a miss; tell the IQ so it
+        // can suspend the load's chain (paper section 3.4).
+        if (on_miss)
+            on_miss(lookup_cycle);
+
+        const bool merged = mshrFile.count(la) > 0;
+        if (merged)
+            delayedHits.inc();
+        else
+            misses.inc();
+
+        AccessOutcome outcome =
+            merged ? AccessOutcome::DelayedHit : AccessOutcome::Miss;
+        startMiss(la, is_write, lookup_cycle,
+                  [done = std::move(done), outcome](Cycle when) {
+                      done(when, outcome);
+                  });
+    });
+}
+
+void
+Cache::request(Addr line_addr, bool is_write, Cycle now,
+               std::function<void(Cycle)> done)
+{
+    const Cycle lookup_cycle = now + params_.latency;
+    events.schedule(lookup_cycle, [this, line_addr, is_write, lookup_cycle,
+                                   done = std::move(done)]() mutable {
+        if (Line *line = lookup(line_addr)) {
+            line->lastUse = lookup_cycle;
+            if (is_write)
+                line->dirty = true;
+            // Source the line upward subject to fill bandwidth.
+            Cycle start = std::max(lookup_cycle, nextFillFree);
+            Cycle finish = start + params_.fillBandwidth;
+            nextFillFree = finish;
+            events.schedule(finish,
+                            [done = std::move(done), finish]() mutable {
+                                done(finish);
+                            });
+            return;
+        }
+        startMiss(line_addr, is_write, lookup_cycle,
+                  [this, done = std::move(done)](Cycle when) mutable {
+                      // Fill arrived here; forward upward with bandwidth.
+                      Cycle start = std::max(when, nextFillFree);
+                      Cycle finish = start + params_.fillBandwidth;
+                      nextFillFree = finish;
+                      events.schedule(
+                          finish, [done = std::move(done), finish]() mutable {
+                              done(finish);
+                          });
+                  });
+    });
+}
+
+void
+Cache::startMiss(Addr line_addr, bool is_write, Cycle now,
+                 std::function<void(Cycle)> cb)
+{
+    if (auto it = mshrFile.find(line_addr); it != mshrFile.end()) {
+        it->second.anyWrite |= is_write;
+        it->second.lineWaiters.push_back(std::move(cb));
+        return;
+    }
+
+    if (mshrFile.size() >= params_.mshrs) {
+        // All MSHRs busy: retry next cycle.
+        mshrFullStalls.inc();
+        events.schedule(now + 1, [this, line_addr, is_write, now,
+                                  cb = std::move(cb)]() mutable {
+            startMiss(line_addr, is_write, now + 1, std::move(cb));
+        });
+        return;
+    }
+
+    Mshr &mshr = mshrFile[line_addr];
+    mshr.lineAddr = line_addr;
+    mshr.anyWrite = is_write;
+    mshr.lineWaiters.push_back(std::move(cb));
+
+    below.request(line_addr, false, now, [this, line_addr](Cycle when) {
+        handleFill(line_addr, when);
+    });
+}
+
+void
+Cache::handleFill(Addr line_addr, Cycle when)
+{
+    auto it = mshrFile.find(line_addr);
+    SCIQ_ASSERT(it != mshrFile.end(), "fill without MSHR for %#llx",
+                static_cast<unsigned long long>(line_addr));
+
+    // Move waiters out before erasing; callbacks may start new misses.
+    auto waiters = std::move(it->second.lineWaiters);
+    bool dirty = it->second.anyWrite;
+    mshrFile.erase(it);
+
+    installLine(line_addr, dirty, when);
+    for (auto &w : waiters)
+        w(when);
+}
+
+void
+Cache::installLine(Addr line_addr, bool dirty, Cycle now)
+{
+    std::size_t set = setIndex(line_addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines[set * params_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        writebacks.inc();
+        below.request(victim->tag, true, now, [](Cycle) {});
+    }
+
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = dirty;
+    victim->lastUse = now;
+}
+
+} // namespace sciq

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Event-driven set-associative cache model with MSHRs.
+ *
+ * Models what the paper's evaluation depends on: non-blocking caches
+ * with up to N outstanding misses, *delayed hits* (accesses that merge
+ * into an in-flight MSHR), LRU replacement, write-back/write-allocate
+ * policy, and finite bandwidth to the next level.
+ */
+
+#ifndef SCIQ_MEM_CACHE_HH
+#define SCIQ_MEM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sciq {
+
+/** How an access was satisfied (for predictors and statistics). */
+enum class AccessOutcome : std::uint8_t
+{
+    Hit,        ///< line present in this cache
+    DelayedHit, ///< merged into an in-flight miss (MSHR hit)
+    Miss        ///< primary miss, fetched from below
+};
+
+/** Abstract "thing that can supply cache lines" (next level or memory). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Request one line.  `done(cycle)` fires when the line data has
+     * arrived back at the requester.
+     */
+    virtual void request(Addr line_addr, bool is_write, Cycle now,
+                         std::function<void(Cycle)> done) = 0;
+};
+
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    unsigned latency = 3;        ///< lookup == hit latency, cycles
+    unsigned mshrs = 32;         ///< max outstanding line misses
+    unsigned fillBandwidth = 1;  ///< cycles between fills we can source
+};
+
+/**
+ * One cache level.  Acts as a MemLevel for the level above it, so
+ * L1 -> L2 -> memory compose naturally.
+ */
+class Cache : public MemLevel
+{
+  public:
+    /** Completion callback: (completion cycle, how it was satisfied). */
+    using AccessDone = std::function<void(Cycle, AccessOutcome)>;
+    /** Early notification that the lookup missed (chain suspension). */
+    using MissNotify = std::function<void(Cycle)>;
+
+    Cache(const CacheParams &params, MemLevel &below, EventQueue &events);
+
+    /**
+     * CPU-side access.  The lookup completes `latency` cycles from
+     * `now`; a hit calls `done` then.  A miss calls `on_miss` (if
+     * provided) at lookup time and `done` when the fill arrives.
+     */
+    void access(Addr addr, bool is_write, Cycle now, AccessDone done,
+                MissNotify on_miss = nullptr);
+
+    /** MemLevel interface: the level above requests a line from us. */
+    void request(Addr line_addr, bool is_write, Cycle now,
+                 std::function<void(Cycle)> done) override;
+
+    /** True if the line is currently resident (for tests). */
+    bool isResident(Addr addr) const;
+
+    /**
+     * Install a line directly, bypassing timing (warm-up).  Models
+     * measuring from a checkpoint with warm caches, as the paper's
+     * 20-billion-instruction fast-forward does.
+     */
+    void warmInsert(Addr addr);
+
+    /** Invalidate everything (used between warmup configurations). */
+    void flush();
+
+    unsigned lineBytes() const { return params_.lineBytes; }
+    const CacheParams &params() const { return params_; }
+
+    stats::Group &statGroup() { return statsGroup; }
+
+    // Statistics (public so the harness can read them directly).
+    stats::Scalar accesses;
+    stats::Scalar hits;
+    stats::Scalar misses;        ///< primary misses
+    stats::Scalar delayedHits;   ///< merged into an in-flight MSHR
+    stats::Scalar writebacks;
+    stats::Scalar mshrFullStalls;
+
+  private:
+    struct Line
+    {
+        Addr tag = ~0ULL;
+        bool valid = false;
+        bool dirty = false;
+        Cycle lastUse = 0;
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        bool anyWrite = false;
+        std::vector<std::function<void(Cycle)>> lineWaiters;
+    };
+
+    Addr lineAddrOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(params_.lineBytes - 1);
+    }
+
+    std::size_t setIndex(Addr line_addr) const;
+
+    Line *lookup(Addr line_addr);
+
+    /** Allocate/merge an MSHR; may defer if all MSHRs are busy. */
+    void startMiss(Addr line_addr, bool is_write, Cycle now,
+                   std::function<void(Cycle)> cb);
+
+    /** Install the filled line and wake the MSHR's waiters. */
+    void handleFill(Addr line_addr, Cycle when);
+
+    /** Victim selection + dirty-eviction writeback. */
+    void installLine(Addr line_addr, bool dirty, Cycle now);
+
+    CacheParams params_;
+    MemLevel &below;
+    EventQueue &events;
+    stats::Group statsGroup;
+
+    std::size_t numSets;
+    std::vector<Line> lines;  // numSets * assoc, set-major
+
+    std::unordered_map<Addr, Mshr> mshrFile;
+
+    /** Next cycle at which we may source a fill upward (bandwidth). */
+    Cycle nextFillFree = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_MEM_CACHE_HH

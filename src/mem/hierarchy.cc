@@ -1,0 +1,27 @@
+#include "hierarchy.hh"
+
+namespace sciq {
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : statsGroup("mem")
+{
+    mem = std::make_unique<MainMemory>(params.memory, events);
+    l2 = std::make_unique<Cache>(params.l2, *mem, events);
+    l1i = std::make_unique<Cache>(params.l1i, *l2, events);
+    l1d = std::make_unique<Cache>(params.l1d, *l2, events);
+
+    statsGroup.addChild(&l1i->statGroup());
+    statsGroup.addChild(&l1d->statGroup());
+    statsGroup.addChild(&l2->statGroup());
+    statsGroup.addChild(&mem->statGroup());
+}
+
+void
+MemHierarchy::flushAll()
+{
+    l1i->flush();
+    l1d->flush();
+    l2->flush();
+}
+
+} // namespace sciq

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The complete memory hierarchy of Table 1: split L1 I/D caches over a
+ * unified L2 over main memory, driven by one event queue that the core
+ * advances each cycle.
+ */
+
+#ifndef SCIQ_MEM_HIERARCHY_HH
+#define SCIQ_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "common/event_queue.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+
+namespace sciq {
+
+struct HierarchyParams
+{
+    CacheParams l1i{.name = "l1i",
+                    .sizeBytes = 64 * 1024,
+                    .assoc = 2,
+                    .lineBytes = 64,
+                    .latency = 1,
+                    .mshrs = 32,
+                    .fillBandwidth = 1};
+    CacheParams l1d{.name = "l1d",
+                    .sizeBytes = 64 * 1024,
+                    .assoc = 2,
+                    .lineBytes = 64,
+                    .latency = 3,
+                    .mshrs = 32,
+                    .fillBandwidth = 1};
+    CacheParams l2{.name = "l2",
+                   .sizeBytes = 1024 * 1024,
+                   .assoc = 4,
+                   .lineBytes = 64,
+                   .latency = 10,
+                   .mshrs = 32,
+                   .fillBandwidth = 1};
+    MainMemoryParams memory{};
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params = {});
+
+    /** Advance the event-driven machinery to `cycle`. */
+    void tick(Cycle cycle) { events.runUntil(cycle); }
+
+    Cache &icache() { return *l1i; }
+    Cache &dcache() { return *l1d; }
+    Cache &l2cache() { return *l2; }
+    MainMemory &memory() { return *mem; }
+    EventQueue &eventQueue() { return events; }
+
+    /** Drop all cached lines (MSHRs must be idle). */
+    void flushAll();
+
+    stats::Group &statGroup() { return statsGroup; }
+
+  private:
+    EventQueue events;
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<Cache> l2;
+    std::unique_ptr<Cache> l1i;
+    std::unique_ptr<Cache> l1d;
+    stats::Group statsGroup;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_MEM_HIERARCHY_HH

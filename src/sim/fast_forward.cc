@@ -1,0 +1,52 @@
+#include "fast_forward.hh"
+
+namespace sciq {
+
+FastForwardStats
+fastForward(FunctionalCore &golden, OooCore &core, std::uint64_t insts)
+{
+    FastForwardStats stats;
+    auto &dcache = core.memHierarchy().dcache();
+    auto &l2 = core.memHierarchy().l2cache();
+    auto &bp = core.branchPredictor();
+    auto &hmp = core.hitMissPredictor();
+
+    for (std::uint64_t i = 0; i < insts && !golden.halted(); ++i) {
+        if (!golden.step())
+            break;
+        ++stats.instsSkipped;
+
+        const Instruction *inst = golden.lastInst();
+        const ExecResult &res = golden.lastResult();
+        const Addr pc = golden.lastPc();
+
+        if (inst->isMem()) {
+            ++stats.memAccessesWarmed;
+            // Train the hit/miss predictor on loads with the pre-touch
+            // residency, then install the line (L1 evictions fall back
+            // to the L2 just as timed fills would).
+            const bool resident = dcache.isResident(res.effAddr);
+            if (inst->isLoad())
+                hmp.update(pc, resident);
+            dcache.warmInsert(res.effAddr);
+            l2.warmInsert(res.effAddr);
+        }
+
+        if (inst->isCondBranch()) {
+            ++stats.branchesWarmed;
+            auto snap = bp.snapshot();
+            bp.predict(pc);
+            bp.update(pc, res.taken, snap);
+        } else if (inst->isIndirect()) {
+            core.btb().update(pc, res.nextPc);
+        }
+    }
+
+    stats.hitHalt = golden.halted();
+    if (!stats.hitHalt) {
+        core.seedState(golden.regFile(), golden.memory(), golden.pc());
+    }
+    return stats;
+}
+
+} // namespace sciq

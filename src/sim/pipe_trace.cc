@@ -1,0 +1,81 @@
+#include "pipe_trace.hh"
+
+#include <algorithm>
+
+#include "isa/disassembler.hh"
+
+namespace sciq {
+
+void
+PipeTrace::record(const DynInst &inst, Cycle commit_cycle, bool squashed)
+{
+    Record r;
+    r.seq = inst.seq;
+    r.pc = inst.pc;
+    r.text = disassemble(inst.staticInst);
+    r.fetch = inst.fetchCycle;
+    r.dispatch = inst.dispatchReadyCycle;
+    r.issue = inst.issued ? inst.issueCycle : 0;
+    r.complete = inst.completed ? inst.completeCycle : 0;
+    r.commit = commit_cycle;
+    r.squashed = squashed;
+    r.wrongPath = inst.onWrongPath;
+    recs.push_back(std::move(r));
+    if (recs.size() > cap)
+        recs.erase(recs.begin(), recs.begin() + (recs.size() - cap));
+}
+
+void
+PipeTrace::render(std::ostream &os, SeqNum first_seq,
+                  std::size_t max_rows) const
+{
+    // Select the window of rows.
+    std::vector<const Record *> rows;
+    for (const Record &r : recs) {
+        if (r.seq >= first_seq)
+            rows.push_back(&r);
+        if (rows.size() >= max_rows)
+            break;
+    }
+    if (rows.empty()) {
+        os << "(no trace records in window)\n";
+        return;
+    }
+
+    Cycle t0 = kCycleNever, t1 = 0;
+    for (const Record *r : rows) {
+        t0 = std::min(t0, r->fetch);
+        t1 = std::max(t1, std::max(r->commit, r->complete));
+    }
+    const Cycle span = t1 - t0 + 1;
+    const Cycle max_span = 160;
+    const Cycle shown = std::min(span, max_span);
+
+    os << "cycles " << t0 << ".." << t0 + shown - 1
+       << "   [f]etch [d]ispatch-ready [i]ssue [c]omplete [C]ommit "
+          "(* = squashed)\n";
+    for (const Record *r : rows) {
+        std::string lane(shown, '.');
+        auto put = [&](Cycle c, char ch) {
+            if (c >= t0 && c < t0 + shown)
+                lane[c - t0] = ch;
+        };
+        put(r->fetch, 'f');
+        put(r->dispatch, 'd');
+        if (r->issue)
+            put(r->issue, 'i');
+        if (r->complete)
+            put(r->complete, 'c');
+        if (!r->squashed)
+            put(r->commit, 'C');
+
+        char head[64];
+        std::snprintf(head, sizeof(head), "%6llu%c %-28s |",
+                      static_cast<unsigned long long>(r->seq),
+                      r->squashed ? '*' : ' ',
+                      r->text.substr(0, 28).c_str());
+        os << head << lane << "|\n";
+    }
+}
+
+} // namespace sciq

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-instruction pipeline tracing, in the spirit of gem5's O3
+ * pipeview: records the fetch/dispatch/issue/complete/commit cycle of
+ * every committed (and optionally squashed) instruction and renders a
+ * compact text timeline.  Invaluable for seeing chain scheduling in
+ * action - e.g. how a dependent chain self-times down the segments
+ * behind a missing load.
+ */
+
+#ifndef SCIQ_SIM_PIPE_TRACE_HH
+#define SCIQ_SIM_PIPE_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/commit_observer.hh"
+#include "core/dyn_inst.hh"
+
+namespace sciq {
+
+class PipeTrace : public CommitObserver
+{
+  public:
+    struct Record
+    {
+        SeqNum seq;
+        Addr pc;
+        std::string text;
+        Cycle fetch, dispatch, issue, complete, commit;
+        bool squashed;
+        bool wrongPath;
+    };
+
+    /** @param capacity Keep at most this many most-recent records. */
+    explicit PipeTrace(std::size_t capacity = 4096)
+        : cap(capacity)
+    {
+    }
+
+    /** Record an instruction at commit (or when squashed). */
+    void record(const DynInst &inst, Cycle commit_cycle, bool squashed);
+
+    // CommitObserver interface (attach with OooCore::setObserver).
+    void
+    onCommit(const DynInst &inst, Cycle cycle) override
+    {
+        record(inst, cycle, false);
+    }
+
+    void
+    onSquash(const DynInst &inst, Cycle cycle) override
+    {
+        if (traceSquashed)
+            record(inst, cycle, true);
+    }
+
+    /** Also keep squashed (wrong-path) instructions in the trace. */
+    bool traceSquashed = false;
+
+    const std::vector<Record> &records() const { return recs; }
+    void clear() { recs.clear(); }
+
+    /**
+     * Render a timeline: one row per instruction, one column per
+     * cycle, marking f(etch) d(ispatch) i(ssue) c(omplete) C(ommit).
+     * @param first_seq start of the window (0 = from the oldest kept).
+     * @param max_rows  rows to print.
+     */
+    void render(std::ostream &os, SeqNum first_seq = 0,
+                std::size_t max_rows = 64) const;
+
+  private:
+    std::size_t cap;
+    std::vector<Record> recs;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_PIPE_TRACE_HH

@@ -1,0 +1,143 @@
+#include "sim_config.hh"
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+void
+SimConfig::apply(const ConfigMap &cfg)
+{
+    if (cfg.has("iq")) {
+        const std::string kind = cfg.getString("iq", "segmented");
+        if (kind == "ideal")
+            core.iqKind = IqKind::Ideal;
+        else if (kind == "segmented")
+            core.iqKind = IqKind::Segmented;
+        else if (kind == "prescheduled")
+            core.iqKind = IqKind::Prescheduled;
+        else if (kind == "fifo")
+            core.iqKind = IqKind::Fifo;
+        else
+            fatal("unknown iq kind '%s'", kind.c_str());
+    }
+    core.iq.numEntries = static_cast<unsigned>(
+        cfg.getInt("iq_size", core.iq.numEntries));
+    core.iq.segmentSize = static_cast<unsigned>(
+        cfg.getInt("seg_size", core.iq.segmentSize));
+    core.iq.maxChains =
+        static_cast<int>(cfg.getInt("chains", core.iq.maxChains));
+    core.iq.useHmp = cfg.getBool("hmp", core.iq.useHmp);
+    core.iq.useLrp = cfg.getBool("lrp", core.iq.useLrp);
+    core.iq.enablePushdown =
+        cfg.getBool("pushdown", core.iq.enablePushdown);
+    core.iq.enableBypass = cfg.getBool("bypass", core.iq.enableBypass);
+    core.iq.dynamicResize =
+        cfg.getBool("resize", core.iq.dynamicResize);
+    core.iq.resizeInterval = static_cast<unsigned>(
+        cfg.getInt("resize_interval", core.iq.resizeInterval));
+    core.iq.issueBufferSize = static_cast<unsigned>(
+        cfg.getInt("issue_buffer", core.iq.issueBufferSize));
+    core.iq.numFifos =
+        static_cast<unsigned>(cfg.getInt("fifos", core.iq.numFifos));
+    core.modelWrongPath =
+        cfg.getBool("wrong_path", core.modelWrongPath);
+
+    workload = cfg.getString("workload", workload);
+    wl.iterations = static_cast<std::uint64_t>(
+        cfg.getInt("iters", static_cast<std::int64_t>(wl.iterations)));
+    wl.seed = static_cast<std::uint64_t>(
+        cfg.getInt("seed", static_cast<std::int64_t>(wl.seed)));
+    wl.scale = cfg.getDouble("scale", wl.scale);
+    maxCycles = static_cast<Cycle>(
+        cfg.getInt("max_cycles", static_cast<std::int64_t>(maxCycles)));
+    validate = cfg.getBool("validate", validate);
+    fastForward = static_cast<std::uint64_t>(
+        cfg.getInt("ff", static_cast<std::int64_t>(fastForward)));
+}
+
+void
+SimConfig::printParameters(std::ostream &os) const
+{
+    CoreParams p = core;
+    p.finalize();
+    os << "Processor parameters (paper Table 1):\n"
+       << "  front end          : " << p.fetchToDecode
+       << " cycles fetch-to-decode, " << p.decodeToDispatch
+       << " cycles decode-to-dispatch\n"
+       << "  fetch              : up to " << p.fetchWidth
+       << " insts/cycle, max " << p.maxBranchesPerFetch
+       << " branches/cycle\n"
+       << "  dispatch/issue/commit bandwidth: " << p.dispatchWidth
+       << " insts/cycle\n"
+       << "  IQ design          : " << iqKindName(p.iqKind) << ", "
+       << p.iq.numEntries << " entries";
+    if (p.iqKind == IqKind::Segmented) {
+        os << " (" << p.iq.numEntries / p.iq.segmentSize << " segments of "
+           << p.iq.segmentSize << "), chains="
+           << (p.iq.maxChains < 0 ? std::string("unlimited")
+                                  : std::to_string(p.iq.maxChains))
+           << (p.iq.useHmp ? ", HMP" : "") << (p.iq.useLrp ? ", LRP" : "");
+    }
+    os << "\n  ROB                : " << p.robSize << " entries\n"
+       << "  function units     : 8 each of intALU/intMUL/fpADD/fpMUL/"
+          "cache port\n"
+       << "  latencies          : int mul 3, div 20; fp add 2, mul 4, "
+          "div 12, sqrt 24\n"
+       << "  L1I/L1D            : 64 KB 2-way 64 B lines; 1 / 3 cycle; "
+          "32 MSHRs\n"
+       << "  L2                 : 1 MB 4-way 64 B lines, 10-cycle, "
+          "64 B/cycle to L1\n"
+       << "  memory             : 100-cycle latency, 8 B/cycle\n"
+       << "  branch predictor   : 21264-style hybrid local/global\n";
+}
+
+SimConfig
+makeIdealConfig(unsigned iq_size, const std::string &workload)
+{
+    SimConfig cfg;
+    cfg.core.iqKind = IqKind::Ideal;
+    cfg.core.iq.numEntries = iq_size;
+    cfg.workload = workload;
+    return cfg;
+}
+
+SimConfig
+makeSegmentedConfig(unsigned iq_size, int chains, bool hmp, bool lrp,
+                    const std::string &workload)
+{
+    SimConfig cfg;
+    cfg.core.iqKind = IqKind::Segmented;
+    cfg.core.iq.numEntries = iq_size;
+    cfg.core.iq.segmentSize = 32;
+    cfg.core.iq.maxChains = chains;
+    cfg.core.iq.useHmp = hmp;
+    cfg.core.iq.useLrp = lrp;
+    cfg.workload = workload;
+    return cfg;
+}
+
+SimConfig
+makePrescheduledConfig(unsigned total_slots, const std::string &workload)
+{
+    SimConfig cfg;
+    cfg.core.iqKind = IqKind::Prescheduled;
+    cfg.core.iq.numEntries = total_slots;
+    cfg.core.iq.issueBufferSize = 32;
+    cfg.core.iq.preschedLineWidth = 12;
+    cfg.workload = workload;
+    return cfg;
+}
+
+SimConfig
+makeFifoConfig(unsigned fifos, unsigned depth, const std::string &workload)
+{
+    SimConfig cfg;
+    cfg.core.iqKind = IqKind::Fifo;
+    cfg.core.iq.numEntries = fifos * depth;
+    cfg.core.iq.numFifos = fifos;
+    cfg.core.iq.fifoDepth = depth;
+    cfg.workload = workload;
+    return cfg;
+}
+
+} // namespace sciq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Top-level simulation configuration: Table 1 processor parameters plus
+ * the IQ design under test and the workload to run.
+ */
+
+#ifndef SCIQ_SIM_SIM_CONFIG_HH
+#define SCIQ_SIM_SIM_CONFIG_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/config.hh"
+#include "core/ooo_core.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+struct SimConfig
+{
+    CoreParams core{};
+    std::string workload = "swim";
+    WorkloadParams wl{};
+
+    /** Safety cap so misconfigured runs terminate. */
+    Cycle maxCycles = 20'000'000;
+
+    /** Compare committed state against the functional simulator. */
+    bool validate = true;
+
+    /**
+     * Skip this many instructions with functional warming before the
+     * timed run (the paper's checkpoint methodology at our scale).
+     */
+    std::uint64_t fastForward = 0;
+
+    /**
+     * Apply key=value overrides, e.g.
+     *   iq=segmented iq_size=512 seg_size=32 chains=128 hmp=1 lrp=1
+     *   workload=swim iters=4096
+     */
+    void apply(const ConfigMap &overrides);
+
+    /** Print the Table 1 parameter block. */
+    void printParameters(std::ostream &os) const;
+};
+
+/** Construct the configurations used throughout the evaluation. */
+SimConfig makeIdealConfig(unsigned iq_size, const std::string &workload);
+SimConfig makeSegmentedConfig(unsigned iq_size, int chains, bool hmp,
+                              bool lrp, const std::string &workload);
+SimConfig makePrescheduledConfig(unsigned total_slots,
+                                 const std::string &workload);
+SimConfig makeFifoConfig(unsigned fifos, unsigned depth,
+                         const std::string &workload);
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_SIM_CONFIG_HH

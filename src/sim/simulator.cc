@@ -1,0 +1,152 @@
+#include "simulator.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "iq/segmented_iq.hh"
+#include "isa/functional_core.hh"
+#include "sim/fast_forward.hh"
+
+namespace sciq {
+
+Simulator::Simulator(const SimConfig &cfg) : config(cfg)
+{
+    program_ = std::make_unique<Program>(
+        buildWorkload(config.workload, config.wl));
+    core_ = std::make_unique<OooCore>(*program_, config.core);
+}
+
+Simulator::~Simulator() = default;
+
+RunResult
+Simulator::run()
+{
+    std::uint64_t skipped = 0;
+    if (config.fastForward > 0) {
+        FunctionalCore warm(*program_);
+        FastForwardStats ff =
+            fastForward(warm, *core_, config.fastForward);
+        skipped = ff.instsSkipped;
+        if (ff.hitHalt) {
+            warn("fast-forward of %llu insts consumed the whole program",
+                 static_cast<unsigned long long>(config.fastForward));
+        }
+    }
+
+    core_->run(~0ULL, config.maxCycles);
+
+    RunResult r;
+    r.workload = config.workload;
+    r.iqKind = iqKindName(config.core.iqKind);
+    r.iqSize = config.core.iq.numEntries;
+    r.chains = config.core.iqKind == IqKind::Segmented
+                   ? config.core.iq.maxChains
+                   : -1;
+    r.cycles = core_->cycles();
+    r.insts = core_->committedCount();
+    r.ipc = core_->ipc();
+    r.haltedCleanly = core_->halted();
+
+    // Misprediction rate per *committed* conditional branch (wrong-path
+    // and post-squash refetch predictions would inflate the base).
+    auto &bp = core_->branchPredictor();
+    if (core_->committedCondBranches.value() > 0) {
+        r.branchMispredictRate = bp.condMispredicts.value() /
+                                 core_->committedCondBranches.value();
+    }
+
+    auto &hmp = core_->hitMissPredictor();
+    r.hmpAccuracy = hmp.hitAccuracy();
+    r.hmpCoverage = hmp.hitCoverage();
+
+    auto &lrp = core_->leftRightPredictor();
+    if (lrp.predicts.value() > 0)
+        r.lrpMispredictRate = lrp.mispredicts.value() / lrp.predicts.value();
+
+    auto &l1d = core_->memHierarchy().dcache();
+    const double accesses = l1d.accesses.value();
+    if (accesses > 0) {
+        r.l1dMissRate =
+            (l1d.misses.value() + l1d.delayedHits.value()) / accesses;
+        const double all_misses = l1d.misses.value() +
+                                  l1d.delayedHits.value();
+        if (all_misses > 0)
+            r.l1dDelayedHitFrac = l1d.delayedHits.value() / all_misses;
+    }
+
+    r.iqOccupancyAvg = core_->iqUnit().occupancyAvg.value();
+
+    if (auto *seg = dynamic_cast<SegmentedIq *>(&core_->iqUnit())) {
+        r.avgChains = seg->chainsInUseAvg.value();
+        r.peakChains = seg->chainsPeak();
+        r.seg0ReadyAvg = seg->seg0Ready.value();
+        r.seg0OccupancyAvg = seg->seg0Occupancy.value();
+        if (r.cycles > 0) {
+            r.deadlockCycleFrac =
+                seg->deadlockCycles.value() / static_cast<double>(r.cycles);
+        }
+        if (seg->instsInserted.value() > 0) {
+            r.twoOutstandingFrac =
+                seg->twoOutstanding.value() / seg->instsInserted.value();
+        }
+        if (seg->chainsCreated.value() > 0) {
+            r.headsFromLoadsFrac =
+                seg->headsFromLoads.value() / seg->chainsCreated.value();
+        }
+    }
+
+    if (config.validate) {
+        // The golden model executes the skipped prefix plus exactly as
+        // many instructions as the pipeline committed; state must then
+        // agree bit for bit.
+        FunctionalCore golden(*program_);
+        golden.run(skipped + r.insts);
+        bool regs_ok = true;
+        for (RegIndex reg = 1; reg < kNumArchRegs; ++reg) {
+            if (golden.reg(reg) != core_->commitRegs()[reg]) {
+                regs_ok = false;
+                break;
+            }
+        }
+        // Compare only data pages the golden model wrote (the pipeline
+        // image also contains the loaded program text).
+        r.validated = regs_ok &&
+                      core_->commitMemory().equalContents(golden.memory());
+        if (!r.validated) {
+            warn("validation FAILED for %s on %s IQ",
+                 config.workload.c_str(), r.iqKind.c_str());
+        }
+    }
+
+    return r;
+}
+
+RunResult
+runSim(const SimConfig &config)
+{
+    Simulator sim(config);
+    return sim.run();
+}
+
+void
+printResultHeader(std::ostream &os)
+{
+    os << std::left << std::setw(10) << "workload" << std::setw(14)
+       << "iq" << std::setw(8) << "size" << std::setw(8) << "chains"
+       << std::setw(12) << "cycles" << std::setw(10) << "insts"
+       << std::setw(8) << "ipc" << std::setw(6) << "ok" << '\n';
+    os << std::string(76, '-') << '\n';
+}
+
+void
+printResultRow(std::ostream &os, const RunResult &r)
+{
+    os << std::left << std::setw(10) << r.workload << std::setw(14)
+       << r.iqKind << std::setw(8) << r.iqSize << std::setw(8)
+       << (r.chains < 0 ? std::string("inf") : std::to_string(r.chains))
+       << std::setw(12) << r.cycles << std::setw(10) << r.insts
+       << std::setw(8) << std::fixed << std::setprecision(3) << r.ipc
+       << std::setw(6) << (r.validated ? "yes" : "NO") << '\n';
+}
+
+} // namespace sciq

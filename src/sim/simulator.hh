@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Simulator facade: builds the workload program and core from a
+ * SimConfig, runs to completion, validates committed state against the
+ * functional golden model, and extracts the metrics the evaluation
+ * section reports.
+ */
+
+#ifndef SCIQ_SIM_SIMULATOR_HH
+#define SCIQ_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/sim_config.hh"
+
+namespace sciq {
+
+/** Everything the benchmark harnesses report, in one POD. */
+struct RunResult
+{
+    std::string workload;
+    std::string iqKind;
+    unsigned iqSize = 0;
+    int chains = -1;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+
+    // Chain statistics (Table 2).
+    double avgChains = 0.0;
+    double peakChains = 0.0;
+
+    // Predictor statistics (section 6.1 text).
+    double hmpAccuracy = 0.0;
+    double hmpCoverage = 0.0;
+    double lrpMispredictRate = 0.0;
+    double branchMispredictRate = 0.0;
+
+    // Occupancy / deadlock statistics (section 6.1 / 4.5 text).
+    double iqOccupancyAvg = 0.0;
+    double seg0ReadyAvg = 0.0;
+    double seg0OccupancyAvg = 0.0;
+    double deadlockCycleFrac = 0.0;
+    double twoOutstandingFrac = 0.0;
+    double headsFromLoadsFrac = 0.0;
+
+    // Memory behaviour.
+    double l1dMissRate = 0.0;       ///< incl. delayed hits
+    double l1dDelayedHitFrac = 0.0;
+
+    bool validated = false;
+    bool haltedCleanly = false;
+};
+
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+    ~Simulator();
+
+    /** Run to HALT (or the cycle cap) and collect results. */
+    RunResult run();
+
+    OooCore &core() { return *core_; }
+    const Program &program() const { return *program_; }
+
+  private:
+    SimConfig config;
+    std::unique_ptr<Program> program_;
+    std::unique_ptr<OooCore> core_;
+};
+
+/** Convenience: configure, run, and return the result. */
+RunResult runSim(const SimConfig &config);
+
+/** Fixed-width results-table helpers shared by the benches. */
+void printResultHeader(std::ostream &os);
+void printResultRow(std::ostream &os, const RunResult &r);
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_SIMULATOR_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ammp-like kernel: molecular-dynamics pair interactions.
+ *
+ * A neighbour-index stream gathers particle coordinates, computes a
+ * distance (square root) and accumulates an inverse-distance energy
+ * term (divide).  Long-latency FP ops plus scattered loads give ammp
+ * its high chain usage and queue occupancy in the paper.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildAmmp(const WorkloadParams &params)
+{
+    // A mostly cache-resident neighbour set (48 KB of coordinates):
+    // like the paper's ammp, the load stream largely hits, so the
+    // hit/miss predictor can suppress most load chains, while the
+    // sqrt/divide chains keep occupancy and chain demand high.
+    const std::uint64_t atoms = scaled(2048, params.scale);
+    const std::uint64_t n_idx = scaled(16384, params.scale);
+    std::uint64_t iters = params.iterations ? params.iterations : 8192;
+    if (iters > n_idx)
+        iters = n_idx;
+
+    const Addr pos_base = dataBase(0);   // 3 doubles per atom
+    const Addr idx_base = dataBase(1);
+
+    AsmBuilder b;
+    b.doubles(pos_base, randomDoubles(atoms * 3, params.seed));
+    b.words(idx_base, randomIndices(n_idx, atoms, params.seed + 3));
+    b.doubles(0x9000, {1.0, 0.03125});
+
+    const RegIndex p_pos = intReg(11), p_idx = intReg(12);
+    const RegIndex p_i = intReg(13), count = intReg(14), tmp = intReg(15);
+    const RegIndex j = intReg(16), p_j = intReg(17);
+    const RegIndex pos_limit = intReg(18);
+    const RegIndex one = fpReg(1), eps = fpReg(2), acc = fpReg(3);
+
+    b.la(p_pos, pos_base).la(p_idx, idx_base).la(p_i, pos_base);
+    b.la(pos_limit, pos_base + (atoms - 1) * 24);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(tmp, 0x9000);
+    b.fld(one, tmp, 0).fld(eps, tmp, 8);
+    b.fsub(acc, acc, acc);
+
+    b.label("loop");
+    b.ld(j, p_idx, 0);                 // neighbour index (chain head)
+    b.slli(tmp, j, 3);                 // j*8
+    b.slli(p_j, j, 4);                 // j*16
+    b.add(p_j, p_j, tmp);              // j*24 (3 doubles per atom)
+    b.add(p_j, p_j, p_pos);
+    const RegIndex xi = fpReg(8), yi = fpReg(9), zi = fpReg(10);
+    const RegIndex xj = fpReg(11), yj = fpReg(12), zj = fpReg(13);
+    b.fld(xi, p_i, 0).fld(yi, p_i, 8).fld(zi, p_i, 16);
+    b.fld(xj, p_j, 0).fld(yj, p_j, 8).fld(zj, p_j, 16);
+    const RegIndex dx = fpReg(14), dy = fpReg(15), dz = fpReg(16);
+    b.fsub(dx, xi, xj).fsub(dy, yi, yj).fsub(dz, zi, zj);
+    b.fmul(dx, dx, dx).fmul(dy, dy, dy).fmul(dz, dz, dz);
+    b.fadd(dx, dx, dy);
+    b.fadd(dx, dx, dz);
+    b.fadd(dx, dx, eps);               // avoid zero distance
+    b.fsqrt(fpReg(17), dx);            // r (24-cycle op)
+    b.fdiv(fpReg(18), one, fpReg(17)); // 1/r (12-cycle op)
+    b.fadd(acc, acc, fpReg(18));
+    b.addi(p_i, p_i, 24);
+    b.blt(p_i, pos_limit, "nowrap");
+    b.mov(p_i, p_pos);  // wrap the self-particle walk
+    b.label("nowrap");
+    b.addi(p_idx, p_idx, 8);
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    epilogueFp(b, acc);
+    return b.build("ammp");
+}
+
+} // namespace sciq

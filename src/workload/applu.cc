@@ -1,0 +1,65 @@
+/**
+ * @file
+ * applu-like kernel: SSOR-style block sweep.
+ *
+ * Each 8-element block carries a serial multiply-add recurrence (the
+ * lower/upper triangular solves of applu) terminated by a divide;
+ * blocks are independent, so the window exposes inter-block
+ * parallelism while intra-block chains exercise chain scheduling.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildApplu(const WorkloadParams &params)
+{
+    const std::uint64_t n = scaled(98304, params.scale);  // 768 KB
+    std::uint64_t iters = params.iterations ? params.iterations : 8192;
+    if (iters > n / 8)
+        iters = n / 8;
+
+    const Addr b_base = dataBase(0);
+    const Addr z_base = dataBase(1);
+
+    AsmBuilder b;
+    b.doubles(b_base, randomDoubles(n, params.seed));
+    b.doubles(0x9000, {0.8125, 3.5});
+
+    const RegIndex p_b = intReg(11), p_z = intReg(12), count = intReg(13);
+    const RegIndex tmp = intReg(14);
+    const RegIndex a = fpReg(1), c = fpReg(2);
+    const RegIndex acc = fpReg(3), z = fpReg(4), zero = fpReg(5);
+
+    b.la(p_b, b_base).la(p_z, z_base);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(tmp, 0x9000);
+    b.fld(a, tmp, 0).fld(c, tmp, 8);
+    b.fsub(acc, acc, acc);
+    b.fsub(zero, zero, zero);
+
+    b.label("loop");
+    b.fmov(z, zero);  // reset the block recurrence (no loop-carried dep)
+    for (unsigned k = 0; k < 8; ++k) {
+        const RegIndex bk = fpReg(8 + k);
+        b.fld(bk, p_b, 8 * static_cast<std::int64_t>(k));
+        b.fmul(z, z, a);      // z = z*a + b[k]  (serial within block)
+        b.fadd(z, z, bk);
+    }
+    b.fdiv(z, z, c);          // block normalisation (long-latency op)
+    b.fst(z, p_z, 0);
+    b.fadd(acc, acc, z);
+    b.addi(p_b, p_b, 64);
+    b.addi(p_z, p_z, 8);
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    epilogueFp(b, acc);
+    return b.build("applu");
+}
+
+} // namespace sciq

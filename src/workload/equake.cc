@@ -1,0 +1,72 @@
+/**
+ * @file
+ * equake-like kernel: sparse matrix-vector style gather.
+ *
+ * An index stream drives dependent loads scattered across a 1 MB value
+ * array: the index load feeds the address of the value load, forming
+ * the two-level chains that make equake sensitive to both chain count
+ * and window size in the paper.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildEquake(const WorkloadParams &params)
+{
+    const std::uint64_t n_idx = scaled(32768, params.scale);
+    const std::uint64_t n_val = scaled(131072, params.scale);  // 1 MB
+    std::uint64_t iters = params.iterations ? params.iterations : 8192;
+    if (iters > n_idx / 4)
+        iters = n_idx / 4;
+
+    const Addr idx_base = dataBase(0);
+    const Addr val_base = dataBase(1);
+
+    AsmBuilder b;
+    b.words(idx_base, randomIndices(n_idx, n_val, params.seed));
+    b.doubles(val_base, randomDoubles(n_val, params.seed + 7));
+    b.doubles(0x9000, {1.0009765625});
+
+    const RegIndex p_idx = intReg(11), p_val = intReg(12);
+    const RegIndex count = intReg(13), tmp = intReg(14);
+    const RegIndex coeff = fpReg(1);
+
+    b.la(p_idx, idx_base).la(p_val, val_base);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(tmp, 0x9000);
+    b.fld(coeff, tmp, 0);
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const RegIndex acc = fpReg(4 + lane);
+        b.fsub(acc, acc, acc);
+    }
+
+    b.label("loop");
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const RegIndex idx = intReg(16 + lane);
+        const RegIndex addr = intReg(20 + lane);
+        const RegIndex v = fpReg(8 + lane);
+        const RegIndex acc = fpReg(4 + lane);
+        b.ld(idx, p_idx, 8 * lane);       // index load (chain head)
+        b.slli(addr, idx, 3);
+        b.add(addr, addr, p_val);
+        b.fld(v, addr, 0);                // dependent gather load
+        b.fmul(v, v, coeff);
+        b.fadd(acc, acc, v);              // per-lane accumulator
+    }
+    b.addi(p_idx, p_idx, 32);
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    b.fadd(fpReg(4), fpReg(4), fpReg(5));
+    b.fadd(fpReg(6), fpReg(6), fpReg(7));
+    b.fadd(fpReg(4), fpReg(4), fpReg(6));
+    epilogueFp(b, fpReg(4));
+    return b.build("equake");
+}
+
+} // namespace sciq

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * gcc-like kernel: branchy, low-ILP integer code.
+ *
+ * A register-resident PRNG drives an essentially unpredictable branch
+ * every iteration over a small (L1-resident) hash table.  The serial
+ * PRNG recurrence caps ILP, and the misprediction rate means a larger
+ * window buys nothing - matching gcc's flat curve in Figure 3 and its
+ * sensitivity to the segmented IQ's extra pipeline depth.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildGcc(const WorkloadParams &params)
+{
+    const std::uint64_t table_words = 2048;  // 16 KB: L1 resident
+    const std::uint64_t iters =
+        params.iterations ? params.iterations : 16384;
+
+    const Addr table_base = dataBase(0);
+
+    AsmBuilder b;
+    b.words(table_base,
+            randomIndices(table_words, ~0ULL, params.seed + 11));
+
+    const RegIndex state = intReg(11), p_tab = intReg(12);
+    const RegIndex count = intReg(13), acc = intReg(14);
+    const RegIndex t1 = intReg(15), t2 = intReg(16), addr = intReg(17);
+    const RegIndex lcg_a = intReg(18), lcg_c = intReg(19);
+
+    b.la(p_tab, table_base);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(state, static_cast<std::int64_t>(params.seed | 1));
+    b.li(lcg_a, 0x5851F42D4C957F2DLL);  // Knuth MMIX multiplier
+    b.li(lcg_c, 0x14057B7EF767814FLL);
+    b.addi(acc, intReg(0), 0);
+
+    b.label("loop");
+    // LCG PRNG: a serial mul+add chain through every iteration whose
+    // high bits are not a linear function of past outcomes, so the
+    // branch below is genuinely unpredictable to a history predictor.
+    b.mul(state, state, lcg_a);
+    b.add(state, state, lcg_c);
+
+    b.srli(t2, state, 61);
+    b.andi(t2, t2, 1);
+    b.bne(t2, intReg(0), "odd");   // ~50% taken: unpredictable
+
+    // Even path: hash-table update (load-modify-store).
+    b.andi(addr, state, 2047);
+    b.slli(addr, addr, 3);
+    b.add(addr, addr, p_tab);
+    b.ld(t1, addr, 0);
+    b.add(t1, t1, state);
+    b.st(t1, addr, 0);
+    b.j("join");
+
+    b.label("odd");
+    // Odd path: pure register work.
+    b.add(acc, acc, state);
+    b.srli(t1, state, 3);
+    b.xor_(acc, acc, t1);
+
+    b.label("join");
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    epilogueInt(b, acc);
+    return b.build("gcc");
+}
+
+} // namespace sciq

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the synthetic workload kernels.
+ */
+
+#ifndef SCIQ_WORKLOAD_KERNEL_UTIL_HH
+#define SCIQ_WORKLOAD_KERNEL_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/asm_builder.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+namespace kernel {
+
+/**
+ * Data-region base for region k.  Regions are 16 MiB apart with a
+ * small skew so different arrays do not systematically collide in the
+ * same cache sets.
+ */
+constexpr Addr
+dataBase(unsigned k)
+{
+    return 0x01000000ULL * (k + 1) + 0x1C0ULL * k;
+}
+
+/** Scaled element count, kept a multiple of `align` elements. */
+inline std::uint64_t
+scaled(std::uint64_t base, double scale, std::uint64_t align = 8)
+{
+    auto n = static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+    if (n < align)
+        n = align;
+    return n - n % align;
+}
+
+/** Deterministic array of doubles in (0, 1]. */
+inline std::vector<double>
+randomDoubles(std::uint64_t n, std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform() + 1e-6;
+    return v;
+}
+
+/** Deterministic array of 64-bit indices below `bound`. */
+inline std::vector<std::uint64_t>
+randomIndices(std::uint64_t n, std::uint64_t bound, std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.below(bound);
+    return v;
+}
+
+/**
+ * Standard epilogue: fold an FP accumulator into the integer checksum
+ * register r10 and halt.  Every kernel ends through here so the
+ * functional-vs-pipeline equivalence test has a single convention.
+ */
+inline void
+epilogueFp(AsmBuilder &b, RegIndex facc)
+{
+    b.fcvtfi(intReg(9), facc);
+    b.xor_(intReg(10), intReg(10), intReg(9));
+    b.halt();
+}
+
+inline void
+epilogueInt(AsmBuilder &b, RegIndex acc)
+{
+    b.xor_(intReg(10), intReg(10), acc);
+    b.halt();
+}
+
+} // namespace kernel
+} // namespace sciq
+
+#endif // SCIQ_WORKLOAD_KERNEL_UTIL_HH

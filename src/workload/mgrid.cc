@@ -1,0 +1,93 @@
+/**
+ * @file
+ * mgrid-like kernel: multigrid relaxation with window reuse.
+ *
+ * Each 8 KB window of the grid is swept three times (the repeated
+ * smoothing passes of multigrid): the first sweep misses the L1 and
+ * hits the L2, the next two hit the L1.  That mix gives mgrid the
+ * paper's character - a mostly-hitting load stream (so the hit/miss
+ * predictor saves many chains) combined with very high queue occupancy
+ * and chain usage from the long independent FP stencil chains.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildMgrid(const WorkloadParams &params)
+{
+    const std::uint64_t n = scaled(98304, params.scale);  // 768 KB grid
+    const std::uint64_t window = 1024;  // 8 KB sweep window
+    const std::uint64_t inner = window / 4;
+    std::uint64_t iters = params.iterations ? params.iterations : 9216;
+
+    const Addr x_base = dataBase(0);
+    const Addr y_base = dataBase(1);
+
+    AsmBuilder b;
+    b.doubles(x_base, randomDoubles(n, params.seed));
+    b.doubles(0x9000, {0.25});
+
+    const RegIndex p_x = intReg(11), p_y = intReg(12);
+    const RegIndex win_x = intReg(13), win_y = intReg(14);
+    const RegIndex total = intReg(15), inner_c = intReg(16);
+    const RegIndex sweeps = intReg(17), tmp = intReg(18);
+    const RegIndex x_limit = intReg(19);
+    const RegIndex quarter = fpReg(1), acc = fpReg(2);
+
+    b.la(win_x, x_base + 8);  // element 1: x[i-1] stays in bounds
+    b.la(win_y, y_base);
+    b.la(x_limit, x_base + (n - window - 8) * 8);
+    b.li(total, static_cast<std::int64_t>(iters));
+    b.li(tmp, 0x9000);
+    b.fld(quarter, tmp, 0);
+    b.fsub(acc, acc, acc);
+
+    b.label("outer");
+    b.addi(sweeps, intReg(0), 3);
+    b.label("sweep");
+    b.mov(p_x, win_x);
+    b.mov(p_y, win_y);
+    b.li(inner_c, static_cast<std::int64_t>(inner));
+
+    b.label("loop");
+    for (unsigned k = 0; k < 6; ++k)
+        b.fld(fpReg(8 + k), p_x, 8 * static_cast<std::int64_t>(k) - 8);
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const RegIndex t = fpReg(16 + lane);
+        b.fadd(t, fpReg(8 + lane), fpReg(9 + lane));
+        b.fadd(t, t, fpReg(9 + lane));
+        b.fadd(t, t, fpReg(10 + lane));
+        b.fmul(t, t, quarter);
+        b.fst(t, p_y, 8 * lane);
+    }
+    b.fadd(acc, acc, fpReg(16));
+    b.addi(p_x, p_x, 32);
+    b.addi(p_y, p_y, 32);
+    b.addi(total, total, -1);
+    b.beq(total, intReg(0), "done");
+    b.addi(inner_c, inner_c, -1);
+    b.bne(inner_c, intReg(0), "loop");
+
+    b.addi(sweeps, sweeps, -1);
+    b.bne(sweeps, intReg(0), "sweep");
+
+    // Advance to the next window, wrapping at the end of the grid.
+    b.li(tmp, static_cast<std::int64_t>(window * 8));
+    b.add(win_x, win_x, tmp);
+    b.add(win_y, win_y, tmp);
+    b.bge(x_limit, win_x, "outer");
+    b.la(win_x, x_base + 8);
+    b.la(win_y, y_base);
+    b.j("outer");
+
+    b.label("done");
+    epilogueFp(b, acc);
+    return b.build("mgrid");
+}
+
+} // namespace sciq

@@ -1,0 +1,55 @@
+#include "workloads.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace sciq {
+
+namespace {
+
+using Builder = Program (*)(const WorkloadParams &);
+
+const std::map<std::string, Builder> &
+builders()
+{
+    static const std::map<std::string, Builder> map = {
+        {"ammp", buildAmmp},     {"applu", buildApplu},
+        {"equake", buildEquake}, {"gcc", buildGcc},
+        {"mgrid", buildMgrid},   {"swim", buildSwim},
+        {"twolf", buildTwolf},   {"vortex", buildVortex},
+    };
+    return map;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "ammp", "applu", "equake", "gcc",
+        "mgrid", "swim", "twolf", "vortex",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+fpWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "ammp", "applu", "equake", "mgrid", "swim",
+    };
+    return names;
+}
+
+Program
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    auto it = builders().find(name);
+    if (it == builders().end())
+        fatal("unknown workload '%s'", name.c_str());
+    return it->second(params);
+}
+
+} // namespace sciq

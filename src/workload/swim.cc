@@ -1,0 +1,79 @@
+/**
+ * @file
+ * swim-like kernel: shallow-water-style streaming update.
+ *
+ * Three source arrays and one destination stream sequentially with a
+ * combined footprint well beyond the 1 MB L2, so nearly every line
+ * misses to memory and consecutive accesses to the same line are
+ * *delayed hits* - the paper reports >90% of swim's loads missing in
+ * the L1 with most being delayed hits.  Iterations are independent, so
+ * a large window exposes massive memory-level parallelism.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildSwim(const WorkloadParams &params)
+{
+    const std::uint64_t n = scaled(40960, params.scale);  // per array
+    std::uint64_t iters = params.iterations ? params.iterations : n / 4;
+    if (iters > n / 4)
+        iters = n / 4;
+
+    const Addr u_base = dataBase(0);
+    const Addr v_base = dataBase(1);
+    const Addr p_base = dataBase(2);
+    const Addr out_base = dataBase(3);
+
+    AsmBuilder b;
+    b.doubles(u_base, randomDoubles(n, params.seed));
+    b.doubles(v_base, randomDoubles(n, params.seed + 1));
+    b.doubles(p_base, randomDoubles(n, params.seed + 2));
+    b.doubles(0x9000, {0.5, 0.25});
+
+    const RegIndex p_u = intReg(11), p_v = intReg(12), p_p = intReg(13);
+    const RegIndex p_out = intReg(14), count = intReg(15);
+    const RegIndex tmp = intReg(16);
+    const RegIndex c1 = fpReg(1), c2 = fpReg(2);
+    const RegIndex acc = fpReg(4);
+
+    b.la(p_u, u_base).la(p_v, v_base).la(p_p, p_base).la(p_out, out_base);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(tmp, 0x9000);
+    b.fld(c1, tmp, 0).fld(c2, tmp, 8);
+    b.fsub(acc, acc, acc);  // acc = 0
+
+    b.label("loop");
+    // Four independent lanes per iteration (unrolled).
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const RegIndex fu = fpReg(8 + lane);
+        const RegIndex fv = fpReg(12 + lane);
+        const RegIndex fp = fpReg(16 + lane);
+        const std::int64_t off = 8 * lane;
+        b.fld(fu, p_u, off);
+        b.fld(fv, p_v, off);
+        b.fld(fp, p_p, off);
+        b.fmul(fu, fu, c1);     // u*c1
+        b.fmul(fv, fv, c2);     // v*c2
+        b.fadd(fu, fu, fv);     // u*c1 + v*c2
+        b.fadd(fu, fu, fp);     // + p
+        b.fst(fu, p_out, off);
+    }
+    b.fadd(acc, acc, fpReg(8));  // one accumulator tap per iteration
+    b.addi(p_u, p_u, 32);
+    b.addi(p_v, p_v, 32);
+    b.addi(p_p, p_p, 32);
+    b.addi(p_out, p_out, 32);
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    epilogueFp(b, acc);
+    return b.build("swim");
+}
+
+} // namespace sciq

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * twolf-like kernel: placement cost evaluation.
+ *
+ * Small (cache-resident) working set with data-dependent but skewed
+ * branches and short integer dependence chains.  Benefits from a
+ * moderately larger window, then flattens - and, like the paper's
+ * twolf, loses a little at very large sizes from the added pipeline
+ * depth.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+Program
+buildTwolf(const WorkloadParams &params)
+{
+    const std::uint64_t table_words = 4096;  // 2 x 32 KB tables
+    const std::uint64_t iters =
+        params.iterations ? params.iterations : 14336;
+
+    const Addr a_base = dataBase(0);
+    const Addr b_base = dataBase(1);
+
+    AsmBuilder b;
+    // Values below 2^61 so that a+b comparisons stay "mostly below".
+    b.words(a_base, randomIndices(table_words, 1ULL << 32, params.seed));
+    b.words(b_base,
+            randomIndices(table_words, 3ULL << 32, params.seed + 5));
+
+    const RegIndex state = intReg(11), p_a = intReg(12), p_b = intReg(13);
+    const RegIndex count = intReg(14), acc = intReg(15);
+    const RegIndex t1 = intReg(16), t2 = intReg(17);
+    const RegIndex av = intReg(18), bv = intReg(19), addr = intReg(20);
+
+    b.la(p_a, a_base).la(p_b, b_base);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.li(state, static_cast<std::int64_t>(params.seed * 2 + 1));
+    b.addi(acc, intReg(0), 0);
+
+    b.label("loop");
+    b.slli(t1, state, 13);
+    b.xor_(state, state, t1);
+    b.srli(t1, state, 7);
+    b.xor_(state, state, t1);
+
+    b.andi(addr, state, 4095);
+    b.slli(addr, addr, 3);
+    b.add(t2, addr, p_a);
+    b.ld(av, t2, 0);
+    b.add(t2, addr, p_b);
+    b.ld(bv, t2, 0);
+
+    // ~25% taken: a ranges over [0,2^32), b over [0,3*2^32).
+    b.blt(bv, av, "swap");
+    b.add(acc, acc, av);       // common path: accept move
+    b.j("join");
+    b.label("swap");
+    b.sub(t1, av, bv);         // rare path: reject, store penalty
+    b.add(t2, addr, p_a);
+    b.st(t1, t2, 0);
+    b.label("join");
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    epilogueInt(b, acc);
+    return b.build("twolf");
+}
+
+} // namespace sciq

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * vortex-like kernel: linked-structure database traversal.
+ *
+ * Two interleaved pointer-chasing rings over a footprint slightly
+ * larger than the L1, with highly predictable branches.  Per the
+ * paper, vortex actively uses only a modest slice of a big queue, so
+ * it gains from 32->128 entries and then flattens; its low chain
+ * demand makes it insensitive to the chain-wire budget.
+ */
+
+#include "workload/kernel_util.hh"
+#include "workload/workloads.hh"
+
+namespace sciq {
+
+using namespace kernel;
+
+namespace {
+
+/** Lay out one shuffled ring of 32-byte nodes; returns the image. */
+std::vector<std::uint64_t>
+buildRing(Addr base, std::uint64_t nodes, std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<std::uint64_t> order(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (std::uint64_t i = nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    std::vector<std::uint64_t> image(nodes * 4);
+    for (std::uint64_t k = 0; k < nodes; ++k) {
+        const std::uint64_t cur = order[k];
+        const std::uint64_t nxt = order[(k + 1) % nodes];
+        image[cur * 4 + 0] = base + nxt * 32;  // next pointer
+        image[cur * 4 + 1] = rng.next() & 0xffff;
+        image[cur * 4 + 2] = rng.next() & 0xffff;
+        image[cur * 4 + 3] = rng.next() & 0xffff;
+    }
+    return image;
+}
+
+} // namespace
+
+Program
+buildVortex(const WorkloadParams &params)
+{
+    const std::uint64_t nodes = scaled(768, params.scale, 2);  // 24 KB/ring
+    const std::uint64_t iters =
+        params.iterations ? params.iterations : 24576;
+
+    const Addr ring0 = dataBase(0);
+    const Addr ring1 = dataBase(1);
+
+    AsmBuilder b;
+    b.words(ring0, buildRing(ring0, nodes, params.seed));
+    b.words(ring1, buildRing(ring1, nodes, params.seed + 9));
+
+    const RegIndex p0 = intReg(11), p1 = intReg(12);
+    const RegIndex count = intReg(13);
+    const RegIndex a0 = intReg(14), a1 = intReg(15);
+    const RegIndex v0 = intReg(16), v1 = intReg(17), v2 = intReg(18);
+    const RegIndex w0 = intReg(19), w1 = intReg(20), w2 = intReg(21);
+    const RegIndex acc0 = intReg(22), acc1 = intReg(23);
+
+    b.la(p0, ring0).la(p1, ring1);
+    b.li(count, static_cast<std::int64_t>(iters));
+    b.addi(acc0, intReg(0), 0);
+    b.addi(acc1, intReg(0), 0);
+
+    b.label("loop");
+    // Ring 0 step: serial next-pointer chase plus field work.
+    b.ld(a0, p0, 0);
+    b.ld(v0, p0, 8);
+    b.ld(v1, p0, 16);
+    b.ld(v2, p0, 24);
+    b.add(v0, v0, v1);
+    b.add(v0, v0, v2);
+    b.add(acc0, acc0, v0);
+    b.mov(p0, a0);
+    // Ring 1 step, independent of ring 0.
+    b.ld(a1, p1, 0);
+    b.ld(w0, p1, 8);
+    b.ld(w1, p1, 16);
+    b.ld(w2, p1, 24);
+    b.add(w0, w0, w1);
+    b.add(w0, w0, w2);
+    b.add(acc1, acc1, w0);
+    b.mov(p1, a1);
+
+    b.addi(count, count, -1);
+    b.bne(count, intReg(0), "loop");
+
+    b.add(acc0, acc0, acc1);
+    epilogueInt(b, acc0);
+    return b.build("vortex");
+}
+
+} // namespace sciq

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared helpers for driving instruction-queue and LSQ unit tests:
+ * hand-crafted DynInsts with controllable readiness, plus a small
+ * issue-recording shim.
+ */
+
+#ifndef SCIQ_TESTS_IQ_HARNESS_HH
+#define SCIQ_TESTS_IQ_HARNESS_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/rename.hh"
+#include "iq/iq_base.hh"
+
+namespace sciq {
+namespace test {
+
+/**
+ * Build a DynInst whose physical registers equal its architectural
+ * ones (identity renaming keeps unit tests legible).
+ */
+inline DynInstPtr
+makeInst(SeqNum seq, Opcode op, RegIndex rd = kInvalidReg,
+         RegIndex rs1 = kInvalidReg, RegIndex rs2 = kInvalidReg,
+         std::int64_t imm = 0)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->staticInst.op = op;
+    inst->staticInst.rd = rd;
+    inst->staticInst.rs1 = rs1;
+    inst->staticInst.rs2 = rs2;
+    inst->staticInst.imm = imm;
+    inst->seq = seq;
+    inst->pc = 0x1000 + seq * kInstBytes;
+    inst->archSrc = inst->staticInst.srcRegs();
+    inst->archDst = inst->staticInst.dstReg();
+    inst->physSrc = inst->archSrc;
+    inst->physDst = inst->archDst;
+    return inst;
+}
+
+/** Issue shim: accepts everything (or a fixed budget) and records. */
+class IssueRecorder
+{
+  public:
+    explicit IssueRecorder(Scoreboard &sb) : scoreboard(sb) {}
+
+    IqBase::TryIssue
+    acceptAll()
+    {
+        return [this](const DynInstPtr &inst) {
+            issued.push_back(inst);
+            inst->issued = true;
+            return true;
+        };
+    }
+
+    IqBase::TryIssue
+    rejectAll()
+    {
+        return [this](const DynInstPtr &inst) {
+            rejected.push_back(inst);
+            return false;
+        };
+    }
+
+    /** Accept everything and immediately mark the result ready. */
+    IqBase::TryIssue
+    acceptAndComplete()
+    {
+        return [this](const DynInstPtr &inst) {
+            issued.push_back(inst);
+            inst->issued = true;
+            if (inst->physDst != kInvalidReg)
+                scoreboard.setReady(inst->physDst);
+            return true;
+        };
+    }
+
+    std::vector<DynInstPtr> issued;
+    std::vector<DynInstPtr> rejected;
+
+  private:
+    Scoreboard &scoreboard;
+};
+
+/** Mark every source of `inst` ready in the scoreboard. */
+inline void
+makeSourcesReady(Scoreboard &sb, const DynInstPtr &inst)
+{
+    for (RegIndex r : inst->physSrc) {
+        if (r != kInvalidReg)
+            sb.setReady(r);
+    }
+}
+
+} // namespace test
+} // namespace sciq
+
+#endif // SCIQ_TESTS_IQ_HARNESS_HH

@@ -1,0 +1,161 @@
+/** @file Tests for the text assembler and disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "isa/functional_core.hh"
+
+using namespace sciq;
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        addi r1, r0, 5
+        addi r2, r0, 7
+        add r3, r1, r2
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    FunctionalCore core(p);
+    core.run();
+    EXPECT_EQ(core.reg(intReg(3)), 12u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+    loop:
+        add r2, r2, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    FunctionalCore core(p);
+    core.run();
+    EXPECT_EQ(core.reg(intReg(2)), 55u);  // 10+9+...+1
+}
+
+TEST(Assembler, MemoryOperandsAndDirectives)
+{
+    Program p = assemble(R"(
+        .base 0x4000
+        .words 0x8000 11 22 33
+        .doubles 0x9000 2.5
+        lui r1, 2          # 2 << 14 = 0x8000
+        ld r2, 8(r1)
+        lui r3, 2
+        ori r3, r3, 0x1000 # 0x9000
+        fld f1, 0(r3)
+        fadd f2, f1, f1
+        st r2, 24(r1)
+        halt
+    )");
+    EXPECT_EQ(p.base(), 0x4000u);
+    FunctionalCore core(p);
+    core.run();
+    EXPECT_EQ(core.reg(intReg(2)), 22u);
+    EXPECT_DOUBLE_EQ(core.fregAsDouble(2), 5.0);
+    EXPECT_EQ(core.memory().read(0x8018, 8), 22u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        # full line comment
+
+        nop   # trailing comment
+        halt
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, NumericBranchOffsets)
+{
+    Program p = assemble(R"(
+        beq r0, r0, 2
+        nop
+        halt
+    )");
+    EXPECT_EQ(p.instructions()[0].imm, 2);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1, r2\n");
+        FAIL() << "no error raised";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(Assembler, ErrorCases)
+{
+    EXPECT_THROW(assemble("add r1, r2"), AsmError);          // operand count
+    EXPECT_THROW(assemble("add r1, r2, r99"), AsmError);     // bad register
+    EXPECT_THROW(assemble("addi r1, r2, lots"), AsmError);   // bad imm
+    EXPECT_THROW(assemble("ld r1, 8[r2]"), AsmError);        // bad mem syntax
+    EXPECT_THROW(assemble("bne r1, r0, nowhere\n"), AsmError);
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);    // dup label
+    EXPECT_THROW(assemble("addi r1, r0, 999999"), AsmError); // imm range
+    EXPECT_THROW(assemble(".doubles zzz 1.0"), AsmError);
+    EXPECT_THROW(assemble("nop\n.base 0x100\n"), AsmError);  // base after code
+}
+
+TEST(Assembler, StoreOperandOrder)
+{
+    Program p = assemble("st r7, -16(r3)\nhalt\n");
+    const Instruction &st = p.instructions()[0];
+    EXPECT_EQ(st.rs2, intReg(7));
+    EXPECT_EQ(st.rs1, intReg(3));
+    EXPECT_EQ(st.imm, -16);
+}
+
+TEST(Assembler, JumpForms)
+{
+    Program p = assemble(R"(
+        jal r31, func
+        halt
+    func:
+        jr r31
+    )");
+    EXPECT_EQ(p.instructions()[0].op, Opcode::JAL);
+    EXPECT_EQ(p.instructions()[0].imm, 2);
+    FunctionalCore core(p);
+    core.run();
+    EXPECT_TRUE(core.halted());
+}
+
+TEST(Disassembler, FormatsMatchAssemblerSyntax)
+{
+    const char *source = "add r3, r1, r2";
+    Program p = assemble(std::string(source) + "\nhalt\n");
+    EXPECT_EQ(disassemble(p.instructions()[0]), source);
+}
+
+class AsmDisasmRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AsmDisasmRoundTrip, ReassemblesToSameEncoding)
+{
+    const std::string line = GetParam();
+    Program p1 = assemble(line + "\n");
+    const std::string printed = disassemble(p1.instructions()[0]);
+    Program p2 = assemble(printed + "\n");
+    EXPECT_TRUE(p1.instructions()[0] == p2.instructions()[0])
+        << line << " -> " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, AsmDisasmRoundTrip,
+    ::testing::Values("add r3, r1, r2", "addi r1, r2, -5",
+                      "lui r4, 100", "mul r5, r6, r7",
+                      "fadd f1, f2, f3", "fsqrt f4, f5",
+                      "fcvtif f1, r2", "fcvtfi r2, f1",
+                      "ld r1, 8(r2)", "fld f3, -24(r9)",
+                      "st r1, 0(r2)", "fst f1, 16(r2)", "sw r3, 4(r4)",
+                      "beq r1, r2, 5", "bltu r3, r4, -2", "j 3",
+                      "jal r31, 2", "jr r31", "jalr r31, r5", "nop",
+                      "halt"));

@@ -1,0 +1,164 @@
+/** @file Tests for the hybrid branch predictor, BTB and RAS. */
+
+#include <gtest/gtest.h>
+
+#include "branch/branch_predictor.hh"
+#include "branch/btb.hh"
+#include "branch/ras.hh"
+
+using namespace sciq;
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    HybridBranchPredictor bp;
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 64; ++i) {
+        auto snap = bp.snapshot();
+        bp.predict(pc);
+        bp.update(pc, true, snap);
+    }
+    auto snap = bp.snapshot();
+    EXPECT_TRUE(bp.predict(pc));
+    bp.restore(snap);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    HybridBranchPredictor bp;
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 64; ++i) {
+        auto snap = bp.snapshot();
+        bp.predict(pc);
+        bp.update(pc, false, snap);
+    }
+    EXPECT_FALSE(bp.predict(pc));
+}
+
+TEST(BranchPredictor, LocalComponentLearnsShortPattern)
+{
+    // A strict alternation is perfectly predictable from 11 bits of
+    // local history once trained.
+    HybridBranchPredictor bp;
+    const Addr pc = 0x3000;
+    bool outcome = false;
+    int correct_tail = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto snap = bp.snapshot();
+        bool pred = bp.predict(pc);
+        outcome = !outcome;
+        bp.update(pc, outcome, snap);
+        if (i >= 1500 && pred == outcome)
+            ++correct_tail;
+    }
+    EXPECT_GT(correct_tail, 480);  // >96% over the last 500
+}
+
+TEST(BranchPredictor, HistorySnapshotRestores)
+{
+    HybridBranchPredictor bp;
+    // Train toward taken so predictions shift 1s into the history.
+    for (int i = 0; i < 32; ++i) {
+        auto s = bp.snapshot();
+        bp.predict(0x100);
+        bp.update(0x100, true, s);
+    }
+    auto snap = bp.snapshot();
+    bp.pushSpecHistory(false);
+    bp.predict(0x100);
+    EXPECT_NE(bp.snapshot(), snap);
+    bp.restore(snap);
+    EXPECT_EQ(bp.snapshot(), snap);
+}
+
+TEST(BranchPredictor, PushSpecHistoryShiftsOneBit)
+{
+    HybridBranchPredictor bp;
+    auto base = bp.snapshot();
+    bp.pushSpecHistory(true);
+    EXPECT_EQ(bp.snapshot(), ((base << 1) | 1u) & 0x1FFFu);
+    bp.pushSpecHistory(false);
+    EXPECT_EQ(bp.snapshot(), ((base << 2) | 2u) & 0x1FFFu);
+}
+
+TEST(BranchPredictor, StatsCountPredictions)
+{
+    HybridBranchPredictor bp;
+    for (int i = 0; i < 10; ++i)
+        bp.predict(0x100);
+    EXPECT_EQ(bp.condPredicts.value(), 10.0);
+    EXPECT_EQ(bp.lookups.value(), 10.0);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(64, 4);
+    Addr target = 0;
+    EXPECT_FALSE(btb.lookup(0x1000, target));
+    btb.update(0x1000, 0x2000);
+    ASSERT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x2000u);
+    EXPECT_EQ(btb.hits.value(), 1.0);
+    EXPECT_EQ(btb.lookups.value(), 2.0);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    Addr target = 0;
+    ASSERT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x3000u);
+}
+
+TEST(Btb, LruReplacementWithinSet)
+{
+    Btb btb(8, 2);  // 4 sets x 2 ways; pcs with equal set bits collide
+    const Addr stride = 4 * 4;  // set index uses pc>>2
+    btb.update(0x1000, 0xA);
+    btb.update(0x1000 + stride, 0xB);
+    Addr t;
+    btb.lookup(0x1000, t);  // refresh entry A
+    btb.update(0x1000 + 2 * stride, 0xC);  // evicts B
+    EXPECT_TRUE(btb.lookup(0x1000, t));
+    EXPECT_FALSE(btb.lookup(0x1000 + stride, t));
+    EXPECT_TRUE(btb.lookup(0x1000 + 2 * stride, t));
+}
+
+TEST(Ras, PushPopNesting)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    ras.push(0x400);
+    EXPECT_EQ(ras.pop(), 0x400u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotRestoreAfterWrongPathOps)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    auto snap = ras.snapshot();
+    // Wrong path pushes and pops.
+    ras.push(0xBAD1);
+    ras.pop();
+    ras.pop();  // even pops the good entry
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, WrapsWithoutCrashing)
+{
+    ReturnAddressStack ras(4);
+    for (Addr i = 0; i < 10; ++i)
+        ras.push(0x1000 + i);
+    // The newest four survive.
+    EXPECT_EQ(ras.pop(), 0x1009u);
+    EXPECT_EQ(ras.pop(), 0x1008u);
+    EXPECT_EQ(ras.pop(), 0x1007u);
+    EXPECT_EQ(ras.pop(), 0x1006u);
+}

@@ -1,0 +1,79 @@
+/** @file Tests for chain-wire allocation and generation tracking. */
+
+#include <gtest/gtest.h>
+
+#include "iq/chain_allocator.hh"
+
+using namespace sciq;
+
+TEST(ChainAllocator, BoundedAllocation)
+{
+    ChainAllocator a(3);
+    EXPECT_TRUE(a.available());
+    auto [c0, g0] = a.alloc();
+    auto [c1, g1] = a.alloc();
+    auto [c2, g2] = a.alloc();
+    (void)g0;
+    (void)g1;
+    (void)g2;
+    EXPECT_FALSE(a.available());
+    EXPECT_EQ(a.inUse(), 3u);
+    EXPECT_NE(c0, c1);
+    EXPECT_NE(c1, c2);
+    EXPECT_THROW(a.alloc(), PanicError);
+}
+
+TEST(ChainAllocator, FreeMakesWireAvailable)
+{
+    ChainAllocator a(1);
+    auto [id, gen] = a.alloc();
+    EXPECT_FALSE(a.available());
+    a.free(id);
+    EXPECT_TRUE(a.available());
+    EXPECT_EQ(a.inUse(), 0u);
+    auto [id2, gen2] = a.alloc();
+    EXPECT_EQ(id2, id);        // the wire is reused...
+    EXPECT_EQ(gen2, gen + 1);  // ...with a new generation
+}
+
+TEST(ChainAllocator, GenerationProtectsStaleListeners)
+{
+    ChainAllocator a(2);
+    auto [id, gen] = a.alloc();
+    a.free(id);
+    // A membership holding (id, gen) must observe the mismatch.
+    EXPECT_NE(a.generation(id), gen);
+}
+
+TEST(ChainAllocator, UnlimitedGrows)
+{
+    ChainAllocator a(-1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(a.available());
+        a.alloc();
+    }
+    EXPECT_EQ(a.inUse(), 1000u);
+    EXPECT_EQ(a.peak(), 1000u);
+}
+
+TEST(ChainAllocator, PeakTracksHighWaterMark)
+{
+    ChainAllocator a(8);
+    std::vector<ChainId> ids;
+    for (int i = 0; i < 5; ++i)
+        ids.push_back(a.alloc().first);
+    for (ChainId id : ids)
+        a.free(id);
+    a.alloc();
+    EXPECT_EQ(a.peak(), 5u);
+    EXPECT_EQ(a.inUse(), 1u);
+}
+
+TEST(ChainAllocator, DoubleFreeUnderflowPanics)
+{
+    ChainAllocator a(2);
+    auto [id, gen] = a.alloc();
+    (void)gen;
+    a.free(id);
+    EXPECT_THROW(a.free(id), PanicError);
+}

@@ -1,0 +1,101 @@
+/** @file Unit tests for the fixed-capacity circular queue. */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_queue.hh"
+#include "common/logging.hh"
+
+using namespace sciq;
+
+TEST(CircularQueue, BasicFifo)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    q.pushBack(1);
+    q.pushBack(2);
+    q.pushBack(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    EXPECT_EQ(q.popFront(), 1);
+    EXPECT_EQ(q.popFront(), 2);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(CircularQueue, PopBackForSquash)
+{
+    CircularQueue<int> q(4);
+    q.pushBack(1);
+    q.pushBack(2);
+    q.pushBack(3);
+    EXPECT_EQ(q.popBack(), 3);
+    EXPECT_EQ(q.popBack(), 2);
+    EXPECT_EQ(q.back(), 1);
+}
+
+TEST(CircularQueue, WrapsAround)
+{
+    CircularQueue<int> q(3);
+    for (int round = 0; round < 10; ++round) {
+        q.pushBack(round);
+        q.pushBack(round + 100);
+        EXPECT_EQ(q.popFront(), round);
+        EXPECT_EQ(q.popFront(), round + 100);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularQueue, FullAndFreeEntries)
+{
+    CircularQueue<int> q(2);
+    EXPECT_EQ(q.freeEntries(), 2u);
+    q.pushBack(1);
+    q.pushBack(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.freeEntries(), 0u);
+    EXPECT_THROW(q.pushBack(3), PanicError);
+}
+
+TEST(CircularQueue, IndexedAccess)
+{
+    CircularQueue<int> q(5);
+    q.pushBack(10);
+    q.pushBack(11);
+    q.pushBack(12);
+    q.popFront();
+    q.pushBack(13);
+    EXPECT_EQ(q.at(0), 11);
+    EXPECT_EQ(q.at(1), 12);
+    EXPECT_EQ(q.at(2), 13);
+    EXPECT_THROW(q.at(3), PanicError);
+}
+
+TEST(CircularQueue, PopEmptyPanics)
+{
+    CircularQueue<int> q(2);
+    EXPECT_THROW(q.popFront(), PanicError);
+    EXPECT_THROW(q.popBack(), PanicError);
+}
+
+TEST(CircularQueue, ClearResets)
+{
+    CircularQueue<int> q(3);
+    q.pushBack(1);
+    q.pushBack(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.pushBack(7);
+    EXPECT_EQ(q.front(), 7);
+}
+
+TEST(CircularQueue, SetCapacityOnEmpty)
+{
+    CircularQueue<int> q(2);
+    q.setCapacity(8);
+    for (int i = 0; i < 8; ++i)
+        q.pushBack(i);
+    EXPECT_TRUE(q.full());
+    q.clear();
+    q.pushBack(1);
+    EXPECT_THROW(q.setCapacity(4), PanicError);
+}

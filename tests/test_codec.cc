@@ -1,0 +1,157 @@
+/** @file Encode/decode round-trip tests for the SRV binary codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/codec.hh"
+
+using namespace sciq;
+
+namespace {
+
+/** A representative instruction of each format for an opcode. */
+Instruction
+sampleFor(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    switch (opInfo(op).format) {
+      case Format::R:
+        i.rd = intReg(3);
+        i.rs1 = fpReg(1);
+        i.rs2 = intReg(31);
+        break;
+      case Format::I:
+        i.rd = fpReg(7);
+        i.rs1 = intReg(2);
+        i.imm = -1234;
+        break;
+      case Format::M:
+        if (opInfo(op).opClass == OpClass::MemWrite)
+            i.rs2 = intReg(5);
+        else
+            i.rd = intReg(5);
+        i.rs1 = intReg(6);
+        i.imm = 4095;
+        break;
+      case Format::B:
+        i.rs1 = intReg(8);
+        i.rs2 = intReg(9);
+        i.imm = -100;
+        break;
+      case Format::J:
+        i.rd = op == Opcode::J ? kInvalidReg : intReg(31);
+        i.imm = 7777;
+        break;
+      case Format::JR:
+        i.rd = op == Opcode::JR ? kInvalidReg : intReg(30);
+        i.rs1 = intReg(29);
+        break;
+      case Format::N:
+        break;
+    }
+    return i;
+}
+
+} // namespace
+
+class CodecRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CodecRoundTrip, EveryOpcodeSurvivesEncodeDecode)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    Instruction orig = sampleFor(op);
+    ASSERT_TRUE(encodable(orig)) << opInfo(op).mnemonic;
+    Instruction back = decode(encode(orig));
+    EXPECT_EQ(back.op, orig.op);
+    EXPECT_TRUE(back == orig) << "mnemonic " << opInfo(op).mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, CodecRoundTrip,
+                         ::testing::Range(0u, kNumOpcodes));
+
+TEST(Codec, ImmediateBoundsI)
+{
+    Instruction i;
+    i.op = Opcode::ADDI;
+    i.rd = intReg(1);
+    i.rs1 = intReg(2);
+    i.imm = kImm14Max;
+    EXPECT_TRUE(encodable(i));
+    EXPECT_EQ(decode(encode(i)).imm, kImm14Max);
+    i.imm = kImm14Min;
+    EXPECT_TRUE(encodable(i));
+    EXPECT_EQ(decode(encode(i)).imm, kImm14Min);
+    i.imm = kImm14Max + 1;
+    EXPECT_FALSE(encodable(i));
+    i.imm = kImm14Min - 1;
+    EXPECT_FALSE(encodable(i));
+}
+
+TEST(Codec, ImmediateBoundsJ)
+{
+    Instruction i;
+    i.op = Opcode::JAL;
+    i.rd = intReg(31);
+    i.imm = kImm20Max;
+    EXPECT_TRUE(encodable(i));
+    EXPECT_EQ(decode(encode(i)).imm, kImm20Max);
+    i.imm = kImm20Min;
+    EXPECT_EQ(decode(encode(i)).imm, kImm20Min);
+    i.imm = kImm20Max + 1;
+    EXPECT_FALSE(encodable(i));
+}
+
+TEST(Codec, BadRegisterUnencodable)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.rd = 64;  // out of the 64-register architectural space
+    i.rs1 = intReg(1);
+    i.rs2 = intReg(2);
+    EXPECT_FALSE(encodable(i));
+}
+
+TEST(Codec, EncodeUnencodablePanics)
+{
+    Instruction i;
+    i.op = Opcode::ADDI;
+    i.rd = intReg(1);
+    i.rs1 = intReg(2);
+    i.imm = 1 << 20;
+    EXPECT_THROW(encode(i), PanicError);
+}
+
+TEST(Codec, DecodeInvalidOpcodePanics)
+{
+    const std::uint32_t bad = 0xFC000000u;  // opcode field 63
+    EXPECT_THROW(decode(bad), PanicError);
+}
+
+TEST(Codec, StoreDataRegisterField)
+{
+    // Stores carry the data register where loads carry the dest.
+    Instruction st;
+    st.op = Opcode::ST;
+    st.rs2 = intReg(17);
+    st.rs1 = intReg(3);
+    st.imm = 40;
+    Instruction back = decode(encode(st));
+    EXPECT_EQ(back.rs2, intReg(17));
+    EXPECT_EQ(back.rs1, intReg(3));
+    EXPECT_EQ(back.imm, 40);
+}
+
+TEST(Codec, FpRegistersEncodeAsHighIndices)
+{
+    Instruction i;
+    i.op = Opcode::FADD;
+    i.rd = fpReg(31);
+    i.rs1 = fpReg(0);
+    i.rs2 = fpReg(15);
+    Instruction back = decode(encode(i));
+    EXPECT_EQ(back.rd, fpReg(31));
+    EXPECT_TRUE(isFpReg(back.rd));
+    EXPECT_EQ(back.rs1, fpReg(0));
+    EXPECT_EQ(back.rs2, fpReg(15));
+}

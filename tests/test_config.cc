@@ -1,0 +1,79 @@
+/** @file Unit tests for the key=value configuration store. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+using namespace sciq;
+
+TEST(ConfigMap, ParseFromArgs)
+{
+    const char *argv[] = {"prog", "iq_size=512", "workload=swim",
+                          "positional", "hmp=true"};
+    ConfigMap cfg = ConfigMap::fromArgs(5, argv);
+    EXPECT_EQ(cfg.getInt("iq_size", 0), 512);
+    EXPECT_EQ(cfg.getString("workload"), "swim");
+    EXPECT_TRUE(cfg.getBool("hmp", false));
+    ASSERT_EQ(cfg.positional().size(), 1u);
+    EXPECT_EQ(cfg.positional()[0], "positional");
+}
+
+TEST(ConfigMap, DefaultsWhenAbsent)
+{
+    ConfigMap cfg;
+    EXPECT_EQ(cfg.getInt("x", 7), 7);
+    EXPECT_EQ(cfg.getString("y", "def"), "def");
+    EXPECT_TRUE(cfg.getBool("z", true));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("w", 2.5), 2.5);
+    EXPECT_FALSE(cfg.has("x"));
+}
+
+TEST(ConfigMap, BoolSpellings)
+{
+    ConfigMap cfg;
+    for (const char *t : {"1", "true", "yes", "on", "TRUE", "On"}) {
+        cfg.set("k", t);
+        EXPECT_TRUE(cfg.getBool("k", false)) << t;
+    }
+    for (const char *f : {"0", "false", "no", "off", "False"}) {
+        cfg.set("k", f);
+        EXPECT_FALSE(cfg.getBool("k", true)) << f;
+    }
+}
+
+TEST(ConfigMap, HexAndNegativeIntegers)
+{
+    ConfigMap cfg;
+    cfg.set("a", "0x100");
+    cfg.set("b", "-42");
+    EXPECT_EQ(cfg.getInt("a", 0), 256);
+    EXPECT_EQ(cfg.getInt("b", 0), -42);
+}
+
+TEST(ConfigMap, MalformedValuesFatal)
+{
+    ConfigMap cfg;
+    cfg.set("a", "notanumber");
+    EXPECT_THROW(cfg.getInt("a", 0), FatalError);
+    EXPECT_THROW(cfg.getDouble("a", 0), FatalError);
+    cfg.set("b", "maybe");
+    EXPECT_THROW(cfg.getBool("b", false), FatalError);
+}
+
+TEST(ConfigMap, ParseLineRejectsMalformed)
+{
+    ConfigMap cfg;
+    EXPECT_FALSE(cfg.parseLine("novalue"));
+    EXPECT_FALSE(cfg.parseLine("=value"));
+    EXPECT_TRUE(cfg.parseLine("k=v"));
+    EXPECT_EQ(cfg.getString("k"), "v");
+}
+
+TEST(ConfigMap, LastSetWins)
+{
+    ConfigMap cfg;
+    cfg.set("k", "1");
+    cfg.set("k", "2");
+    EXPECT_EQ(cfg.getInt("k", 0), 2);
+}

@@ -1,0 +1,124 @@
+/** @file Disassembler coverage across every opcode and format. */
+
+#include <gtest/gtest.h>
+
+#include "isa/asm_builder.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+
+using namespace sciq;
+
+TEST(Disassembler, RegisterNames)
+{
+    EXPECT_EQ(regName(intReg(0)), "r0");
+    EXPECT_EQ(regName(intReg(31)), "r31");
+    EXPECT_EQ(regName(fpReg(0)), "f0");
+    EXPECT_EQ(regName(fpReg(31)), "f31");
+    EXPECT_EQ(regName(kInvalidReg), "-");
+}
+
+TEST(Disassembler, MemoryOperandFormat)
+{
+    Instruction ld;
+    ld.op = Opcode::LD;
+    ld.rd = intReg(3);
+    ld.rs1 = intReg(4);
+    ld.imm = -8;
+    EXPECT_EQ(disassemble(ld), "ld r3, -8(r4)");
+
+    Instruction st;
+    st.op = Opcode::FST;
+    st.rs2 = fpReg(2);
+    st.rs1 = intReg(5);
+    st.imm = 16;
+    EXPECT_EQ(disassemble(st), "fst f2, 16(r5)");
+}
+
+TEST(Disassembler, ProgramListingHasPcs)
+{
+    AsmBuilder b(0x3000);
+    b.nop().halt();
+    std::string listing = disassemble(b.build());
+    EXPECT_NE(listing.find("0x3000"), std::string::npos);
+    EXPECT_NE(listing.find("0x3004"), std::string::npos);
+    EXPECT_NE(listing.find("nop"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+/**
+ * Property: for every opcode, disassembling a representative
+ * instruction and reassembling the text yields the same instruction.
+ */
+class DisasmAllOpcodes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DisasmAllOpcodes, RoundTripsThroughAssembler)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    Instruction inst;
+    inst.op = op;
+    switch (opInfo(op).format) {
+      case Format::R:
+        inst.rd = intReg(1);
+        inst.rs1 = intReg(2);
+        inst.rs2 = intReg(3);
+        if (opInfo(op).opClass == OpClass::FpAdd ||
+            opInfo(op).opClass == OpClass::FpMul ||
+            opInfo(op).opClass == OpClass::FpDiv) {
+            inst.rs1 = fpReg(2);
+            inst.rs2 = fpReg(3);
+            if (op != Opcode::FCMPEQ && op != Opcode::FCMPLT &&
+                op != Opcode::FCMPLE) {
+                inst.rd = fpReg(1);
+            }
+        }
+        break;
+      case Format::I:
+        inst.rd = intReg(1);
+        inst.rs1 = intReg(2);
+        inst.imm = -5;
+        if (op == Opcode::FSQRT || op == Opcode::FNEG ||
+            op == Opcode::FABS || op == Opcode::FMOV) {
+            inst.rd = fpReg(1);
+            inst.rs1 = fpReg(2);
+            inst.imm = 0;
+        } else if (op == Opcode::FCVTIF) {
+            inst.rd = fpReg(1);
+            inst.imm = 0;
+        } else if (op == Opcode::FCVTFI) {
+            inst.rs1 = fpReg(2);
+            inst.imm = 0;
+        }
+        break;
+      case Format::M:
+        if (opInfo(op).opClass == OpClass::MemWrite)
+            inst.rs2 = op == Opcode::FST ? fpReg(2) : intReg(2);
+        else
+            inst.rd = op == Opcode::FLD ? fpReg(2) : intReg(2);
+        inst.rs1 = intReg(3);
+        inst.imm = 24;
+        break;
+      case Format::B:
+        inst.rs1 = intReg(1);
+        inst.rs2 = intReg(2);
+        inst.imm = 3;
+        break;
+      case Format::J:
+        inst.rd = op == Opcode::J ? kInvalidReg : intReg(31);
+        inst.imm = 2;
+        break;
+      case Format::JR:
+        inst.rd = op == Opcode::JR ? kInvalidReg : intReg(31);
+        inst.rs1 = intReg(7);
+        break;
+      case Format::N:
+        break;
+    }
+
+    const std::string text = disassemble(inst);
+    Program reparsed = assemble(text + "\n");
+    EXPECT_TRUE(reparsed.instructions()[0] == inst)
+        << opInfo(op).mnemonic << ": '" << text << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, DisasmAllOpcodes,
+                         ::testing::Range(0u, kNumOpcodes));

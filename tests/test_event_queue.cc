@@ -1,0 +1,85 @@
+/** @file Unit tests for the cycle-ordered event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+
+using namespace sciq;
+
+TEST(EventQueue, FiresInCycleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(5); });
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(9, [&] { order.push_back(9); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{2, 5, 9}));
+}
+
+TEST(EventQueue, SameCycleFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(3, [&order, i] { order.push_back(i); });
+    q.runUntil(3);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(6, [&] { ++fired; });
+    q.runUntil(5);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.curCycle(), 5u);
+    q.runUntil(6);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    std::vector<Cycle> fired;
+    q.schedule(1, [&] {
+        fired.push_back(q.curCycle());
+        q.schedule(3, [&] { fired.push_back(q.curCycle()); });
+    });
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<Cycle>{1, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.runUntil(7);
+    EXPECT_THROW(q.schedule(6, [] {}), PanicError);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), kCycleNever);
+    q.schedule(11, [] {});
+    q.schedule(4, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 4u);
+}
+
+TEST(EventQueue, SameCycleCallbackRunsThisRound)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(2, [&] {
+        q.schedule(2, [&] { ++fired; });
+    });
+    q.runUntil(2);
+    EXPECT_EQ(fired, 1);
+}

@@ -1,0 +1,106 @@
+/** @file Tests for the function-unit pool (Table 1 configuration). */
+
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.hh"
+
+using namespace sciq;
+
+TEST(FuPool, Table1Latencies)
+{
+    FuPool fu;
+    EXPECT_EQ(fu.latency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(fu.latency(OpClass::IntMul), 3u);
+    EXPECT_EQ(fu.latency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(fu.latency(OpClass::FpAdd), 2u);
+    EXPECT_EQ(fu.latency(OpClass::FpMul), 4u);
+    EXPECT_EQ(fu.latency(OpClass::FpDiv), 12u);
+    EXPECT_EQ(fu.latency(OpClass::FpSqrt), 24u);
+    EXPECT_EQ(fu.latency(OpClass::Branch), 1u);
+    EXPECT_EQ(fu.latency(OpClass::MemRead), 1u);  // address generation
+}
+
+TEST(FuPool, EightPipelinedUnitsPerCycle)
+{
+    FuPool fu;
+    fu.beginCycle(1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::IntAlu, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::IntAlu, 1));
+    // Next cycle they are all free again (fully pipelined).
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::IntAlu, 2));
+}
+
+TEST(FuPool, PoolsAreIndependent)
+{
+    FuPool fu;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::IntAlu, 1));
+    EXPECT_TRUE(fu.tryAcquire(OpClass::FpAdd, 1));
+    EXPECT_TRUE(fu.tryAcquire(OpClass::IntMul, 1));
+}
+
+TEST(FuPool, DividesMonopoliseUnits)
+{
+    FuPool fu;
+    // 8 divides occupy all integer-mul units for 20 cycles.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::IntDiv, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::IntDiv, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::IntMul, 10));  // shared pool busy
+    EXPECT_FALSE(fu.tryAcquire(OpClass::IntMul, 20));
+    EXPECT_TRUE(fu.tryAcquire(OpClass::IntMul, 21));
+}
+
+TEST(FuPool, FpDivSqrtSharePoolWithFpMul)
+{
+    FuPool fu;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::FpSqrt, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::FpMul, 5));
+    EXPECT_TRUE(fu.tryAcquire(OpClass::FpMul, 25));
+}
+
+TEST(FuPool, MixedPipelinedAndUnpipelined)
+{
+    FuPool fu;
+    // One divide occupies one unit; the other 7 still pipeline muls.
+    EXPECT_TRUE(fu.tryAcquire(OpClass::FpDiv, 1));
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::FpMul, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::FpMul, 1));
+    // Next cycle: 7 free units (divide still busy until cycle 13).
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(fu.tryAcquire(OpClass::FpMul, 2));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::FpMul, 2));
+}
+
+TEST(FuPool, CachePorts)
+{
+    FuPool fu;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fu.tryAcquirePort(3));
+    EXPECT_FALSE(fu.tryAcquirePort(3));
+    EXPECT_TRUE(fu.tryAcquirePort(4));
+}
+
+TEST(FuPool, StructuralStallsCounted)
+{
+    FuPoolParams p;
+    p.intAluUnits = 1;
+    FuPool fu(p);
+    EXPECT_TRUE(fu.tryAcquire(OpClass::IntAlu, 1));
+    EXPECT_FALSE(fu.tryAcquire(OpClass::IntAlu, 1));
+    EXPECT_EQ(fu.structuralStalls.value(), 1.0);
+}
+
+TEST(FuPool, CustomLatencies)
+{
+    FuPoolParams p;
+    p.intMulLat = 5;
+    p.fpSqrtLat = 30;
+    FuPool fu(p);
+    EXPECT_EQ(fu.latency(OpClass::IntMul), 5u);
+    EXPECT_EQ(fu.latency(OpClass::FpSqrt), 30u);
+}

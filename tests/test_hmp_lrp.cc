@@ -1,0 +1,122 @@
+/** @file Tests for the hit/miss and left/right operand predictors. */
+
+#include <gtest/gtest.h>
+
+#include "branch/hit_miss_predictor.hh"
+#include "branch/left_right_predictor.hh"
+
+using namespace sciq;
+
+TEST(HitMissPredictor, RequiresFourteenConsecutiveHits)
+{
+    // Paper 4.4: 4-bit counters, predict hit only when counter > 13.
+    HitMissPredictor hmp(64);
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 14; ++i) {
+        EXPECT_FALSE(hmp.peekHit(pc)) << "after " << i << " hits";
+        hmp.update(pc, true);
+    }
+    EXPECT_TRUE(hmp.peekHit(pc));
+}
+
+TEST(HitMissPredictor, ClearsToZeroOnMiss)
+{
+    HitMissPredictor hmp(64);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 20; ++i)
+        hmp.update(pc, true);
+    EXPECT_TRUE(hmp.peekHit(pc));
+    hmp.update(pc, false);
+    EXPECT_FALSE(hmp.peekHit(pc));
+    // Needs the full run of hits again.
+    for (int i = 0; i < 13; ++i)
+        hmp.update(pc, true);
+    EXPECT_FALSE(hmp.peekHit(pc));
+    hmp.update(pc, true);
+    EXPECT_TRUE(hmp.peekHit(pc));
+}
+
+TEST(HitMissPredictor, PeekHasNoStatSideEffects)
+{
+    HitMissPredictor hmp(64);
+    hmp.peekHit(0x100);
+    hmp.peekHit(0x104);
+    EXPECT_EQ(hmp.predictHitCount.value(), 0.0);
+    EXPECT_EQ(hmp.predictMissCount.value(), 0.0);
+    hmp.predictHit(0x100);
+    EXPECT_EQ(hmp.predictMissCount.value(), 1.0);
+}
+
+TEST(HitMissPredictor, AccuracyAndCoverageMath)
+{
+    HitMissPredictor hmp(64);
+    // 3 predicted hits of which 2 correct; 4 actual hits total.
+    hmp.recordOutcome(true, true);
+    hmp.recordOutcome(true, true);
+    hmp.recordOutcome(true, false);
+    hmp.recordOutcome(false, true);
+    hmp.recordOutcome(false, true);
+    hmp.predictHitCount.set(3);
+    EXPECT_DOUBLE_EQ(hmp.hitAccuracy(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(hmp.hitCoverage(), 2.0 / 4.0);
+}
+
+TEST(HitMissPredictor, HighConfidenceOnSteadyHits)
+{
+    // Property: a PC that always hits is eventually predicted hit with
+    // perfect accuracy; one that misses 1-in-8 is never predicted hit
+    // for the miss-adjacent window.
+    HitMissPredictor hmp(1024);
+    const Addr steady = 0x100, flaky = 0x200;
+    int steady_predicted = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (hmp.peekHit(steady))
+            ++steady_predicted;
+        hmp.update(steady, true);
+        bool hit = (i % 8) != 7;
+        EXPECT_FALSE(hmp.peekHit(flaky) && !hit);
+        hmp.update(flaky, hit);
+    }
+    EXPECT_GT(steady_predicted, 180);
+    EXPECT_FALSE(hmp.peekHit(flaky));  // counter keeps resetting
+}
+
+TEST(LeftRightPredictor, LearnsConsistentCriticalOperand)
+{
+    LeftRightPredictor lrp(64);
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 8; ++i)
+        lrp.update(pc, true);  // left always later
+    EXPECT_TRUE(lrp.peekLeftCritical(pc));
+    for (int i = 0; i < 8; ++i)
+        lrp.update(pc, false);
+    EXPECT_FALSE(lrp.peekLeftCritical(pc));
+}
+
+TEST(LeftRightPredictor, HysteresisNeedsTwoFlips)
+{
+    LeftRightPredictor lrp(64);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        lrp.update(pc, true);
+    lrp.update(pc, false);  // single contrary outcome
+    EXPECT_TRUE(lrp.peekLeftCritical(pc));  // 2-bit counter holds
+    lrp.update(pc, false);
+    EXPECT_FALSE(lrp.peekLeftCritical(pc));
+}
+
+TEST(LeftRightPredictor, PredictCountsStats)
+{
+    LeftRightPredictor lrp(64);
+    lrp.predictLeftCritical(0x100);
+    lrp.predictLeftCritical(0x104);
+    EXPECT_EQ(lrp.predicts.value(), 2.0);
+    lrp.peekLeftCritical(0x100);
+    EXPECT_EQ(lrp.predicts.value(), 2.0);
+}
+
+TEST(Predictors, TableSizesMustBePow2)
+{
+    EXPECT_THROW(HitMissPredictor(100), PanicError);
+    EXPECT_THROW(LeftRightPredictor(100), PanicError);
+}

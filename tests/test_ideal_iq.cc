@@ -1,0 +1,132 @@
+/** @file Tests for the idealised monolithic instruction queue. */
+
+#include <gtest/gtest.h>
+
+#include "iq/ideal_iq.hh"
+#include "iq_harness.hh"
+
+using namespace sciq;
+using namespace sciq::test;
+
+namespace {
+
+struct IdealFixture : public ::testing::Test
+{
+    IdealFixture() : scoreboard(128), fu(), rec(scoreboard)
+    {
+        params.numEntries = 8;
+        params.issueWidth = 4;
+    }
+
+    IqParams params;
+    Scoreboard scoreboard;
+    FuPool fu;
+    IssueRecorder rec;
+};
+
+} // namespace
+
+TEST_F(IdealFixture, CapacityGatesInsertion)
+{
+    IdealIq iq(params, scoreboard, fu);
+    for (SeqNum s = 1; s <= 8; ++s) {
+        auto inst = makeInst(s, Opcode::NOP);
+        ASSERT_TRUE(iq.canInsert(inst));
+        iq.insert(inst, 0);
+    }
+    auto extra = makeInst(9, Opcode::NOP);
+    EXPECT_FALSE(iq.canInsert(extra));
+    EXPECT_EQ(iq.occupancy(), 8u);
+}
+
+TEST_F(IdealFixture, OnlyReadyInstructionsIssue)
+{
+    IdealIq iq(params, scoreboard, fu);
+    auto ready = makeInst(1, Opcode::ADD, intReg(3), intReg(1), intReg(2));
+    auto unready = makeInst(2, Opcode::ADD, intReg(5), intReg(4), intReg(2));
+    scoreboard.setReady(intReg(1));
+    scoreboard.setReady(intReg(2));
+    scoreboard.clearReady(intReg(4));
+    iq.insert(ready, 0);
+    iq.insert(unready, 0);
+
+    iq.issueSelect(1, rec.acceptAll());
+    ASSERT_EQ(rec.issued.size(), 1u);
+    EXPECT_EQ(rec.issued[0]->seq, 1u);
+    EXPECT_EQ(iq.occupancy(), 1u);
+
+    scoreboard.setReady(intReg(4));
+    iq.issueSelect(2, rec.acceptAll());
+    EXPECT_EQ(rec.issued.size(), 2u);
+    EXPECT_EQ(iq.occupancy(), 0u);
+}
+
+TEST_F(IdealFixture, OldestFirstWithinWidth)
+{
+    IdealIq iq(params, scoreboard, fu);
+    for (SeqNum s = 1; s <= 6; ++s)
+        iq.insert(makeInst(s, Opcode::NOP), 0);
+    iq.issueSelect(1, rec.acceptAll());
+    ASSERT_EQ(rec.issued.size(), 4u);  // issueWidth
+    for (SeqNum s = 1; s <= 4; ++s)
+        EXPECT_EQ(rec.issued[s - 1]->seq, s);
+}
+
+TEST_F(IdealFixture, RejectedInstructionsStayQueued)
+{
+    IdealIq iq(params, scoreboard, fu);
+    iq.insert(makeInst(1, Opcode::NOP), 0);
+    iq.issueSelect(1, rec.rejectAll());
+    EXPECT_EQ(iq.occupancy(), 1u);
+    iq.issueSelect(2, rec.acceptAll());
+    EXPECT_EQ(iq.occupancy(), 0u);
+}
+
+TEST_F(IdealFixture, FuRejectDoesNotBlockOthers)
+{
+    IdealIq iq(params, scoreboard, fu);
+    auto a = makeInst(1, Opcode::NOP);
+    auto b = makeInst(2, Opcode::NOP);
+    iq.insert(a, 0);
+    iq.insert(b, 0);
+    // Reject only the first instruction.
+    iq.issueSelect(1, [&](const DynInstPtr &inst) {
+        return inst->seq != 1;
+    });
+    EXPECT_EQ(iq.occupancy(), 1u);
+    EXPECT_FALSE(a->issued);
+}
+
+TEST_F(IdealFixture, SquashRemovesYounger)
+{
+    IdealIq iq(params, scoreboard, fu);
+    for (SeqNum s = 1; s <= 6; ++s)
+        iq.insert(makeInst(s, Opcode::NOP), 0);
+    iq.squash(3);
+    EXPECT_EQ(iq.occupancy(), 3u);
+    iq.issueSelect(1, rec.acceptAll());
+    for (const auto &inst : rec.issued)
+        EXPECT_LE(inst->seq, 3u);
+}
+
+TEST_F(IdealFixture, StoreDataDoesNotGateIssue)
+{
+    // A store's address generation waits only on the base register.
+    IdealIq iq(params, scoreboard, fu);
+    auto st = makeInst(1, Opcode::ST, kInvalidReg, intReg(1), intReg(9));
+    scoreboard.setReady(intReg(1));
+    scoreboard.clearReady(intReg(9));  // data not ready
+    iq.insert(st, 0);
+    iq.issueSelect(1, rec.acceptAll());
+    ASSERT_EQ(rec.issued.size(), 1u);
+}
+
+TEST_F(IdealFixture, StatsTrackInsertsAndIssues)
+{
+    IdealIq iq(params, scoreboard, fu);
+    iq.insert(makeInst(1, Opcode::NOP), 0);
+    iq.insert(makeInst(2, Opcode::NOP), 0);
+    iq.issueSelect(1, rec.acceptAll());
+    EXPECT_EQ(iq.instsInserted.value(), 2.0);
+    EXPECT_EQ(iq.instsIssued.value(), 2.0);
+}

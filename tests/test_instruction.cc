@@ -1,0 +1,150 @@
+/** @file Tests for static-instruction operand and classification helpers. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+using namespace sciq;
+
+namespace {
+
+Instruction
+make(Opcode op, RegIndex rd = kInvalidReg, RegIndex rs1 = kInvalidReg,
+     RegIndex rs2 = kInvalidReg, std::int64_t imm = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+TEST(Instruction, RFormatSources)
+{
+    auto i = make(Opcode::ADD, intReg(3), intReg(1), intReg(2));
+    auto s = i.srcRegs();
+    EXPECT_EQ(s[0], intReg(1));
+    EXPECT_EQ(s[1], intReg(2));
+    EXPECT_EQ(i.dstReg(), intReg(3));
+}
+
+TEST(Instruction, ZeroRegisterIsNeverADependence)
+{
+    auto i = make(Opcode::ADD, intReg(3), intReg(0), intReg(2));
+    auto s = i.srcRegs();
+    EXPECT_EQ(s[0], kInvalidReg);
+    EXPECT_EQ(s[1], intReg(2));
+
+    auto z = make(Opcode::ADD, intReg(0), intReg(1), intReg(2));
+    EXPECT_EQ(z.dstReg(), kInvalidReg);
+}
+
+TEST(Instruction, LoadHasOnlyBaseSource)
+{
+    auto i = make(Opcode::LD, intReg(5), intReg(6), kInvalidReg, 8);
+    auto s = i.srcRegs();
+    EXPECT_EQ(s[0], intReg(6));
+    EXPECT_EQ(s[1], kInvalidReg);
+    EXPECT_EQ(i.dstReg(), intReg(5));
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isMem());
+    EXPECT_FALSE(i.isStore());
+}
+
+TEST(Instruction, StoreHasBaseAndDataSources)
+{
+    Instruction i;
+    i.op = Opcode::FST;
+    i.rs1 = intReg(6);
+    i.rs2 = fpReg(2);
+    auto s = i.srcRegs();
+    EXPECT_EQ(s[0], intReg(6));
+    EXPECT_EQ(s[1], fpReg(2));
+    EXPECT_EQ(i.dstReg(), kInvalidReg);
+    EXPECT_TRUE(i.isStore());
+}
+
+TEST(Instruction, BranchClassification)
+{
+    auto b = make(Opcode::BNE, kInvalidReg, intReg(1), intReg(2), -4);
+    EXPECT_TRUE(b.isControl());
+    EXPECT_TRUE(b.isCondBranch());
+    EXPECT_FALSE(b.isIndirect());
+    EXPECT_EQ(b.dstReg(), kInvalidReg);
+
+    auto j = make(Opcode::J, kInvalidReg, kInvalidReg, kInvalidReg, 10);
+    EXPECT_TRUE(j.isControl());
+    EXPECT_FALSE(j.isCondBranch());
+
+    auto jr = make(Opcode::JR, kInvalidReg, intReg(31));
+    EXPECT_TRUE(jr.isIndirect());
+    EXPECT_TRUE(jr.isReturn());
+
+    auto jal = make(Opcode::JAL, intReg(31), kInvalidReg, kInvalidReg, 5);
+    EXPECT_TRUE(jal.isCall());
+    EXPECT_EQ(jal.dstReg(), intReg(31));
+
+    auto jalr = make(Opcode::JALR, intReg(31), intReg(7));
+    EXPECT_TRUE(jalr.isCall());
+    EXPECT_TRUE(jalr.isIndirect());
+}
+
+TEST(Instruction, MemSizes)
+{
+    EXPECT_EQ(make(Opcode::LD).memSize(), 8u);
+    EXPECT_EQ(make(Opcode::FLD).memSize(), 8u);
+    EXPECT_EQ(make(Opcode::LW).memSize(), 4u);
+    EXPECT_EQ(make(Opcode::ST).memSize(), 8u);
+    EXPECT_EQ(make(Opcode::SW).memSize(), 4u);
+    EXPECT_EQ(make(Opcode::FST).memSize(), 8u);
+    EXPECT_EQ(make(Opcode::ADD).memSize(), 0u);
+}
+
+TEST(Instruction, HaltAndNop)
+{
+    EXPECT_TRUE(make(Opcode::HALT).isHalt());
+    EXPECT_TRUE(make(Opcode::NOP).isNop());
+    EXPECT_FALSE(make(Opcode::NOP).isControl());
+    auto s = make(Opcode::NOP).srcRegs();
+    EXPECT_EQ(s[0], kInvalidReg);
+    EXPECT_EQ(s[1], kInvalidReg);
+}
+
+TEST(Instruction, UnaryFpSingleSource)
+{
+    auto i = make(Opcode::FSQRT, fpReg(1), fpReg(2));
+    auto s = i.srcRegs();
+    EXPECT_EQ(s[0], fpReg(2));
+    EXPECT_EQ(s[1], kInvalidReg);
+    EXPECT_EQ(i.dstReg(), fpReg(1));
+}
+
+class OpClassMapping
+    : public ::testing::TestWithParam<std::pair<Opcode, OpClass>>
+{
+};
+
+TEST_P(OpClassMapping, OpcodeMapsToExpectedClass)
+{
+    auto [op, cls] = GetParam();
+    EXPECT_EQ(opInfo(op).opClass, cls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, OpClassMapping,
+    ::testing::Values(std::make_pair(Opcode::ADD, OpClass::IntAlu),
+                      std::make_pair(Opcode::MUL, OpClass::IntMul),
+                      std::make_pair(Opcode::DIV, OpClass::IntDiv),
+                      std::make_pair(Opcode::FADD, OpClass::FpAdd),
+                      std::make_pair(Opcode::FMUL, OpClass::FpMul),
+                      std::make_pair(Opcode::FDIV, OpClass::FpDiv),
+                      std::make_pair(Opcode::FSQRT, OpClass::FpSqrt),
+                      std::make_pair(Opcode::LD, OpClass::MemRead),
+                      std::make_pair(Opcode::FST, OpClass::MemWrite),
+                      std::make_pair(Opcode::BEQ, OpClass::Branch),
+                      std::make_pair(Opcode::JALR, OpClass::Jump),
+                      std::make_pair(Opcode::HALT, OpClass::Halt)));

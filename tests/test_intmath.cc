@@ -1,0 +1,95 @@
+/** @file Unit tests for common/intmath.hh bit utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+using namespace sciq;
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(IntMath, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0u);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(IntMath, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xff, 7, 4, 0), 0x0fu);
+    EXPECT_EQ(insertBits(0, 63, 0, ~0ULL), ~0ULL);
+    // Values wider than the field are masked.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(IntMath, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x1fff, 14), 0x1fff);
+    EXPECT_EQ(signExtend(0x2000, 14), -8192);
+    EXPECT_EQ(signExtend(0x3fff, 14), -1);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0, 14), 0);
+}
+
+class SignExtendRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignExtendRoundTrip, PreservesInRangeValues)
+{
+    const unsigned bit_count = 14;
+    const std::int64_t v = GetParam();
+    auto u = static_cast<std::uint64_t>(v) & ((1ULL << bit_count) - 1);
+    EXPECT_EQ(signExtend(u, bit_count), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Imm14Range, SignExtendRoundTrip,
+                         ::testing::Values(-8192, -8191, -1000, -1, 0, 1,
+                                           42, 1000, 8190, 8191));

@@ -1,0 +1,70 @@
+/** @file Unit tests for panic/fatal error reporting. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+using namespace sciq;
+
+TEST(Logging, PanicThrowsWithMessage)
+{
+    try {
+        panic("bad thing %d", 42);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::strstr(e.what(), "bad thing 42"), nullptr);
+        EXPECT_NE(std::strstr(e.what(), "panic"), nullptr);
+    }
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("user error: %s", "oops");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::strstr(e.what(), "user error: oops"), nullptr);
+    }
+}
+
+TEST(Logging, PanicIsNotFatal)
+{
+    // The two error classes are distinct so tests can tell simulator
+    // bugs from configuration errors.
+    EXPECT_THROW(panic("x"), PanicError);
+    EXPECT_THROW(fatal("x"), FatalError);
+    bool caught = false;
+    try {
+        panic("x");
+    } catch (const FatalError &) {
+        // wrong type
+    } catch (const PanicError &) {
+        caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(SCIQ_ASSERT(1 + 1 == 2, "math works"));
+    try {
+        SCIQ_ASSERT(1 == 2, "value was %d", 7);
+        FAIL() << "assert did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::strstr(e.what(), "1 == 2"), nullptr);
+        EXPECT_NE(std::strstr(e.what(), "value was 7"), nullptr);
+    }
+}
+
+TEST(Logging, FormatHandlesLongStrings)
+{
+    std::string big(5000, 'x');
+    try {
+        fatal("%s", big.c_str());
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_GE(std::strlen(e.what()), 5000u);
+    }
+}

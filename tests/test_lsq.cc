@@ -1,0 +1,293 @@
+/** @file Tests for the load/store queue: ordering, forwarding, timing. */
+
+#include <gtest/gtest.h>
+
+#include "core/lsq.hh"
+#include "iq_harness.hh"
+#include "mem/hierarchy.hh"
+
+using namespace sciq;
+using namespace sciq::test;
+
+namespace {
+
+struct LsqFixture : public ::testing::Test
+{
+    LsqFixture() : scoreboard(128)
+    {
+        Lsq::Callbacks cb;
+        cb.onLoadComplete = [this](const DynInstPtr &inst, Cycle when) {
+            inst->completed = true;
+            loadDone.emplace_back(inst, when);
+        };
+        cb.onLoadMiss = [this](const DynInstPtr &inst, Cycle when) {
+            missNotified.emplace_back(inst, when);
+        };
+        cb.onStoreReady = [this](const DynInstPtr &inst, Cycle when) {
+            inst->completed = true;
+            storeReady.emplace_back(inst, when);
+        };
+        lsq = std::make_unique<Lsq>(16, mem.dcache(), fu, scoreboard,
+                                    std::move(cb));
+    }
+
+    DynInstPtr
+    makeLoad(SeqNum seq, Addr addr, RegIndex dst = intReg(5))
+    {
+        auto inst = makeInst(seq, Opcode::LD, dst, intReg(1));
+        inst->effAddr = addr;
+        return inst;
+    }
+
+    DynInstPtr
+    makeStore(SeqNum seq, Addr addr, RegIndex data_reg = intReg(6),
+              Opcode op = Opcode::ST)
+    {
+        auto inst = makeInst(seq, op, kInvalidReg, intReg(1), data_reg);
+        inst->effAddr = addr;
+        inst->memValue = 0xAB;
+        return inst;
+    }
+
+    void
+    step()
+    {
+        ++cycle;
+        mem.tick(cycle);
+        lsq->tick(cycle);
+    }
+
+    void
+    stepUntil(const std::function<bool()> &done, int limit = 400)
+    {
+        for (int i = 0; i < limit && !done(); ++i)
+            step();
+        ASSERT_TRUE(done());
+    }
+
+    MemHierarchy mem;
+    FuPool fu;
+    Scoreboard scoreboard;
+    std::unique_ptr<Lsq> lsq;
+    std::vector<std::pair<DynInstPtr, Cycle>> loadDone;
+    std::vector<std::pair<DynInstPtr, Cycle>> missNotified;
+    std::vector<std::pair<DynInstPtr, Cycle>> storeReady;
+    Cycle cycle = 0;
+};
+
+} // namespace
+
+TEST_F(LsqFixture, ColdLoadMissesAndCompletes)
+{
+    auto load = makeLoad(1, 0x8000);
+    lsq->insert(load);
+    lsq->setAddrReady(load, 0);
+    stepUntil([&] { return !loadDone.empty(); });
+    EXPECT_FALSE(load->loadWasL1Hit);
+    EXPECT_FALSE(load->loadForwarded);
+    ASSERT_EQ(missNotified.size(), 1u);
+    // Miss detected at L1 lookup time, well before completion.
+    EXPECT_LT(missNotified[0].second, loadDone[0].second);
+    // Full memory round trip: ~122 cycles from the access.
+    EXPECT_GT(loadDone[0].second, 100u);
+}
+
+TEST_F(LsqFixture, WarmLoadHitsInThreeCycles)
+{
+    auto warm = makeLoad(1, 0x8000);
+    lsq->insert(warm);
+    lsq->setAddrReady(warm, 0);
+    stepUntil([&] { return !loadDone.empty(); });
+    lsq->commitLoad(warm);
+
+    loadDone.clear();
+    auto load = makeLoad(2, 0x8008);
+    lsq->insert(load);
+    lsq->setAddrReady(load, cycle);
+    const Cycle sent = cycle + 1;  // next tick sends the access
+    stepUntil([&] { return !loadDone.empty(); });
+    EXPECT_TRUE(load->loadWasL1Hit);
+    EXPECT_EQ(loadDone[0].second, sent + 3);  // L1D latency
+    EXPECT_TRUE(missNotified.size() == 1u);   // only the cold one
+}
+
+TEST_F(LsqFixture, SecondLoadToInFlightLineIsDelayedHit)
+{
+    auto a = makeLoad(1, 0x9000);
+    auto b = makeLoad(2, 0x9008, intReg(7));
+    lsq->insert(a);
+    lsq->insert(b);
+    lsq->setAddrReady(a, 0);
+    lsq->setAddrReady(b, 0);
+    stepUntil([&] { return loadDone.size() == 2; });
+    EXPECT_TRUE(a->loadWasDelayedHit || b->loadWasDelayedHit);
+    EXPECT_EQ(mem.dcache().delayedHits.value(), 1.0);
+}
+
+TEST_F(LsqFixture, FullCoverageStoreForwardsInOneCycle)
+{
+    auto st = makeStore(1, 0xA000);
+    auto ld = makeLoad(2, 0xA000);
+    lsq->insert(st);
+    lsq->insert(ld);
+    lsq->setAddrReady(st, 0);
+    lsq->setAddrReady(ld, 0);
+    // Store data (r6) is ready by default in the scoreboard.
+    stepUntil([&] { return !loadDone.empty(); }, 10);
+    EXPECT_TRUE(ld->loadForwarded);
+    EXPECT_EQ(lsq->loadForwards.value(), 1.0);
+    EXPECT_EQ(lsq->loadsIssued.value(), 0.0);  // never touched the cache
+}
+
+TEST_F(LsqFixture, ForwardingWaitsForStoreData)
+{
+    scoreboard.clearReady(intReg(6));
+    auto st = makeStore(1, 0xA100);
+    auto ld = makeLoad(2, 0xA100);
+    lsq->insert(st);
+    lsq->insert(ld);
+    lsq->setAddrReady(st, 0);
+    lsq->setAddrReady(ld, 0);
+    for (int i = 0; i < 10; ++i)
+        step();
+    EXPECT_TRUE(loadDone.empty());  // blocked on store data
+    scoreboard.setReady(intReg(6));
+    stepUntil([&] { return !loadDone.empty(); }, 10);
+    EXPECT_TRUE(ld->loadForwarded);
+}
+
+TEST_F(LsqFixture, PartialOverlapBlocksUntilStoreCommits)
+{
+    auto st = makeStore(1, 0xA200, intReg(6), Opcode::SW);  // 4 bytes
+    auto ld = makeLoad(2, 0xA200);                          // 8 bytes
+    lsq->insert(st);
+    lsq->insert(ld);
+    lsq->setAddrReady(st, 0);
+    lsq->setAddrReady(ld, 0);
+    for (int i = 0; i < 10; ++i)
+        step();
+    EXPECT_TRUE(loadDone.empty());
+    EXPECT_GT(lsq->loadConflictStalls.value(), 0.0);
+
+    // Committing the store unblocks the load (it reads the cache).
+    ASSERT_FALSE(storeReady.empty());
+    lsq->commitStore(st, cycle);
+    stepUntil([&] { return !loadDone.empty(); });
+    EXPECT_FALSE(ld->loadForwarded);
+}
+
+TEST_F(LsqFixture, UnknownOlderStoreAddressBlocksLoads)
+{
+    auto st = makeStore(1, 0xB000);
+    auto ld = makeLoad(2, 0xC000);  // would not conflict - but unknown
+    lsq->insert(st);
+    lsq->insert(ld);
+    lsq->setAddrReady(ld, 0);
+    for (int i = 0; i < 10; ++i)
+        step();
+    EXPECT_TRUE(loadDone.empty());
+    lsq->setAddrReady(st, cycle);
+    stepUntil([&] { return !loadDone.empty(); });
+}
+
+TEST_F(LsqFixture, YoungerNonConflictingLoadMayBypassStalledLoad)
+{
+    scoreboard.clearReady(intReg(6));
+    auto st = makeStore(1, 0xD000);
+    auto blocked = makeLoad(2, 0xD000);   // overlaps, store data unready
+    auto free_ld = makeLoad(3, 0xE000, intReg(7));
+    lsq->insert(st);
+    lsq->insert(blocked);
+    lsq->insert(free_ld);
+    lsq->setAddrReady(st, 0);
+    lsq->setAddrReady(blocked, 0);
+    lsq->setAddrReady(free_ld, 0);
+    stepUntil([&] { return !loadDone.empty(); });
+    EXPECT_EQ(loadDone[0].first->seq, 3u);
+}
+
+TEST_F(LsqFixture, StoreReadyRequiresAddressAndData)
+{
+    scoreboard.clearReady(intReg(6));
+    auto st = makeStore(1, 0xF000);
+    lsq->insert(st);
+    for (int i = 0; i < 3; ++i)
+        step();
+    EXPECT_TRUE(storeReady.empty());  // no address yet
+    lsq->setAddrReady(st, cycle);
+    for (int i = 0; i < 3; ++i)
+        step();
+    EXPECT_TRUE(storeReady.empty());  // no data yet
+    scoreboard.setReady(intReg(6));
+    stepUntil([&] { return !storeReady.empty(); }, 5);
+}
+
+TEST_F(LsqFixture, CommittedStoresDrainThroughPorts)
+{
+    auto st = makeStore(1, 0x11000);
+    lsq->insert(st);
+    lsq->setAddrReady(st, 0);
+    stepUntil([&] { return !storeReady.empty(); }, 5);
+    lsq->commitStore(st, cycle);
+    EXPECT_TRUE(lsq->busy());  // drain buffer non-empty
+    stepUntil([&] { return !lsq->busy(); });
+    EXPECT_EQ(lsq->storeDrains.value(), 1.0);
+    EXPECT_GT(mem.dcache().accesses.value(), 0.0);
+}
+
+TEST_F(LsqFixture, CachePortsLimitLoadsPerCycle)
+{
+    // 10 independent ready loads, 8 data-cache ports.
+    for (SeqNum s = 1; s <= 10; ++s) {
+        auto ld = makeLoad(s, 0x20000 + 0x1000 * s,
+                           intReg(static_cast<RegIndex>(10 + s)));
+        lsq->insert(ld);
+        lsq->setAddrReady(ld, 0);
+    }
+    step();
+    EXPECT_EQ(lsq->loadsIssued.value(), 8.0);
+    EXPECT_GT(lsq->portStalls.value(), 0.0);
+    step();
+    EXPECT_EQ(lsq->loadsIssued.value(), 10.0);
+}
+
+TEST_F(LsqFixture, SquashRemovesYoungerEntries)
+{
+    auto a = makeLoad(1, 0x30000);
+    auto b = makeLoad(2, 0x31000);
+    auto c = makeStore(3, 0x32000);
+    lsq->insert(a);
+    lsq->insert(b);
+    lsq->insert(c);
+    EXPECT_EQ(lsq->size(), 3u);
+    b->squashed = true;
+    c->squashed = true;
+    lsq->squash(1);
+    EXPECT_EQ(lsq->size(), 1u);
+    // The survivor still works.
+    lsq->setAddrReady(a, 0);
+    stepUntil([&] { return !loadDone.empty(); });
+    EXPECT_EQ(loadDone[0].first->seq, 1u);
+}
+
+TEST_F(LsqFixture, SquashedInFlightLoadDoesNotCallBack)
+{
+    auto ld = makeLoad(1, 0x40000);
+    lsq->insert(ld);
+    lsq->setAddrReady(ld, 0);
+    step();  // access sent
+    ld->squashed = true;
+    lsq->squash(0);
+    for (int i = 0; i < 200; ++i)
+        step();
+    EXPECT_TRUE(loadDone.empty());
+}
+
+TEST_F(LsqFixture, CapacityAccounting)
+{
+    EXPECT_EQ(lsq->freeEntries(), 16u);
+    auto ld = makeLoad(1, 0x50000);
+    lsq->insert(ld);
+    EXPECT_EQ(lsq->freeEntries(), 15u);
+    EXPECT_FALSE(lsq->full());
+}

@@ -1,0 +1,134 @@
+/** @file Tests for the pipeline trace / pipeview facility. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ooo_core.hh"
+#include "isa/assembler.hh"
+#include "sim/pipe_trace.hh"
+
+using namespace sciq;
+
+namespace {
+
+CoreParams
+tinyCore()
+{
+    CoreParams p;
+    p.iqKind = IqKind::Ideal;
+    p.iq.numEntries = 32;
+    return p;
+}
+
+} // namespace
+
+TEST(PipeTrace, RecordsEveryCommittedInstruction)
+{
+    Program prog = assemble(R"(
+        addi r1, r0, 3
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    OooCore core(prog, tinyCore());
+    PipeTrace trace;
+    core.setObserver(&trace);
+    core.run(~0ULL, 10000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(trace.records().size(), core.committedCount());
+
+    // Records are in commit (program) order with monotone cycles.
+    for (std::size_t i = 1; i < trace.records().size(); ++i) {
+        EXPECT_GT(trace.records()[i].seq, trace.records()[i - 1].seq);
+        EXPECT_GE(trace.records()[i].commit,
+                  trace.records()[i - 1].commit);
+    }
+    for (const auto &r : trace.records()) {
+        EXPECT_LE(r.fetch, r.commit);
+        EXPECT_FALSE(r.squashed);
+        if (r.issue) {
+            EXPECT_LE(r.issue, r.complete);
+        }
+    }
+}
+
+TEST(PipeTrace, SquashedInstructionsOptIn)
+{
+    // An unpredictable branch guarantees wrong-path squashes.
+    Program prog = assemble(R"(
+        addi r1, r0, 300
+        addi r5, r0, 77
+    loop:
+        mul r5, r5, r5
+        addi r5, r5, 13
+        srli r6, r5, 17
+        andi r6, r6, 1
+        beq r6, r0, skip
+        addi r2, r2, 1
+    skip:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    {
+        OooCore core(prog, tinyCore());
+        PipeTrace trace;
+        core.setObserver(&trace);
+        core.run(~0ULL, 100000);
+        for (const auto &r : trace.records())
+            EXPECT_FALSE(r.squashed);
+    }
+    {
+        OooCore core(prog, tinyCore());
+        PipeTrace trace;
+        trace.traceSquashed = true;
+        core.setObserver(&trace);
+        core.run(~0ULL, 100000);
+        bool saw_squashed = false;
+        for (const auto &r : trace.records())
+            saw_squashed |= r.squashed;
+        EXPECT_TRUE(saw_squashed);
+    }
+}
+
+TEST(PipeTrace, CapacityBoundsMemory)
+{
+    Program prog = assemble(R"(
+        addi r1, r0, 2000
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    OooCore core(prog, tinyCore());
+    PipeTrace trace(64);
+    core.setObserver(&trace);
+    core.run(~0ULL, 100000);
+    EXPECT_LE(trace.records().size(), 64u);
+    // The kept records are the most recent ones.
+    EXPECT_EQ(trace.records().back().text, "halt");
+}
+
+TEST(PipeTrace, RenderProducesTimeline)
+{
+    Program prog = assemble("addi r1, r0, 5\nadd r2, r1, r1\nhalt\n");
+    OooCore core(prog, tinyCore());
+    PipeTrace trace;
+    core.setObserver(&trace);
+    core.run(~0ULL, 10000);
+
+    std::ostringstream os;
+    trace.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("addi r1, r0, 5"), std::string::npos);
+    EXPECT_NE(out.find("halt"), std::string::npos);
+    EXPECT_NE(out.find('f'), std::string::npos);
+    EXPECT_NE(out.find('C'), std::string::npos);
+
+    std::ostringstream empty;
+    PipeTrace t2;
+    t2.render(empty);
+    EXPECT_NE(empty.str().find("no trace records"), std::string::npos);
+}

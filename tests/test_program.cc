@@ -1,0 +1,72 @@
+/** @file Tests for the Program container and its loaded memory image. */
+
+#include <gtest/gtest.h>
+
+#include "isa/asm_builder.hh"
+#include "isa/codec.hh"
+#include "isa/program.hh"
+#include "isa/sparse_memory.hh"
+
+using namespace sciq;
+
+TEST(Program, LoadWritesDecodableCodeImage)
+{
+    AsmBuilder b(0x1000);
+    b.addi(intReg(1), intReg(0), 42);
+    b.mul(intReg(2), intReg(1), intReg(1));
+    b.halt();
+    Program prog = b.build();
+
+    SparseMemory mem;
+    prog.load(mem);
+
+    // The in-memory words decode back to the original instructions.
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        auto word = static_cast<std::uint32_t>(mem.read(prog.pcOf(i), 4));
+        Instruction decoded = decode(word);
+        EXPECT_TRUE(decoded == prog.instructions()[i]) << "index " << i;
+    }
+}
+
+TEST(Program, AppendReturnsPc)
+{
+    Program prog(0x2000);
+    Instruction nop;
+    nop.op = Opcode::NOP;
+    EXPECT_EQ(prog.append(nop), 0x2000u);
+    EXPECT_EQ(prog.append(nop), 0x2004u);
+    EXPECT_EQ(prog.size(), 2u);
+}
+
+TEST(Program, ContainsAndBounds)
+{
+    Program prog(0x2000);
+    Instruction nop;
+    nop.op = Opcode::NOP;
+    prog.append(nop);
+    EXPECT_TRUE(prog.contains(0x2000));
+    EXPECT_FALSE(prog.contains(0x2004));
+    EXPECT_FALSE(prog.contains(0x1ffc));
+    EXPECT_FALSE(prog.contains(0x2001));
+}
+
+TEST(Program, DataBlobHelpers)
+{
+    Program prog;
+    prog.addDoubles(0x8000, {1.0, 2.0});
+    prog.addWords(0x9000, {0xAABB, 0xCCDD});
+    SparseMemory mem;
+    prog.load(mem);
+    EXPECT_DOUBLE_EQ(mem.readDouble(0x8000), 1.0);
+    EXPECT_DOUBLE_EQ(mem.readDouble(0x8008), 2.0);
+    EXPECT_EQ(mem.read(0x9000, 8), 0xAABBu);
+    EXPECT_EQ(mem.read(0x9008, 8), 0xCCDDu);
+}
+
+TEST(Program, NameCarriedThroughBuilder)
+{
+    AsmBuilder b;
+    b.halt();
+    Program prog = b.build("my-kernel");
+    EXPECT_EQ(prog.name, "my-kernel");
+}

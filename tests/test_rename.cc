@@ -1,0 +1,95 @@
+/** @file Tests for register renaming and the ready scoreboard. */
+
+#include <gtest/gtest.h>
+
+#include "core/rename.hh"
+
+using namespace sciq;
+
+TEST(RenameMap, InitialIdentityMapping)
+{
+    RenameMap rm(kNumArchRegs + 8);
+    for (RegIndex r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(rm.lookup(r), r);
+    EXPECT_EQ(rm.freeRegs(), 8u);
+}
+
+TEST(RenameMap, AllocateRedirectsLookups)
+{
+    RenameMap rm(kNumArchRegs + 8);
+    auto [phys, prev] = rm.allocate(intReg(5));
+    EXPECT_EQ(prev, intReg(5));
+    EXPECT_NE(phys, intReg(5));
+    EXPECT_EQ(rm.lookup(intReg(5)), phys);
+    EXPECT_EQ(rm.freeRegs(), 7u);
+}
+
+TEST(RenameMap, SerialAllocationsChain)
+{
+    RenameMap rm(kNumArchRegs + 8);
+    auto [p1, prev1] = rm.allocate(intReg(3));
+    auto [p2, prev2] = rm.allocate(intReg(3));
+    EXPECT_EQ(prev2, p1);
+    EXPECT_EQ(rm.lookup(intReg(3)), p2);
+    (void)prev1;
+}
+
+TEST(RenameMap, UndoRestoresYoungestFirst)
+{
+    RenameMap rm(kNumArchRegs + 8);
+    auto [p1, prev1] = rm.allocate(intReg(3));
+    auto [p2, prev2] = rm.allocate(intReg(3));
+    rm.undo(intReg(3), p2, prev2);
+    EXPECT_EQ(rm.lookup(intReg(3)), p1);
+    rm.undo(intReg(3), p1, prev1);
+    EXPECT_EQ(rm.lookup(intReg(3)), intReg(3));
+    EXPECT_EQ(rm.freeRegs(), 8u);
+}
+
+TEST(RenameMap, OutOfOrderUndoPanics)
+{
+    RenameMap rm(kNumArchRegs + 8);
+    auto [p1, prev1] = rm.allocate(intReg(3));
+    auto [p2, prev2] = rm.allocate(intReg(3));
+    (void)p2;
+    (void)prev2;
+    EXPECT_THROW(rm.undo(intReg(3), p1, prev1), PanicError);
+}
+
+TEST(RenameMap, ReleaseReturnsToFreeList)
+{
+    RenameMap rm(kNumArchRegs + 4);
+    std::vector<std::pair<RegIndex, RegIndex>> allocs;
+    for (int i = 0; i < 4; ++i)
+        allocs.push_back(rm.allocate(intReg(1)));
+    EXPECT_FALSE(rm.hasFreeReg());
+    // Committing frees the *previous* mapping.
+    rm.release(allocs[0].second);
+    EXPECT_TRUE(rm.hasFreeReg());
+    rm.release(kInvalidReg);  // no-op, no crash
+    EXPECT_EQ(rm.freeRegs(), 1u);
+}
+
+TEST(RenameMap, ExhaustionPanics)
+{
+    RenameMap rm(kNumArchRegs + 1);
+    rm.allocate(intReg(1));
+    EXPECT_FALSE(rm.hasFreeReg());
+    EXPECT_THROW(rm.allocate(intReg(2)), PanicError);
+}
+
+TEST(Scoreboard, ReadyBits)
+{
+    Scoreboard sb(16);
+    EXPECT_TRUE(sb.isReady(3));
+    sb.clearReady(3);
+    EXPECT_FALSE(sb.isReady(3));
+    sb.setReady(3);
+    EXPECT_TRUE(sb.isReady(3));
+}
+
+TEST(Scoreboard, InvalidRegisterAlwaysReady)
+{
+    Scoreboard sb(16);
+    EXPECT_TRUE(sb.isReady(kInvalidReg));
+}

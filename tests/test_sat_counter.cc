@@ -1,0 +1,80 @@
+/** @file Unit tests for the saturating counters behind every predictor. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/sat_counter.hh"
+
+using namespace sciq;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.read(), 3u);
+    EXPECT_EQ(c.max(), 3u);
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.read(), 0u);
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 99);
+    EXPECT_EQ(c.read(), 3u);
+}
+
+TEST(SatCounter, IsSetThreshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.isSet());  // 1 <= 3/2
+    c.increment();
+    EXPECT_TRUE(c.isSet());   // 2 > 1
+}
+
+TEST(SatCounter, ResetClearsToZero)
+{
+    SatCounter c(4, 15);
+    c.reset();
+    EXPECT_EQ(c.read(), 0u);
+}
+
+TEST(SatCounter, FourBitRangeForHmp)
+{
+    // The hit/miss predictor uses 4-bit counters with threshold 13.
+    SatCounter c(4, 0);
+    for (int i = 0; i < 13; ++i)
+        c.increment();
+    EXPECT_FALSE(c.read() > 13);
+    c.increment();
+    EXPECT_TRUE(c.read() > 13);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.read(), 15u);
+}
+
+TEST(SatCounter, InvalidWidthPanics)
+{
+    EXPECT_THROW(SatCounter(0), PanicError);
+    EXPECT_THROW(SatCounter(17), PanicError);
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatCounterWidth, MaxMatchesWidth)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    c.set((1u << bits) + 5);
+    EXPECT_EQ(c.read(), c.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));

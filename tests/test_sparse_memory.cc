@@ -1,0 +1,95 @@
+/** @file Tests for the sparse simulated memory. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/sparse_memory.hh"
+
+using namespace sciq;
+
+TEST(SparseMemory, UntouchedReadsZero)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.read(0xFFFFFFFFFFFFFF00ULL, 4), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+TEST(SparseMemory, ReadWriteWidths)
+{
+    SparseMemory m;
+    m.write(0x100, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(0x100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u);
+    EXPECT_EQ(m.read(0x100, 1), 0x88u);
+    EXPECT_EQ(m.read(0x107, 1), 0x11u);
+}
+
+TEST(SparseMemory, PartialWritePreservesNeighbours)
+{
+    SparseMemory m;
+    m.write(0x200, 8, ~0ULL);
+    m.write(0x202, 2, 0);
+    EXPECT_EQ(m.read(0x200, 8), 0xFFFFFFFF0000FFFFULL);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory m;
+    const Addr boundary = SparseMemory::kPageSize;
+    m.write(boundary - 4, 8, 0xAABBCCDDEEFF0011ULL);
+    EXPECT_EQ(m.read(boundary - 4, 8), 0xAABBCCDDEEFF0011ULL);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(SparseMemory, WrapAroundAddressSpaceIsSafe)
+{
+    SparseMemory m;
+    // Wrong-path execution can produce addresses near 2^64.
+    m.write(~0ULL - 3, 8, 0x1234567890ABCDEFULL);
+    EXPECT_EQ(m.read(~0ULL - 3, 8), 0x1234567890ABCDEFULL);
+}
+
+TEST(SparseMemory, Blobs)
+{
+    SparseMemory m;
+    std::uint8_t data[5] = {1, 2, 3, 4, 5};
+    m.writeBlob(0x300, data, 5);
+    std::uint8_t out[5] = {};
+    m.readBlob(0x300, out, 5);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(SparseMemory, Doubles)
+{
+    SparseMemory m;
+    m.writeDouble(0x400, 3.14159);
+    EXPECT_DOUBLE_EQ(m.readDouble(0x400), 3.14159);
+    m.writeDouble(0x408, -0.0);
+    EXPECT_EQ(m.read(0x408, 8), 0x8000000000000000ULL);
+}
+
+TEST(SparseMemory, EqualContentsIgnoresZeroPages)
+{
+    SparseMemory a, b;
+    EXPECT_TRUE(a.equalContents(b));
+    a.write(0x100, 8, 0);  // allocates a page of zeros
+    EXPECT_TRUE(a.equalContents(b));
+    EXPECT_TRUE(b.equalContents(a));
+    a.write(0x100, 1, 7);
+    EXPECT_FALSE(a.equalContents(b));
+    b.write(0x100, 1, 7);
+    EXPECT_TRUE(a.equalContents(b));
+    b.write(0x5000, 4, 9);
+    EXPECT_FALSE(a.equalContents(b));
+}
+
+TEST(SparseMemory, BadSizePanics)
+{
+    SparseMemory m;
+    EXPECT_THROW(m.read(0, 0), PanicError);
+    EXPECT_THROW(m.read(0, 9), PanicError);
+    EXPECT_THROW(m.write(0, 16, 1), PanicError);
+}

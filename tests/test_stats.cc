@@ -1,0 +1,124 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+using namespace sciq;
+using namespace sciq::stats;
+
+TEST(StatsScalar, IncrementAndSet)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    s.inc();
+    s.inc(2.5);
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(7);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(StatsAverage, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.value(), 0.0);
+    a.sample(1);
+    a.sample(2);
+    a.sample(3);
+    EXPECT_DOUBLE_EQ(a.value(), 2.0);
+    EXPECT_EQ(a.samples(), 3u);
+    a.reset();
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(StatsDistribution, TracksMinMaxMean)
+{
+    Distribution d;
+    d.configure(0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(95);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 95.0);
+    EXPECT_NEAR(d.mean(), (5 + 15 + 95) / 3.0, 1e-9);
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(StatsDistribution, HistogramBuckets)
+{
+    Distribution d;
+    d.configure(0, 4, 1);
+    d.sample(0);
+    d.sample(1);
+    d.sample(1.5);
+    d.sample(100);  // overflow lands in the final bucket
+    const auto &h = d.histogram();
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 2u);
+    EXPECT_EQ(h.back(), 1u);
+}
+
+TEST(StatsGroup, LookupByName)
+{
+    Group g("core");
+    Scalar s;
+    s.set(42);
+    g.addScalar("cycles", &s, "desc");
+    EXPECT_DOUBLE_EQ(g.lookup("cycles"), 42.0);
+    EXPECT_TRUE(g.contains("cycles"));
+    EXPECT_FALSE(g.contains("nope"));
+}
+
+TEST(StatsGroup, DottedChildLookup)
+{
+    Group parent("core");
+    Group child("iq");
+    Scalar s;
+    s.set(9);
+    child.addScalar("issued", &s, "");
+    parent.addChild(&child);
+    EXPECT_DOUBLE_EQ(parent.lookup("iq.issued"), 9.0);
+    EXPECT_TRUE(parent.contains("iq.issued"));
+    EXPECT_FALSE(parent.contains("iq.bogus"));
+    EXPECT_FALSE(parent.contains("rob.bogus"));
+}
+
+TEST(StatsGroup, UnknownLookupPanics)
+{
+    Group g("core");
+    EXPECT_THROW(g.lookup("missing"), PanicError);
+}
+
+TEST(StatsGroup, DumpContainsNamesAndValues)
+{
+    Group g("core");
+    Scalar s;
+    s.set(5);
+    g.addScalar("cycles", &s, "total cycles");
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core.cycles"), std::string::npos);
+    EXPECT_NE(out.find("5"), std::string::npos);
+    EXPECT_NE(out.find("total cycles"), std::string::npos);
+}
+
+TEST(StatsGroup, ResetAllRecursive)
+{
+    Group parent("a");
+    Group child("b");
+    Scalar s1, s2;
+    s1.set(1);
+    s2.set(2);
+    parent.addScalar("x", &s1, "");
+    child.addScalar("y", &s2, "");
+    parent.addChild(&child);
+    parent.resetAll();
+    EXPECT_EQ(s1.value(), 0.0);
+    EXPECT_EQ(s2.value(), 0.0);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The cornerstone property: for every workload on every IQ design, the
+ * pipeline's committed architectural state must match the functional
+ * golden model bit for bit.  This exercises renaming, squash recovery,
+ * the LSQ, chain bookkeeping, deadlock recovery and commit ordering all
+ * at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/simulator.hh"
+
+using namespace sciq;
+
+namespace {
+
+using Case = std::tuple<std::string, std::string>;
+
+SimConfig
+configFor(const std::string &iq, const std::string &workload)
+{
+    SimConfig cfg;
+    if (iq == "ideal") {
+        cfg = makeIdealConfig(128, workload);
+    } else if (iq == "segmented") {
+        cfg = makeSegmentedConfig(128, 64, true, true, workload);
+    } else if (iq == "segmented-base") {
+        cfg = makeSegmentedConfig(128, -1, false, false, workload);
+    } else if (iq == "prescheduled") {
+        cfg = makePrescheduledConfig(128, workload);
+    } else {
+        cfg = makeFifoConfig(16, 8, workload);
+    }
+    cfg.wl.iterations = 150;
+    cfg.maxCycles = 3'000'000;
+    cfg.validate = true;
+    return cfg;
+}
+
+} // namespace
+
+class StateValidation : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StateValidation, CommittedStateMatchesGoldenModel)
+{
+    auto [iq, workload] = GetParam();
+    RunResult r = runSim(configFor(iq, workload));
+    EXPECT_TRUE(r.haltedCleanly) << iq << "/" << workload;
+    EXPECT_TRUE(r.validated) << iq << "/" << workload;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StateValidation,
+    ::testing::Combine(::testing::Values("ideal", "segmented",
+                                         "segmented-base", "prescheduled",
+                                         "fifo"),
+                       ::testing::ValuesIn(workloadNames())),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(StateValidationLarge, SegmentedFiveTwelveEntrySwim)
+{
+    SimConfig cfg = makeSegmentedConfig(512, 128, true, true, "swim");
+    cfg.wl.iterations = 400;
+    cfg.maxCycles = 3'000'000;
+    RunResult r = runSim(cfg);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_TRUE(r.validated);
+}
+
+TEST(StateValidationLarge, SegmentedTinyChainBudgetStillCorrect)
+{
+    // Starving the queue of chain wires must degrade performance, not
+    // correctness.
+    SimConfig cfg = makeSegmentedConfig(256, 8, false, false, "equake");
+    cfg.wl.iterations = 200;
+    cfg.maxCycles = 3'000'000;
+    RunResult r = runSim(cfg);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_TRUE(r.validated);
+}
+
+TEST(StateValidationLarge, SegmentedTinySegmentsStress)
+{
+    // Many small segments maximise promotion traffic and wire latency.
+    SimConfig cfg = makeSegmentedConfig(128, 64, true, true, "ammp");
+    cfg.core.iq.segmentSize = 8;  // 16 segments
+    cfg.wl.iterations = 150;
+    cfg.maxCycles = 3'000'000;
+    RunResult r = runSim(cfg);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_TRUE(r.validated);
+}
+
+TEST(StateValidationLarge, NoBypassNoPushdownStillCorrect)
+{
+    SimConfig cfg = makeSegmentedConfig(128, -1, false, false, "twolf");
+    cfg.core.iq.enableBypass = false;
+    cfg.core.iq.enablePushdown = false;
+    cfg.wl.iterations = 200;
+    cfg.maxCycles = 3'000'000;
+    RunResult r = runSim(cfg);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_TRUE(r.validated);
+}
