@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enhancements.dir/ablation_enhancements.cc.o"
+  "CMakeFiles/ablation_enhancements.dir/ablation_enhancements.cc.o.d"
+  "ablation_enhancements"
+  "ablation_enhancements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_relative_performance.dir/fig2_relative_performance.cc.o"
+  "CMakeFiles/fig2_relative_performance.dir/fig2_relative_performance.cc.o.d"
+  "fig2_relative_performance"
+  "fig2_relative_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_relative_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

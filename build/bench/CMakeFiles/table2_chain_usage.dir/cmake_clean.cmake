@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_chain_usage.dir/table2_chain_usage.cc.o"
+  "CMakeFiles/table2_chain_usage.dir/table2_chain_usage.cc.o.d"
+  "table2_chain_usage"
+  "table2_chain_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_chain_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_occupancy.dir/text_occupancy.cc.o"
+  "CMakeFiles/text_occupancy.dir/text_occupancy.cc.o.d"
+  "text_occupancy"
+  "text_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_predictor_stats.dir/text_predictor_stats.cc.o"
+  "CMakeFiles/text_predictor_stats.dir/text_predictor_stats.cc.o.d"
+  "text_predictor_stats"
+  "text_predictor_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_predictor_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_tolerance.dir/miss_tolerance.cpp.o"
+  "CMakeFiles/miss_tolerance.dir/miss_tolerance.cpp.o.d"
+  "miss_tolerance"
+  "miss_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

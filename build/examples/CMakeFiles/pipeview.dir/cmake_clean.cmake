@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeview.dir/pipeview.cpp.o"
+  "CMakeFiles/pipeview.dir/pipeview.cpp.o.d"
+  "pipeview"
+  "pipeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

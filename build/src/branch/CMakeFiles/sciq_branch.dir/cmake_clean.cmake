@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_branch.dir/branch_predictor.cc.o"
+  "CMakeFiles/sciq_branch.dir/branch_predictor.cc.o.d"
+  "libsciq_branch.a"
+  "libsciq_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_common.dir/config.cc.o"
+  "CMakeFiles/sciq_common.dir/config.cc.o.d"
+  "CMakeFiles/sciq_common.dir/logging.cc.o"
+  "CMakeFiles/sciq_common.dir/logging.cc.o.d"
+  "CMakeFiles/sciq_common.dir/stats.cc.o"
+  "CMakeFiles/sciq_common.dir/stats.cc.o.d"
+  "libsciq_common.a"
+  "libsciq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

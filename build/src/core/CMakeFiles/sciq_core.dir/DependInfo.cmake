@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fu_pool.cc" "src/core/CMakeFiles/sciq_core.dir/fu_pool.cc.o" "gcc" "src/core/CMakeFiles/sciq_core.dir/fu_pool.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/core/CMakeFiles/sciq_core.dir/lsq.cc.o" "gcc" "src/core/CMakeFiles/sciq_core.dir/lsq.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/core/CMakeFiles/sciq_core.dir/ooo_core.cc.o" "gcc" "src/core/CMakeFiles/sciq_core.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sciq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sciq_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sciq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/sciq_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/sciq_iq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

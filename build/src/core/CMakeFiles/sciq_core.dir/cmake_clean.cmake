@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_core.dir/fu_pool.cc.o"
+  "CMakeFiles/sciq_core.dir/fu_pool.cc.o.d"
+  "CMakeFiles/sciq_core.dir/lsq.cc.o"
+  "CMakeFiles/sciq_core.dir/lsq.cc.o.d"
+  "CMakeFiles/sciq_core.dir/ooo_core.cc.o"
+  "CMakeFiles/sciq_core.dir/ooo_core.cc.o.d"
+  "libsciq_core.a"
+  "libsciq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/fifo_iq.cc" "src/iq/CMakeFiles/sciq_iq.dir/fifo_iq.cc.o" "gcc" "src/iq/CMakeFiles/sciq_iq.dir/fifo_iq.cc.o.d"
+  "/root/repo/src/iq/ideal_iq.cc" "src/iq/CMakeFiles/sciq_iq.dir/ideal_iq.cc.o" "gcc" "src/iq/CMakeFiles/sciq_iq.dir/ideal_iq.cc.o.d"
+  "/root/repo/src/iq/iq_base.cc" "src/iq/CMakeFiles/sciq_iq.dir/iq_base.cc.o" "gcc" "src/iq/CMakeFiles/sciq_iq.dir/iq_base.cc.o.d"
+  "/root/repo/src/iq/prescheduled_iq.cc" "src/iq/CMakeFiles/sciq_iq.dir/prescheduled_iq.cc.o" "gcc" "src/iq/CMakeFiles/sciq_iq.dir/prescheduled_iq.cc.o.d"
+  "/root/repo/src/iq/segmented_iq.cc" "src/iq/CMakeFiles/sciq_iq.dir/segmented_iq.cc.o" "gcc" "src/iq/CMakeFiles/sciq_iq.dir/segmented_iq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sciq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sciq_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/sciq_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_iq.dir/fifo_iq.cc.o"
+  "CMakeFiles/sciq_iq.dir/fifo_iq.cc.o.d"
+  "CMakeFiles/sciq_iq.dir/ideal_iq.cc.o"
+  "CMakeFiles/sciq_iq.dir/ideal_iq.cc.o.d"
+  "CMakeFiles/sciq_iq.dir/iq_base.cc.o"
+  "CMakeFiles/sciq_iq.dir/iq_base.cc.o.d"
+  "CMakeFiles/sciq_iq.dir/prescheduled_iq.cc.o"
+  "CMakeFiles/sciq_iq.dir/prescheduled_iq.cc.o.d"
+  "CMakeFiles/sciq_iq.dir/segmented_iq.cc.o"
+  "CMakeFiles/sciq_iq.dir/segmented_iq.cc.o.d"
+  "libsciq_iq.a"
+  "libsciq_iq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

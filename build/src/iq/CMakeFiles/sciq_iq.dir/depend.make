@@ -1,0 +1,2 @@
+# Empty dependencies file for sciq_iq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asm_builder.cc" "src/isa/CMakeFiles/sciq_isa.dir/asm_builder.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/asm_builder.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/sciq_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/codec.cc" "src/isa/CMakeFiles/sciq_isa.dir/codec.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/codec.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/isa/CMakeFiles/sciq_isa.dir/disassembler.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/disassembler.cc.o.d"
+  "/root/repo/src/isa/exec.cc" "src/isa/CMakeFiles/sciq_isa.dir/exec.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/exec.cc.o.d"
+  "/root/repo/src/isa/functional_core.cc" "src/isa/CMakeFiles/sciq_isa.dir/functional_core.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/functional_core.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/sciq_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/opcodes.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/sciq_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/sparse_memory.cc" "src/isa/CMakeFiles/sciq_isa.dir/sparse_memory.cc.o" "gcc" "src/isa/CMakeFiles/sciq_isa.dir/sparse_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sciq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

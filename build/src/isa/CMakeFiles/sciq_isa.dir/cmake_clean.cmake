@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_isa.dir/asm_builder.cc.o"
+  "CMakeFiles/sciq_isa.dir/asm_builder.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/assembler.cc.o"
+  "CMakeFiles/sciq_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/codec.cc.o"
+  "CMakeFiles/sciq_isa.dir/codec.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/disassembler.cc.o"
+  "CMakeFiles/sciq_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/exec.cc.o"
+  "CMakeFiles/sciq_isa.dir/exec.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/functional_core.cc.o"
+  "CMakeFiles/sciq_isa.dir/functional_core.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/opcodes.cc.o"
+  "CMakeFiles/sciq_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/program.cc.o"
+  "CMakeFiles/sciq_isa.dir/program.cc.o.d"
+  "CMakeFiles/sciq_isa.dir/sparse_memory.cc.o"
+  "CMakeFiles/sciq_isa.dir/sparse_memory.cc.o.d"
+  "libsciq_isa.a"
+  "libsciq_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsciq_isa.a"
+)

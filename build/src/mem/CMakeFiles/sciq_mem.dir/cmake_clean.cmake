@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_mem.dir/cache.cc.o"
+  "CMakeFiles/sciq_mem.dir/cache.cc.o.d"
+  "CMakeFiles/sciq_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/sciq_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sciq_mem.dir/main_memory.cc.o"
+  "CMakeFiles/sciq_mem.dir/main_memory.cc.o.d"
+  "libsciq_mem.a"
+  "libsciq_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_sim.dir/fast_forward.cc.o"
+  "CMakeFiles/sciq_sim.dir/fast_forward.cc.o.d"
+  "CMakeFiles/sciq_sim.dir/pipe_trace.cc.o"
+  "CMakeFiles/sciq_sim.dir/pipe_trace.cc.o.d"
+  "CMakeFiles/sciq_sim.dir/sim_config.cc.o"
+  "CMakeFiles/sciq_sim.dir/sim_config.cc.o.d"
+  "CMakeFiles/sciq_sim.dir/simulator.cc.o"
+  "CMakeFiles/sciq_sim.dir/simulator.cc.o.d"
+  "libsciq_sim.a"
+  "libsciq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

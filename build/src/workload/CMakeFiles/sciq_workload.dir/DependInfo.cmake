@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ammp.cc" "src/workload/CMakeFiles/sciq_workload.dir/ammp.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/ammp.cc.o.d"
+  "/root/repo/src/workload/applu.cc" "src/workload/CMakeFiles/sciq_workload.dir/applu.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/applu.cc.o.d"
+  "/root/repo/src/workload/equake.cc" "src/workload/CMakeFiles/sciq_workload.dir/equake.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/equake.cc.o.d"
+  "/root/repo/src/workload/gcc_like.cc" "src/workload/CMakeFiles/sciq_workload.dir/gcc_like.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/gcc_like.cc.o.d"
+  "/root/repo/src/workload/mgrid.cc" "src/workload/CMakeFiles/sciq_workload.dir/mgrid.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/mgrid.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/sciq_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/swim.cc" "src/workload/CMakeFiles/sciq_workload.dir/swim.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/swim.cc.o.d"
+  "/root/repo/src/workload/twolf.cc" "src/workload/CMakeFiles/sciq_workload.dir/twolf.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/twolf.cc.o.d"
+  "/root/repo/src/workload/vortex.cc" "src/workload/CMakeFiles/sciq_workload.dir/vortex.cc.o" "gcc" "src/workload/CMakeFiles/sciq_workload.dir/vortex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sciq_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sciq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

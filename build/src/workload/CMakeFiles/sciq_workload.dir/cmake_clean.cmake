@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciq_workload.dir/ammp.cc.o"
+  "CMakeFiles/sciq_workload.dir/ammp.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/applu.cc.o"
+  "CMakeFiles/sciq_workload.dir/applu.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/equake.cc.o"
+  "CMakeFiles/sciq_workload.dir/equake.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/gcc_like.cc.o"
+  "CMakeFiles/sciq_workload.dir/gcc_like.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/mgrid.cc.o"
+  "CMakeFiles/sciq_workload.dir/mgrid.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/registry.cc.o"
+  "CMakeFiles/sciq_workload.dir/registry.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/swim.cc.o"
+  "CMakeFiles/sciq_workload.dir/swim.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/twolf.cc.o"
+  "CMakeFiles/sciq_workload.dir/twolf.cc.o.d"
+  "CMakeFiles/sciq_workload.dir/vortex.cc.o"
+  "CMakeFiles/sciq_workload.dir/vortex.cc.o.d"
+  "libsciq_workload.a"
+  "libsciq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_builder.dir/test_asm_builder.cc.o"
+  "CMakeFiles/test_asm_builder.dir/test_asm_builder.cc.o.d"
+  "test_asm_builder"
+  "test_asm_builder.pdb"
+  "test_asm_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

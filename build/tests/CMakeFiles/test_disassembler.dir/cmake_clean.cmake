@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disassembler.dir/test_disassembler.cc.o"
+  "CMakeFiles/test_disassembler.dir/test_disassembler.cc.o.d"
+  "test_disassembler"
+  "test_disassembler.pdb"
+  "test_disassembler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disassembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_forward.dir/test_fast_forward.cc.o"
+  "CMakeFiles/test_fast_forward.dir/test_fast_forward.cc.o.d"
+  "test_fast_forward"
+  "test_fast_forward.pdb"
+  "test_fast_forward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_iq.dir/test_fifo_iq.cc.o"
+  "CMakeFiles/test_fifo_iq.dir/test_fifo_iq.cc.o.d"
+  "test_fifo_iq"
+  "test_fifo_iq.pdb"
+  "test_fifo_iq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

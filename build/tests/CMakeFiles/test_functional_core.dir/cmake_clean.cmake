@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_core.dir/test_functional_core.cc.o"
+  "CMakeFiles/test_functional_core.dir/test_functional_core.cc.o.d"
+  "test_functional_core"
+  "test_functional_core.pdb"
+  "test_functional_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_validation.dir/test_fuzz_validation.cc.o"
+  "CMakeFiles/test_fuzz_validation.dir/test_fuzz_validation.cc.o.d"
+  "test_fuzz_validation"
+  "test_fuzz_validation.pdb"
+  "test_fuzz_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

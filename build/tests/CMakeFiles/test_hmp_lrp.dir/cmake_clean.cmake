@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmp_lrp.dir/test_hmp_lrp.cc.o"
+  "CMakeFiles/test_hmp_lrp.dir/test_hmp_lrp.cc.o.d"
+  "test_hmp_lrp"
+  "test_hmp_lrp.pdb"
+  "test_hmp_lrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmp_lrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hmp_lrp.
+# This may be replaced when dependencies are built.

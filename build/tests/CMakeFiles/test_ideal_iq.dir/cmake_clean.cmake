@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ideal_iq.dir/test_ideal_iq.cc.o"
+  "CMakeFiles/test_ideal_iq.dir/test_ideal_iq.cc.o.d"
+  "test_ideal_iq"
+  "test_ideal_iq.pdb"
+  "test_ideal_iq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ideal_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

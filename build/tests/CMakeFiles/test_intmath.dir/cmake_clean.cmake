@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intmath.dir/test_intmath.cc.o"
+  "CMakeFiles/test_intmath.dir/test_intmath.cc.o.d"
+  "test_intmath"
+  "test_intmath.pdb"
+  "test_intmath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prescheduled_iq.dir/test_prescheduled_iq.cc.o"
+  "CMakeFiles/test_prescheduled_iq.dir/test_prescheduled_iq.cc.o.d"
+  "test_prescheduled_iq"
+  "test_prescheduled_iq.pdb"
+  "test_prescheduled_iq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prescheduled_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

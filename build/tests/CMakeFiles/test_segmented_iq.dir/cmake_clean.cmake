@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segmented_iq.dir/test_segmented_iq.cc.o"
+  "CMakeFiles/test_segmented_iq.dir/test_segmented_iq.cc.o.d"
+  "test_segmented_iq"
+  "test_segmented_iq.pdb"
+  "test_segmented_iq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segmented_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_memory.dir/test_sparse_memory.cc.o"
+  "CMakeFiles/test_sparse_memory.dir/test_sparse_memory.cc.o.d"
+  "test_sparse_memory"
+  "test_sparse_memory.pdb"
+  "test_sparse_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
