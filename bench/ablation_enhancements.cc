@@ -32,9 +32,8 @@ main(int argc, char **argv)
                 "byp gain%");
     hr('-', 80);
 
+    SweepBatch batch(args);
     for (const auto &wl : args.workloads) {
-        double ipc[4];
-        int idx = 0;
         for (auto [pushdown, bypass] :
              {std::pair{true, true}, std::pair{false, true},
               std::pair{true, false}, std::pair{false, false}}) {
@@ -42,17 +41,24 @@ main(int argc, char **argv)
                                                 wl);
             cfg.core.iq.enablePushdown = pushdown;
             cfg.core.iq.enableBypass = bypass;
-            ipc[idx++] = runConfig(cfg, args).ipc;
+            batch.add(std::move(cfg));
         }
+    }
+    batch.run();
+
+    for (const auto &wl : args.workloads) {
+        double ipc[4];
+        for (double &v : ipc)
+            v = batch.next().ipc;
         std::printf("%-9s | %8.3f %8.3f %8.3f %8.3f | %10.1f %10.1f\n",
                     wl.c_str(), ipc[0], ipc[1], ipc[2], ipc[3],
                     ipc[1] > 0 ? 100.0 * (ipc[0] / ipc[1] - 1.0) : 0.0,
                     ipc[2] > 0 ? 100.0 * (ipc[0] / ipc[2] - 1.0) : 0.0);
-        std::fflush(stdout);
     }
     std::printf("\nExpected: bypass mainly helps low-occupancy integer "
                 "codes (vortex, twolf, gcc) by skipping\nempty "
                 "segments; pushdown helps codes with long dependence "
                 "chains that clog the top segment.\n");
+    finishBench(args);
     return 0;
 }

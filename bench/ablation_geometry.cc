@@ -33,20 +33,28 @@ main(int argc, char **argv)
     std::printf("   size(segments)\n");
     hr('-', 76);
 
+    SweepBatch batch(args);
     for (const auto &wl : args.workloads) {
-        std::printf("%-9s", wl.c_str());
         for (unsigned s : seg_sizes) {
             SimConfig cfg =
                 makeSegmentedConfig(kIqSize, 128, true, true, wl);
             cfg.core.iq.segmentSize = s;
-            RunResult r = runConfig(cfg, args);
-            std::printf(" %11.3f", r.ipc);
-            std::fflush(stdout);
+            batch.add(std::move(cfg));
+        }
+    }
+    batch.run();
+
+    for (const auto &wl : args.workloads) {
+        std::printf("%-9s", wl.c_str());
+        for (unsigned s : seg_sizes) {
+            (void)s;
+            std::printf(" %11.3f", batch.next().ipc);
         }
         std::printf("\n");
     }
     std::printf("\nSmaller segments would clock faster (32-entry "
                 "wakeup vs 512) but add pipeline stages;\nthis sweep "
                 "shows the IPC cost side of that trade-off.\n");
+    finishBench(args);
     return 0;
 }

@@ -13,32 +13,18 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "iq/segmented_iq.hh"
 
 using namespace sciq;
 using namespace sciq::bench;
 
 namespace {
 
-struct Row
-{
-    double ipc;
-    double avgActive;
-    double segCycles;
-};
-
-Row
-runOnce(const std::string &wl, bool resize, const BenchArgs &args)
+SimConfig
+makeResizeConfig(const std::string &wl, bool resize)
 {
     SimConfig cfg = makeSegmentedConfig(512, 128, true, true, wl);
     cfg.core.iq.dynamicResize = resize;
-    cfg.wl.iterations = args.iters ? args.iters : (args.quick ? 1500 : 0);
-    cfg.validate = false;
-    Simulator sim(cfg);
-    RunResult r = sim.run();
-    auto &seg = dynamic_cast<SegmentedIq &>(sim.core().iqUnit());
-    return {r.ipc, seg.activeSegmentsAvg.value(),
-            seg.segmentCyclesActive.value()};
+    return cfg;
 }
 
 } // namespace
@@ -55,24 +41,31 @@ main(int argc, char **argv)
                 "energy sv%", "(of 16 segs)");
     hr('-', 86);
 
+    SweepBatch batch(args);
     for (const auto &wl : args.workloads) {
-        Row off = runOnce(wl, false, args);
-        Row on = runOnce(wl, true, args);
+        batch.add(makeResizeConfig(wl, false));
+        batch.add(makeResizeConfig(wl, true));
+    }
+    batch.run();
+
+    for (const auto &wl : args.workloads) {
+        RunResult off = batch.next();
+        RunResult on = batch.next();
         const double ipc_cost =
             off.ipc > 0 ? 100.0 * (1.0 - on.ipc / off.ipc) : 0.0;
         const double saved =
-            off.segCycles > 0
-                ? 100.0 * (1.0 - on.segCycles / off.segCycles)
+            off.segCyclesActive > 0
+                ? 100.0 * (1.0 - on.segCyclesActive / off.segCyclesActive)
                 : 0.0;
         std::printf("%-9s | %8.3f %8.3f | %8.1f %10.1f | %10.1f\n",
-                    wl.c_str(), off.ipc, on.ipc, ipc_cost, on.avgActive,
-                    saved);
-        std::fflush(stdout);
+                    wl.c_str(), off.ipc, on.ipc, ipc_cost,
+                    on.segActiveAvg, saved);
     }
 
     std::printf("\nExpected: codes that never fill the queue (gcc, "
                 "twolf, vortex) keep most segments gated\nwith little "
                 "IPC cost; window-hungry FP codes grow to full size "
                 "and save little.\n");
+    finishBench(args);
     return 0;
 }

@@ -1,12 +1,15 @@
 /**
  * @file
  * Shared helpers for the evaluation-reproduction benches: argument
- * handling, run-time scaling and fixed-width table output.
+ * handling, run-time scaling, parallel sweep execution and fixed-width
+ * table output.
  *
  * Every bench accepts key=value arguments:
  *   iters=N      override the workload iteration count (0 = default)
  *   quick=1      reduce iteration counts ~4x for a fast smoke pass
  *   workloads=a,b,c   restrict to a subset of benchmarks
+ *   jobs=N       sweep worker threads (default: hardware concurrency)
+ *   bench_out=path    also write every result as JSON to `path`
  */
 
 #ifndef SCIQ_BENCH_BENCH_UTIL_HH
@@ -14,10 +17,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/workloads.hh"
 
 namespace sciq {
@@ -27,8 +32,13 @@ struct BenchArgs
 {
     std::uint64_t iters = 0;  ///< 0 = kernel default
     bool quick = false;
+    unsigned jobs = 0;        ///< 0 = hardware concurrency
+    std::string benchOut;     ///< JSON output path ("" = none)
     std::vector<std::string> workloads;
     ConfigMap raw;
+
+    /** Every result produced through SweepBatch, for bench_out. */
+    std::vector<RunResult> collected;
 };
 
 inline BenchArgs
@@ -39,6 +49,8 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
     args.iters =
         static_cast<std::uint64_t>(args.raw.getInt("iters", 0));
     args.quick = args.raw.getBool("quick", false);
+    args.jobs = static_cast<unsigned>(args.raw.getInt("jobs", 0));
+    args.benchOut = args.raw.getString("bench_out", "");
     std::string wls = args.raw.getString("workloads", "");
     if (wls.empty()) {
         args.workloads = std::move(default_wls);
@@ -46,17 +58,21 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
         std::size_t pos = 0;
         while (pos != std::string::npos) {
             auto comma = wls.find(',', pos);
-            args.workloads.push_back(wls.substr(
-                pos, comma == std::string::npos ? comma : comma - pos));
+            std::string tok = wls.substr(
+                pos, comma == std::string::npos ? comma : comma - pos);
+            // Skip empty tokens from stray/trailing commas ("a,,b",
+            // "a,b,") instead of passing them on to workload lookup.
+            if (!tok.empty())
+                args.workloads.push_back(std::move(tok));
             pos = comma == std::string::npos ? comma : comma + 1;
         }
     }
     return args;
 }
 
-/** Apply iteration overrides to a config and run it. */
-inline RunResult
-runConfig(SimConfig cfg, const BenchArgs &args)
+/** Apply the bench-wide iteration overrides to one configuration. */
+inline void
+applyArgs(SimConfig &cfg, const BenchArgs &args)
 {
     cfg.wl.iterations = args.iters;
     if (args.quick && args.iters == 0) {
@@ -65,13 +81,83 @@ runConfig(SimConfig cfg, const BenchArgs &args)
         cfg.wl.iterations = 1500;
     }
     cfg.validate = false;  // benches measure; tests validate
-    RunResult r = runSim(cfg);
-    if (!r.haltedCleanly) {
-        std::fprintf(stderr,
-                     "WARNING: %s/%s did not halt within the cycle cap\n",
-                     r.workload.c_str(), r.iqKind.c_str());
+}
+
+/**
+ * Deferred-execution batch over the SweepRunner.  A bench first add()s
+ * every configuration it will report (remembering indices, or relying
+ * on add order and next()), then calls run() once so all of them
+ * execute in parallel, then formats its tables from the results.
+ */
+class SweepBatch
+{
+  public:
+    explicit SweepBatch(BenchArgs &args) : args_(args) {}
+
+    /** Queue one configuration; returns its result index. */
+    std::size_t
+    add(SimConfig cfg)
+    {
+        applyArgs(cfg, args_);
+        configs_.push_back(std::move(cfg));
+        return configs_.size() - 1;
     }
-    return r;
+
+    /** Execute every queued configuration (jobs= worker threads). */
+    void
+    run()
+    {
+        SweepRunner runner(args_.jobs);
+        results_ = runner.run(configs_);
+        for (const RunResult &r : results_) {
+            if (!r.haltedCleanly) {
+                std::fprintf(
+                    stderr,
+                    "WARNING: %s/%s did not halt within the cycle cap\n",
+                    r.workload.c_str(), r.iqKind.c_str());
+            }
+        }
+        args_.collected.insert(args_.collected.end(), results_.begin(),
+                               results_.end());
+    }
+
+    const RunResult &result(std::size_t i) const { return results_[i]; }
+
+    /** Consume results in add() order. */
+    const RunResult &next() { return results_[cursor_++]; }
+
+    std::size_t size() const { return configs_.size(); }
+
+  private:
+    BenchArgs &args_;
+    std::vector<SimConfig> configs_;
+    std::vector<RunResult> results_;
+    std::size_t cursor_ = 0;
+};
+
+/** Run a single configuration through the sweep machinery. */
+inline RunResult
+runConfig(SimConfig cfg, BenchArgs &args)
+{
+    SweepBatch batch(args);
+    batch.add(std::move(cfg));
+    batch.run();
+    return batch.result(0);
+}
+
+/** Write collected results to bench_out (if requested); end of main. */
+inline void
+finishBench(const BenchArgs &args)
+{
+    if (args.benchOut.empty())
+        return;
+    if (writeResultsJson(args.benchOut, args.collected)) {
+        std::fprintf(stderr, "wrote %zu results to %s\n",
+                     args.collected.size(), args.benchOut.c_str());
+    } else {
+        std::fprintf(stderr, "ERROR: could not write %s\n",
+                     args.benchOut.c_str());
+    }
 }
 
 inline void

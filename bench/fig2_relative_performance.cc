@@ -14,7 +14,6 @@
  */
 
 #include <cstdio>
-#include <map>
 
 #include "bench_util.hh"
 
@@ -57,20 +56,30 @@ main(int argc, char **argv)
     std::printf("\n");
     hr('-', 128);
 
-    std::map<std::string, std::vector<double>> rel_rows;
+    SweepBatch batch(args);
+    for (const auto &wl : args.workloads) {
+        batch.add(makeIdealConfig(kIqSize, wl));
+        for (int chains : chain_budgets) {
+            for (const auto &[name, flags] : configs) {
+                (void)name;
+                batch.add(makeSegmentedConfig(
+                    kIqSize, chains, flags.first, flags.second, wl));
+            }
+        }
+    }
+    batch.run();
+
     std::vector<double> sums;
 
     for (const auto &wl : args.workloads) {
-        SimConfig ideal_cfg = makeIdealConfig(kIqSize, wl);
-        RunResult ideal = runConfig(ideal_cfg, args);
+        RunResult ideal = batch.next();
         std::printf("%-9s %7.3f |", wl.c_str(), ideal.ipc);
 
         std::vector<double> rels;
         for (int chains : chain_budgets) {
-            for (const auto &[name, flags] : configs) {
-                SimConfig cfg = makeSegmentedConfig(
-                    kIqSize, chains, flags.first, flags.second, wl);
-                RunResult r = runConfig(cfg, args);
+            (void)chains;
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                RunResult r = batch.next();
                 double rel = ideal.ipc > 0 ? 100.0 * r.ipc / ideal.ipc
                                            : 0.0;
                 rels.push_back(rel);
@@ -101,5 +110,6 @@ main(int argc, char **argv)
                 "base/128 ~71%%; base/64 ~61%%;\n"
                 "HMP and LRP recover most of the loss at finite chain "
                 "counts (comb/128 ~80%%).\n");
+    finishBench(args);
     return 0;
 }

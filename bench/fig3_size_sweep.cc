@@ -33,6 +33,21 @@ main(int argc, char **argv)
 
     std::printf("Figure 3: IPC vs IQ size\n\n");
 
+    // Queue every point of the figure, run them all in parallel, then
+    // print the tables in add order.
+    SweepBatch batch(args);
+    for (const auto &wl : args.workloads) {
+        for (unsigned s : sizes)
+            batch.add(makeIdealConfig(s, wl));
+        for (int chains : {128, 64}) {
+            for (unsigned s : sizes)
+                batch.add(makeSegmentedConfig(s, chains, true, true, wl));
+        }
+        for (unsigned s : presched_sizes)
+            batch.add(makePrescheduledConfig(s, wl));
+    }
+    batch.run();
+
     for (const auto &wl : args.workloads) {
         std::printf("%s\n", wl.c_str());
         std::printf("  %-16s", "size");
@@ -43,28 +58,24 @@ main(int argc, char **argv)
 
         std::printf("  %-16s", "ideal");
         for (unsigned s : sizes) {
-            RunResult r = runConfig(makeIdealConfig(s, wl), args);
-            std::printf(" %8.3f", r.ipc);
-            std::fflush(stdout);
+            (void)s;
+            std::printf(" %8.3f", batch.next().ipc);
         }
         std::printf("\n");
 
         for (int chains : {128, 64}) {
             std::printf("  comb-%-3dchains  ", chains);
             for (unsigned s : sizes) {
-                RunResult r = runConfig(
-                    makeSegmentedConfig(s, chains, true, true, wl), args);
-                std::printf(" %8.3f", r.ipc);
-                std::fflush(stdout);
+                (void)s;
+                std::printf(" %8.3f", batch.next().ipc);
             }
             std::printf("\n");
         }
 
         std::printf("  %-16s", "prescheduled");
         for (unsigned s : presched_sizes) {
-            RunResult r = runConfig(makePrescheduledConfig(s, wl), args);
-            std::printf(" %8.3f", r.ipc);
-            std::fflush(stdout);
+            (void)s;
+            std::printf(" %8.3f", batch.next().ipc);
         }
         std::printf("  (sizes 128/320/704/1472)\n\n");
     }
@@ -73,5 +84,6 @@ main(int argc, char **argv)
                 "~400%% from 32->512 on the ideal IQ;\n"
                 "segmented tracks 55-98%% of ideal; gcc is flat; "
                 "prescheduling only helps vortex as it grows.\n");
+    finishBench(args);
     return 0;
 }

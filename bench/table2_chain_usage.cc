@@ -32,21 +32,26 @@ main(int argc, char **argv)
                 "comb avg", "peak");
     hr('-', 100);
 
-    double sums[8] = {};
+    SweepBatch batch(args);
     for (const auto &wl : args.workloads) {
-        std::printf("%-9s |", wl.c_str());
-        int col = 0;
         for (auto [use_hmp, use_lrp] :
              {std::pair{false, false}, std::pair{true, false},
               std::pair{false, true}, std::pair{true, true}}) {
-            SimConfig cfg =
-                makeSegmentedConfig(kIqSize, -1, use_hmp, use_lrp, wl);
-            RunResult r = runConfig(cfg, args);
+            batch.add(
+                makeSegmentedConfig(kIqSize, -1, use_hmp, use_lrp, wl));
+        }
+    }
+    batch.run();
+
+    double sums[8] = {};
+    for (const auto &wl : args.workloads) {
+        std::printf("%-9s |", wl.c_str());
+        for (int col = 0; col < 4; ++col) {
+            RunResult r = batch.next();
             std::printf(" %9.1f %9.0f %s", r.avgChains, r.peakChains,
                         col == 3 ? "" : "|");
             sums[col * 2] += r.avgChains;
             sums[col * 2 + 1] += r.peakChains;
-            ++col;
         }
         std::printf("\n");
         std::fflush(stdout);
@@ -60,5 +65,6 @@ main(int argc, char **argv)
     }
     std::printf("\n\nPaper reference (512 entries): base avg 352 / "
                 "peak 516; HMP avg 235; LRP avg 147; comb avg 117.\n");
+    finishBench(args);
     return 0;
 }

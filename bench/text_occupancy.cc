@@ -29,18 +29,22 @@ main(int argc, char **argv)
                 "seg0 ready", "IQ occupancy", "IPC");
     hr('-', 62);
 
+    SweepBatch batch(args);
+    for (const auto &wl : args.workloads)
+        batch.add(makeSegmentedConfig(kIqSize, -1, false, false, wl));
+    batch.run();
+
     for (const auto &wl : args.workloads) {
-        SimConfig cfg = makeSegmentedConfig(kIqSize, -1, false, false, wl);
-        RunResult r = runConfig(cfg, args);
+        RunResult r = batch.next();
         std::printf("%-9s | %10.1f %10.1f %12.1f %12.3f\n", wl.c_str(),
                     r.seg0OccupancyAvg, r.seg0ReadyAvg, r.iqOccupancyAvg,
                     r.ipc);
-        std::fflush(stdout);
     }
 
     std::printf("\nPaper reference: mgrid holds ~16 ready instructions "
                 "in its 32-entry segment 0; vortex and\ntwolf use no "
                 "more than ~136 of 512 queue entries and keep >33%% of "
                 "ready instructions in segment 0.\n");
+    finishBench(args);
     return 0;
 }

@@ -31,17 +31,21 @@ main(int argc, char **argv)
                 "deadlock%%cyc");
     hr('-', 86);
 
+    // HMP/LRP stats come from the comb config (both predictors in
+    // use); two-outstanding and load-head fractions are properties
+    // of the base policy.
+    SweepBatch batch(args);
+    for (const auto &wl : args.workloads) {
+        batch.add(makeSegmentedConfig(kIqSize, 128, true, true, wl));
+        batch.add(makeSegmentedConfig(kIqSize, -1, false, false, wl));
+    }
+    batch.run();
+
     double acc_sum = 0, cov_sum = 0, two_sum = 0, heads_sum = 0;
     double lrp_sum = 0, dead_sum = 0;
     for (const auto &wl : args.workloads) {
-        // HMP/LRP stats come from the comb config (both predictors in
-        // use); two-outstanding and load-head fractions are properties
-        // of the base policy.
-        SimConfig comb = makeSegmentedConfig(kIqSize, 128, true, true, wl);
-        RunResult rc = runConfig(comb, args);
-        SimConfig base =
-            makeSegmentedConfig(kIqSize, -1, false, false, wl);
-        RunResult rb = runConfig(base, args);
+        RunResult rc = batch.next();
+        RunResult rb = batch.next();
 
         std::printf("%-9s | %9.2f %9.2f | %9.2f %9.2f | %9.2f | %12.4f\n",
                     wl.c_str(), 100.0 * rc.hmpAccuracy,
@@ -68,5 +72,6 @@ main(int argc, char **argv)
                 "coverage; ~35%% two-outstanding instructions;\n"
                 "loads are ~65%% of chains; deadlock in ~0.05%% of "
                 "cycles.\n");
+    finishBench(args);
     return 0;
 }

@@ -1,0 +1,16 @@
+#include "core/dyn_inst.hh"
+
+#include "core/dyn_inst_pool.hh"
+
+namespace sciq {
+
+void
+DynInstPtr::release(DynInst *p) noexcept
+{
+    if (p->pool_)
+        p->pool_->recycle(p);
+    else
+        delete p;
+}
+
+} // namespace sciq

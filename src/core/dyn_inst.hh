@@ -10,6 +10,7 @@
 #define SCIQ_CORE_DYN_INST_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -59,6 +60,8 @@ struct PreschedState
 {
     int line = -1;           ///< scheduling-array line, -1 = issue buffer
 };
+
+class DynInstPool;
 
 class DynInst
 {
@@ -129,9 +132,129 @@ class DynInst
     bool isLoad() const { return staticInst.isLoad(); }
     bool isStore() const { return staticInst.isStore(); }
     bool isControl() const { return staticInst.isControl(); }
+
+  private:
+    friend class DynInstPtr;
+    friend class DynInstPool;
+
+    // Intrusive, non-atomic reference count.  DynInsts are confined to
+    // the core that fetched them (never shared across threads), so the
+    // atomic RMW traffic of std::shared_ptr would be pure overhead in
+    // the fetch/rename hot path.
+    std::uint32_t refs_ = 0;
+    DynInstPool *pool_ = nullptr;  ///< owner; null = plain heap (tests)
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+/**
+ * Intrusive smart pointer to a DynInst.  Semantics match
+ * std::shared_ptr for the operations the pipeline uses (copy, move,
+ * compare, deref) but the count is a plain integer and storage returns
+ * to the owning DynInstPool (or the heap) when it reaches zero.
+ */
+class DynInstPtr
+{
+  public:
+    constexpr DynInstPtr() noexcept = default;
+    constexpr DynInstPtr(std::nullptr_t) noexcept {}
+
+    DynInstPtr(const DynInstPtr &o) noexcept : p_(o.p_)
+    {
+        if (p_)
+            ++p_->refs_;
+    }
+
+    DynInstPtr(DynInstPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &o) noexcept
+    {
+        DynInstPtr(o).swap(*this);
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&o) noexcept
+    {
+        DynInstPtr(std::move(o)).swap(*this);
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    ~DynInstPtr() { reset(); }
+
+    void
+    reset() noexcept
+    {
+        if (p_ && --p_->refs_ == 0)
+            release(p_);
+        p_ = nullptr;
+    }
+
+    void
+    swap(DynInstPtr &o) noexcept
+    {
+        DynInst *t = p_;
+        p_ = o.p_;
+        o.p_ = t;
+    }
+
+    DynInst *get() const noexcept { return p_; }
+    DynInst &operator*() const noexcept { return *p_; }
+    DynInst *operator->() const noexcept { return p_; }
+    explicit operator bool() const noexcept { return p_ != nullptr; }
+
+    std::uint32_t useCount() const noexcept { return p_ ? p_->refs_ : 0; }
+
+    friend bool
+    operator==(const DynInstPtr &a, const DynInstPtr &b) noexcept
+    {
+        return a.p_ == b.p_;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, const DynInstPtr &b) noexcept
+    {
+        return a.p_ != b.p_;
+    }
+    friend bool
+    operator==(const DynInstPtr &a, std::nullptr_t) noexcept
+    {
+        return a.p_ == nullptr;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, std::nullptr_t) noexcept
+    {
+        return a.p_ != nullptr;
+    }
+
+  private:
+    friend class DynInstPool;
+    friend DynInstPtr makeDynInst();
+
+    /** Adopt a freshly constructed instruction (refs_ must be 0). */
+    explicit DynInstPtr(DynInst *p) noexcept : p_(p)
+    {
+        if (p_)
+            ++p_->refs_;
+    }
+
+    /** Return storage to the owning pool or the heap (dyn_inst.cc). */
+    static void release(DynInst *p) noexcept;
+
+    DynInst *p_ = nullptr;
+};
+
+/** Heap-allocate a standalone DynInst (unit tests, harnesses). */
+inline DynInstPtr
+makeDynInst()
+{
+    return DynInstPtr(new DynInst);
+}
 
 } // namespace sciq
 

@@ -253,7 +253,7 @@ OooCore::fetchStage()
         if (si->isControl() && branches >= params.maxBranchesPerFetch)
             break;
 
-        auto inst = std::make_shared<DynInst>();
+        DynInstPtr inst = instPool.create();
         inst->staticInst = *si;
         inst->pc = fetchPc;
         inst->seq = nextSeq++;

@@ -30,6 +30,7 @@
 #include "common/stats.hh"
 #include "core/commit_observer.hh"
 #include "core/dyn_inst.hh"
+#include "core/dyn_inst_pool.hh"
 #include "core/fu_pool.hh"
 #include "core/lsq.hh"
 #include "core/rename.hh"
@@ -225,6 +226,10 @@ class OooCore
     Program program;
     CoreParams params;
     stats::Group statsGroup;
+
+    // Declared before every container that can hold a DynInstPtr so
+    // the pool outlives all references into it.
+    DynInstPool instPool;
 
     MemHierarchy mem;
     SparseMemory commitMem;

@@ -93,6 +93,8 @@ Simulator::run()
             r.headsFromLoadsFrac =
                 seg->headsFromLoads.value() / seg->chainsCreated.value();
         }
+        r.segActiveAvg = seg->activeSegmentsAvg.value();
+        r.segCyclesActive = seg->segmentCyclesActive.value();
     }
 
     if (config.validate) {

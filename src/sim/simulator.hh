@@ -51,6 +51,10 @@ struct RunResult
     double l1dMissRate = 0.0;       ///< incl. delayed hits
     double l1dDelayedHitFrac = 0.0;
 
+    // Dynamic-resize statistics (ablation A3).
+    double segActiveAvg = 0.0;      ///< powered segments per cycle
+    double segCyclesActive = 0.0;   ///< total powered segment-cycles
+
     bool validated = false;
     bool haltedCleanly = false;
 };

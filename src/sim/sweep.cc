@@ -1,0 +1,168 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace sciq {
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SimConfig> &configs,
+                 const Progress &progress) const
+{
+    const std::size_t total = configs.size();
+    std::vector<RunResult> results(total);
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, total));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            results[i] = runSim(configs[i]);
+            if (progress)
+                progress(i + 1, total, results[i]);
+        }
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+    std::vector<std::exception_ptr> errors(workers);
+
+    auto worker = [&](unsigned id) {
+        try {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    return;
+                results[i] = runSim(configs[i]);
+                const std::size_t n =
+                    done.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    progress(n, total, results[i]);
+                }
+            }
+        } catch (...) {
+            errors[id] = std::current_exception();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned id = 0; id < workers; ++id)
+        threads.emplace_back(worker, id);
+    for (auto &t : threads)
+        t.join();
+
+    for (auto &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+    return results;
+}
+
+namespace {
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonField(std::ostream &os, const char *key, double v, bool last = false)
+{
+    os << "    \"" << key << "\": " << v << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+void
+writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
+{
+    const auto saved_precision = os.precision(17);
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        os << "  {\n";
+        os << "    \"workload\": ";
+        jsonString(os, r.workload);
+        os << ",\n    \"iq_kind\": ";
+        jsonString(os, r.iqKind);
+        os << ",\n";
+        os << "    \"iq_size\": " << r.iqSize << ",\n";
+        os << "    \"chains\": " << r.chains << ",\n";
+        os << "    \"cycles\": " << r.cycles << ",\n";
+        os << "    \"insts\": " << r.insts << ",\n";
+        jsonField(os, "ipc", r.ipc);
+        jsonField(os, "avg_chains", r.avgChains);
+        jsonField(os, "peak_chains", r.peakChains);
+        jsonField(os, "hmp_accuracy", r.hmpAccuracy);
+        jsonField(os, "hmp_coverage", r.hmpCoverage);
+        jsonField(os, "lrp_mispredict_rate", r.lrpMispredictRate);
+        jsonField(os, "branch_mispredict_rate", r.branchMispredictRate);
+        jsonField(os, "iq_occupancy_avg", r.iqOccupancyAvg);
+        jsonField(os, "seg0_ready_avg", r.seg0ReadyAvg);
+        jsonField(os, "seg0_occupancy_avg", r.seg0OccupancyAvg);
+        jsonField(os, "deadlock_cycle_frac", r.deadlockCycleFrac);
+        jsonField(os, "two_outstanding_frac", r.twoOutstandingFrac);
+        jsonField(os, "heads_from_loads_frac", r.headsFromLoadsFrac);
+        jsonField(os, "l1d_miss_rate", r.l1dMissRate);
+        jsonField(os, "l1d_delayed_hit_frac", r.l1dDelayedHitFrac);
+        jsonField(os, "seg_active_avg", r.segActiveAvg);
+        jsonField(os, "seg_cycles_active", r.segCyclesActive);
+        os << "    \"validated\": " << (r.validated ? "true" : "false")
+           << ",\n";
+        os << "    \"halted_cleanly\": "
+           << (r.haltedCleanly ? "true" : "false") << "\n";
+        os << "  }" << (i + 1 == results.size() ? "\n" : ",\n");
+    }
+    os << "]\n";
+    os.precision(saved_precision);
+}
+
+bool
+writeResultsJson(const std::string &path,
+                 const std::vector<RunResult> &results)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeResultsJson(out, results);
+    return static_cast<bool>(out);
+}
+
+} // namespace sciq

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Parallel design-space sweep driver.  The evaluation reproduces the
+ * paper's figures by running 100+ independent simulator configurations;
+ * SweepRunner executes a batch of SimConfigs on a pool of worker
+ * threads while preserving the input ordering of the results, so
+ * `jobs=1` and `jobs=N` emit bit-identical tables.
+ *
+ * Safety model: every runSim() call owns its Program, OooCore and
+ * DynInstPool outright, and the simulator keeps no global mutable
+ * state, so configurations are embarrassingly parallel.  The only
+ * cross-thread traffic is the work-queue index and the result slots,
+ * which are disjoint per job.
+ */
+
+#ifndef SCIQ_SIM_SWEEP_HH
+#define SCIQ_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace sciq {
+
+class SweepRunner
+{
+  public:
+    /** Called after each finished run (always on the calling thread
+     *  for jobs<=1, under a lock otherwise): done count, total, and
+     *  the just-finished result. */
+    using Progress =
+        std::function<void(std::size_t, std::size_t, const RunResult &)>;
+
+    /** @param jobs worker threads; 0 = std::thread::hardware_concurrency. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /**
+     * Run every configuration and return results in input order.
+     * Worker exceptions are rethrown (lowest job index first) after
+     * all threads have joined.
+     */
+    std::vector<RunResult> run(const std::vector<SimConfig> &configs,
+                               const Progress &progress = nullptr) const;
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Emit results as a machine-readable JSON array (one object per run,
+ * every RunResult field) for trajectory tracking and plotting.
+ */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<RunResult> &results);
+
+/** writeResultsJson to a file path; returns false on I/O failure. */
+bool writeResultsJson(const std::string &path,
+                      const std::vector<RunResult> &results);
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_SWEEP_HH

@@ -27,7 +27,7 @@ makeInst(SeqNum seq, Opcode op, RegIndex rd = kInvalidReg,
          RegIndex rs1 = kInvalidReg, RegIndex rs2 = kInvalidReg,
          std::int64_t imm = 0)
 {
-    auto inst = std::make_shared<DynInst>();
+    DynInstPtr inst = makeDynInst();
     inst->staticInst.op = op;
     inst->staticInst.rd = rd;
     inst->staticInst.rs1 = rs1;

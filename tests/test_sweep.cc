@@ -1,0 +1,175 @@
+/**
+ * @file
+ * SweepRunner: deterministic result ordering under parallel execution,
+ * worker-count handling, error propagation, and the JSON emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+
+using namespace sciq;
+
+namespace {
+
+std::vector<SimConfig>
+smallConfigSet()
+{
+    std::vector<SimConfig> cfgs;
+    for (const auto &wl : {"swim", "gcc"}) {
+        for (unsigned size : {32u, 64u}) {
+            SimConfig seg = makeSegmentedConfig(size, 32, true, true, wl);
+            seg.wl.iterations = 200;
+            cfgs.push_back(seg);
+        }
+        SimConfig ideal = makeIdealConfig(64, wl);
+        ideal.wl.iterations = 200;
+        cfgs.push_back(ideal);
+    }
+    return cfgs;
+}
+
+/** Every field of RunResult, bit-for-bit. */
+void
+expectIdentical(const RunResult &a, const RunResult &b, std::size_t i)
+{
+    EXPECT_EQ(a.workload, b.workload) << "config " << i;
+    EXPECT_EQ(a.iqKind, b.iqKind) << "config " << i;
+    EXPECT_EQ(a.iqSize, b.iqSize) << "config " << i;
+    EXPECT_EQ(a.chains, b.chains) << "config " << i;
+    EXPECT_EQ(a.cycles, b.cycles) << "config " << i;
+    EXPECT_EQ(a.insts, b.insts) << "config " << i;
+    EXPECT_EQ(a.ipc, b.ipc) << "config " << i;
+    EXPECT_EQ(a.avgChains, b.avgChains) << "config " << i;
+    EXPECT_EQ(a.peakChains, b.peakChains) << "config " << i;
+    EXPECT_EQ(a.hmpAccuracy, b.hmpAccuracy) << "config " << i;
+    EXPECT_EQ(a.hmpCoverage, b.hmpCoverage) << "config " << i;
+    EXPECT_EQ(a.lrpMispredictRate, b.lrpMispredictRate) << "config " << i;
+    EXPECT_EQ(a.branchMispredictRate, b.branchMispredictRate)
+        << "config " << i;
+    EXPECT_EQ(a.iqOccupancyAvg, b.iqOccupancyAvg) << "config " << i;
+    EXPECT_EQ(a.seg0ReadyAvg, b.seg0ReadyAvg) << "config " << i;
+    EXPECT_EQ(a.seg0OccupancyAvg, b.seg0OccupancyAvg) << "config " << i;
+    EXPECT_EQ(a.deadlockCycleFrac, b.deadlockCycleFrac) << "config " << i;
+    EXPECT_EQ(a.twoOutstandingFrac, b.twoOutstandingFrac)
+        << "config " << i;
+    EXPECT_EQ(a.headsFromLoadsFrac, b.headsFromLoadsFrac)
+        << "config " << i;
+    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate) << "config " << i;
+    EXPECT_EQ(a.l1dDelayedHitFrac, b.l1dDelayedHitFrac) << "config " << i;
+    EXPECT_EQ(a.segActiveAvg, b.segActiveAvg) << "config " << i;
+    EXPECT_EQ(a.segCyclesActive, b.segCyclesActive) << "config " << i;
+    EXPECT_EQ(a.validated, b.validated) << "config " << i;
+    EXPECT_EQ(a.haltedCleanly, b.haltedCleanly) << "config " << i;
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitForBit)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+
+    std::vector<RunResult> serial = SweepRunner(1).run(cfgs);
+    std::vector<RunResult> parallel = SweepRunner(4).run(cfgs);
+
+    ASSERT_EQ(serial.size(), cfgs.size());
+    ASSERT_EQ(parallel.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        expectIdentical(serial[i], parallel[i], i);
+}
+
+TEST(SweepRunner, PreservesInputOrder)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    std::vector<RunResult> results = SweepRunner(4).run(cfgs);
+    ASSERT_EQ(results.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        EXPECT_EQ(results[i].workload, cfgs[i].workload);
+        EXPECT_EQ(results[i].iqSize, cfgs[i].core.iq.numEntries);
+        EXPECT_TRUE(results[i].haltedCleanly);
+        EXPECT_TRUE(results[i].validated);
+    }
+}
+
+TEST(SweepRunner, MoreJobsThanConfigs)
+{
+    SimConfig cfg = makeSegmentedConfig(32, 16, false, false, "swim");
+    cfg.wl.iterations = 100;
+    std::vector<RunResult> r = SweepRunner(16).run({cfg});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_TRUE(r[0].haltedCleanly);
+}
+
+TEST(SweepRunner, EmptyBatch)
+{
+    EXPECT_TRUE(SweepRunner(4).run({}).empty());
+}
+
+TEST(SweepRunner, DefaultJobsIsNonZero)
+{
+    EXPECT_GE(SweepRunner(0).jobs(), 1u);
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryRun)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    SweepRunner(2).run(cfgs,
+                       [&](std::size_t done, std::size_t total,
+                           const RunResult &r) {
+                           ++calls;
+                           EXPECT_EQ(total, cfgs.size());
+                           EXPECT_GT(done, last_done);
+                           last_done = done;
+                           EXPECT_FALSE(r.workload.empty());
+                       });
+    EXPECT_EQ(calls, cfgs.size());
+}
+
+TEST(SweepRunner, WorkerExceptionsPropagate)
+{
+    std::vector<SimConfig> cfgs = smallConfigSet();
+    cfgs[2].workload = "no-such-workload";
+    EXPECT_THROW(SweepRunner(4).run(cfgs), FatalError);
+    EXPECT_THROW(SweepRunner(1).run(cfgs), FatalError);
+}
+
+TEST(SweepJson, EmitsEveryResultWithFields)
+{
+    SimConfig cfg = makeSegmentedConfig(32, 16, true, false, "swim");
+    cfg.wl.iterations = 100;
+    std::vector<RunResult> results = SweepRunner(1).run({cfg, cfg});
+
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"workload\": \"swim\""), std::string::npos);
+    EXPECT_NE(json.find("\"iq_kind\": \"segmented\""), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+    EXPECT_NE(json.find("\"halted_cleanly\": true"), std::string::npos);
+    // Two result objects.
+    std::size_t count = 0;
+    for (std::size_t pos = json.find("\"workload\"");
+         pos != std::string::npos;
+         pos = json.find("\"workload\"", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(SweepJson, EscapesStrings)
+{
+    RunResult r;
+    r.workload = "we\"ird\\wl\n";
+    r.iqKind = "ideal";
+    std::ostringstream os;
+    writeResultsJson(os, {r});
+    EXPECT_NE(os.str().find("we\\\"ird\\\\wl\\n"), std::string::npos);
+}
+
+} // namespace
