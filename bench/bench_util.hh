@@ -81,6 +81,9 @@ applyArgs(SimConfig &cfg, const BenchArgs &args)
         cfg.wl.iterations = 1500;
     }
     cfg.validate = false;  // benches measure; tests validate
+    // Every bench accepts audit=1 to run under the invariant auditor.
+    cfg.audit = args.raw.getBool("audit", false);
+    cfg.auditPanic = args.raw.getBool("audit_panic", false);
 }
 
 /**

@@ -11,12 +11,54 @@
  *  - the deadlock condition arises in ~0.05% of cycles.
  */
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "bench_util.hh"
 
 using namespace sciq;
 using namespace sciq::bench;
+
+namespace {
+
+/**
+ * Mean over the finite samples only: undefined rates (NaN on runs with
+ * no eligible events) would otherwise poison the cross-workload
+ * average.
+ */
+struct FiniteMean
+{
+    double sum = 0;
+    unsigned n = 0;
+
+    void
+    add(double v)
+    {
+        if (std::isfinite(v)) {
+            sum += v;
+            ++n;
+        }
+    }
+
+    double
+    value() const
+    {
+        return n ? sum / n : std::numeric_limits<double>::quiet_NaN();
+    }
+};
+
+/** Print one percentage cell, or n/a for an undefined rate. */
+void
+cell(double v)
+{
+    if (std::isfinite(v))
+        std::printf(" %9.2f", 100.0 * v);
+    else
+        std::printf(" %9s", "n/a");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -41,32 +83,38 @@ main(int argc, char **argv)
     }
     batch.run();
 
-    double acc_sum = 0, cov_sum = 0, two_sum = 0, heads_sum = 0;
-    double lrp_sum = 0, dead_sum = 0;
+    FiniteMean acc, cov, two, heads, lrp_mean, dead;
     for (const auto &wl : args.workloads) {
         RunResult rc = batch.next();
         RunResult rb = batch.next();
 
-        std::printf("%-9s | %9.2f %9.2f | %9.2f %9.2f | %9.2f | %12.4f\n",
-                    wl.c_str(), 100.0 * rc.hmpAccuracy,
-                    100.0 * rc.hmpCoverage, 100.0 * rb.twoOutstandingFrac,
-                    100.0 * rb.headsFromLoadsFrac,
-                    100.0 * rc.lrpMispredictRate,
-                    100.0 * rc.deadlockCycleFrac);
+        std::printf("%-9s |", wl.c_str());
+        cell(rc.hmpAccuracy);
+        cell(rc.hmpCoverage);
+        std::printf(" |");
+        cell(rb.twoOutstandingFrac);
+        cell(rb.headsFromLoadsFrac);
+        std::printf(" |");
+        cell(rc.lrpMispredictRate);
+        std::printf(" | %12.4f\n", 100.0 * rc.deadlockCycleFrac);
         std::fflush(stdout);
-        acc_sum += rc.hmpAccuracy;
-        cov_sum += rc.hmpCoverage;
-        two_sum += rb.twoOutstandingFrac;
-        heads_sum += rb.headsFromLoadsFrac;
-        lrp_sum += rc.lrpMispredictRate;
-        dead_sum += rc.deadlockCycleFrac;
+        acc.add(rc.hmpAccuracy);
+        cov.add(rc.hmpCoverage);
+        two.add(rb.twoOutstandingFrac);
+        heads.add(rb.headsFromLoadsFrac);
+        lrp_mean.add(rc.lrpMispredictRate);
+        dead.add(rc.deadlockCycleFrac);
     }
     hr('-', 86);
-    const double n = static_cast<double>(args.workloads.size());
-    std::printf("%-9s | %9.2f %9.2f | %9.2f %9.2f | %9.2f | %12.4f\n",
-                "average", 100.0 * acc_sum / n, 100.0 * cov_sum / n,
-                100.0 * two_sum / n, 100.0 * heads_sum / n,
-                100.0 * lrp_sum / n, 100.0 * dead_sum / n);
+    std::printf("%-9s |", "average");
+    cell(acc.value());
+    cell(cov.value());
+    std::printf(" |");
+    cell(two.value());
+    cell(heads.value());
+    std::printf(" |");
+    cell(lrp_mean.value());
+    std::printf(" | %12.4f\n", 100.0 * dead.value());
 
     std::printf("\nPaper reference: HMP accuracy >98%% with ~83%% hit "
                 "coverage; ~35%% two-outstanding instructions;\n"

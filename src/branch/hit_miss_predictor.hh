@@ -10,6 +10,7 @@
 #ifndef SCIQ_BRANCH_HIT_MISS_PREDICTOR_HH
 #define SCIQ_BRANCH_HIT_MISS_PREDICTOR_HH
 
+#include <limits>
 #include <vector>
 
 #include "common/intmath.hh"
@@ -78,12 +79,18 @@ class HitMissPredictor
             hitPredictsCorrect.inc();
     }
 
-    /** Fraction of hit-predictions that were correct (paper: >98%). */
+    /**
+     * Fraction of hit-predictions that were correct (paper: >98%).
+     * NaN when nothing was predicted - a run with no HMP-eligible
+     * loads has no accuracy, and reporting 1.0 would silently skew
+     * cross-workload averages.  JSON emitters serialise it as null.
+     */
     double
     hitAccuracy() const
     {
         double p = predictHitCount.value();
-        return p > 0 ? hitPredictsCorrect.value() / p : 1.0;
+        return p > 0 ? hitPredictsCorrect.value() / p
+                     : std::numeric_limits<double>::quiet_NaN();
     }
 
     /** Fraction of actual hits that were predicted as hits (~83%). */
@@ -91,7 +98,8 @@ class HitMissPredictor
     hitCoverage() const
     {
         double h = actualHits.value();
-        return h > 0 ? hitPredictsCorrect.value() / h : 1.0;
+        return h > 0 ? hitPredictsCorrect.value() / h
+                     : std::numeric_limits<double>::quiet_NaN();
     }
 
     stats::Group &statGroup() { return statsGroup; }

@@ -95,6 +95,12 @@ class CircularQueue
     void
     clear()
     {
+        // Resetting the live slots (not just the indices) matters for
+        // owning element types: a CircularQueue<DynInstPtr> that only
+        // forgot its indices would pin every DynInstPool slot it ever
+        // held until the same position was overwritten again.
+        for (std::size_t i = 0; i < count; ++i)
+            buf[(head + i) % buf.size()] = T{};
         head = 0;
         count = 0;
     }

@@ -1,0 +1,434 @@
+#include "json.hh"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sciq {
+namespace json {
+
+const Value &
+Value::at(std::size_t i) const
+{
+    require(Kind::Array);
+    if (i >= arr_.size())
+        throw ParseError("json: array index " + std::to_string(i) +
+                         " out of range (size " +
+                         std::to_string(arr_.size()) + ")");
+    return arr_[i];
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    require(Kind::Object);
+    auto it = obj_.find(key);
+    if (it == obj_.end())
+        throw ParseError("json: object has no member '" + key + "'");
+    return it->second;
+}
+
+const char *
+Value::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+void
+Value::require(Kind k) const
+{
+    if (kind_ != k)
+        throw ParseError(std::string("json: expected ") + kindName(k) +
+                         ", have " + kindName(kind_));
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> a)
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    v.arr_ = std::move(a);
+    return v;
+}
+
+Value
+Value::makeObject(std::map<std::string, Value> o)
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    v.obj_ = std::move(o);
+    return v;
+}
+
+namespace {
+
+/** RFC 8259 recursive-descent parser over an in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    document()
+    {
+        skipWs();
+        Value v = value(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after the top-level value");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw ParseError("json parse error at line " + std::to_string(line) +
+                         ", column " + std::to_string(col) + ": " + what);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char
+    next()
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    void
+    expectLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail("invalid literal (expected '" + std::string(word) + "')");
+        pos_ += word.size();
+    }
+
+    Value
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        if (atEnd())
+            fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return object(depth);
+          case '[': return array(depth);
+          case '"': return Value::makeString(string());
+          case 't': expectLiteral("true"); return Value::makeBool(true);
+          case 'f': expectLiteral("false"); return Value::makeBool(false);
+          case 'n': expectLiteral("null"); return Value::makeNull();
+          default: return number();
+        }
+    }
+
+    Value
+    object(int depth)
+    {
+        next();  // '{'
+        std::map<std::string, Value> members;
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return Value::makeObject(std::move(members));
+        }
+        for (;;) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                fail("expected a quoted object key");
+            std::string key = string();
+            skipWs();
+            if (next() != ':')
+                fail("expected ':' after object key");
+            skipWs();
+            if (!members.emplace(key, value(depth + 1)).second)
+                fail("duplicate object key '" + key + "'");
+            skipWs();
+            char c = next();
+            if (c == '}')
+                return Value::makeObject(std::move(members));
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value
+    array(int depth)
+    {
+        next();  // '['
+        std::vector<Value> elems;
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return Value::makeArray(std::move(elems));
+        }
+        for (;;) {
+            skipWs();
+            elems.push_back(value(depth + 1));
+            skipWs();
+            char c = next();
+            if (c == ']')
+                return Value::makeArray(std::move(elems));
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = next();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    std::string
+    string()
+    {
+        next();  // '"'
+        std::string out;
+        for (;;) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            char e = next();
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned cp = hex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (next() != '\\' || next() != 'u')
+                        fail("unpaired UTF-16 surrogate");
+                    unsigned lo = hex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("invalid UTF-16 surrogate pair");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape sequence");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        // Integer part: one digit, or a nonzero digit followed by more.
+        if (atEnd() || peek() < '0' || peek() > '9')
+            fail("invalid number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("digit required after decimal point");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("digit required in exponent");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("invalid number");
+        // Out-of-range magnitudes overflow to +-inf; the grammar
+        // accepted the token, so keep the clamped value.
+        return Value::makeNumber(v);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw ParseError("json: cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof())
+        throw ParseError("json: read failure on '" + path + "'");
+    return parse(buf.str());
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+}
+
+void
+writeString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace json
+} // namespace sciq

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal strict JSON support for the evaluation harness.
+ *
+ * The parser is a validating recursive-descent implementation of RFC
+ * 8259: it rejects everything the grammar rejects (bare `nan`/`inf`
+ * tokens, trailing commas, comments, unquoted keys, trailing garbage),
+ * because the `bench_out=` files it guards are consumed by external
+ * plotting/trajectory tooling that is just as strict.  The writer
+ * helpers exist so every JSON emitter in the tree shares one convention
+ * for doubles: shortest round-trip formatting, and `null` for
+ * non-finite values (an undefined rate is data, not a syntax error).
+ */
+
+#ifndef SCIQ_COMMON_JSON_HH
+#define SCIQ_COMMON_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sciq {
+namespace json {
+
+/** Thrown on malformed input, with offset context in the message. */
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** One parsed JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { require(Kind::Bool); return bool_; }
+    double asNumber() const { require(Kind::Number); return num_; }
+    const std::string &asString() const { require(Kind::String); return str_; }
+    const std::vector<Value> &asArray() const
+    {
+        require(Kind::Array);
+        return arr_;
+    }
+    const std::map<std::string, Value> &asObject() const
+    {
+        require(Kind::Object);
+        return obj_;
+    }
+
+    /** Array element access; throws on wrong kind or out of range. */
+    const Value &at(std::size_t i) const;
+
+    /** Object member access; throws if absent. */
+    const Value &at(const std::string &key) const;
+
+    bool contains(const std::string &key) const
+    {
+        return kind_ == Kind::Object && obj_.count(key) > 0;
+    }
+
+    /** Array/object element count (0 for scalars). */
+    std::size_t
+    size() const
+    {
+        if (kind_ == Kind::Array)
+            return arr_.size();
+        if (kind_ == Kind::Object)
+            return obj_.size();
+        return 0;
+    }
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double d);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> a);
+    static Value makeObject(std::map<std::string, Value> o);
+
+  private:
+    void require(Kind k) const;
+    static const char *kindName(Kind k);
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::map<std::string, Value> obj_;
+};
+
+/**
+ * Parse exactly one JSON document.  Throws ParseError on any grammar
+ * violation, including trailing non-whitespace after the value.
+ */
+Value parse(std::string_view text);
+
+/** Read and parse a file; throws ParseError on I/O or syntax failure. */
+Value parseFile(const std::string &path);
+
+/**
+ * Emit a double as a JSON number token using shortest round-trip
+ * formatting, or `null` when the value is NaN or infinite (JSON has no
+ * token for those; `null` is the tree-wide "undefined rate" encoding).
+ */
+void writeNumber(std::ostream &os, double v);
+
+/** Emit a quoted, escaped JSON string token. */
+void writeString(std::ostream &os, std::string_view s);
+
+} // namespace json
+} // namespace sciq
+
+#endif // SCIQ_COMMON_JSON_HH

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "json.hh"
+
 namespace sciq {
 namespace stats {
 
@@ -16,6 +18,22 @@ Group::lookup(const std::string &name) const
             if (child->name() == head)
                 return child->lookup(rest);
         }
+        // Not a child group: a distribution read through a sub-field
+        // ("dist.mean"), matching what contains() reports as present.
+        if (auto it = distributions.find(head); it != distributions.end()) {
+            const Distribution &d = *it->second.stat;
+            if (rest == "mean")
+                return d.mean();
+            if (rest == "min")
+                return d.min();
+            if (rest == "max")
+                return d.max();
+            if (rest == "samples")
+                return static_cast<double>(d.samples());
+            panic("distribution '%s' in group '%s' has no field '%s' "
+                  "(mean/min/max/samples)",
+                  head.c_str(), groupName.c_str(), rest.c_str());
+        }
         panic("stat group '%s' has no child '%s'", groupName.c_str(),
               head.c_str());
     }
@@ -24,6 +42,11 @@ Group::lookup(const std::string &name) const
         return it->second.stat->value();
     if (auto it = averages.find(name); it != averages.end())
         return it->second.stat->value();
+    if (distributions.count(name) > 0) {
+        panic("stat '%s' in group '%s' is a distribution; read a "
+              "sub-field (%s.mean/.min/.max/.samples)",
+              name.c_str(), groupName.c_str(), name.c_str());
+    }
     panic("stat '%s' not found in group '%s'", name.c_str(),
           groupName.c_str());
 }
@@ -39,7 +62,9 @@ Group::contains(const std::string &name) const
             if (child->name() == head)
                 return child->contains(rest);
         }
-        return false;
+        return distributions.count(head) > 0 &&
+               (rest == "mean" || rest == "min" || rest == "max" ||
+                rest == "samples");
     }
     return scalars.count(name) > 0 || averages.count(name) > 0 ||
            distributions.count(name) > 0;
@@ -72,6 +97,61 @@ Group::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *child : children)
         child->dump(os, full);
+}
+
+void
+Group::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    bool first = true;
+    auto sep = [&]() {
+        os << (first ? "\n" : ",\n") << pad;
+        first = false;
+    };
+
+    os << '{';
+    for (const auto &[name, e] : scalars) {
+        sep();
+        json::writeString(os, name);
+        os << ": ";
+        json::writeNumber(os, e.stat->value());
+    }
+    for (const auto &[name, e] : averages) {
+        sep();
+        json::writeString(os, name);
+        os << ": ";
+        json::writeNumber(os, e.stat->value());
+    }
+    for (const auto &[name, e] : distributions) {
+        sep();
+        json::writeString(os, name);
+        const Distribution &d = *e.stat;
+        os << ": {\"mean\": ";
+        json::writeNumber(os, d.mean());
+        os << ", \"min\": ";
+        json::writeNumber(os, d.min());
+        os << ", \"max\": ";
+        json::writeNumber(os, d.max());
+        os << ", \"samples\": ";
+        json::writeNumber(os, static_cast<double>(d.samples()));
+        os << ", \"histogram\": [";
+        const auto &h = d.histogram();
+        for (std::size_t i = 0; i < h.size(); ++i) {
+            if (i)
+                os << ", ";
+            json::writeNumber(os, static_cast<double>(h[i]));
+        }
+        os << "]}";
+    }
+    for (const auto *child : children) {
+        sep();
+        json::writeString(os, child->name());
+        os << ": ";
+        child->dumpJson(os, indent + 2);
+    }
+    if (!first)
+        os << '\n' << std::string(static_cast<std::size_t>(indent), ' ');
+    os << '}';
 }
 
 void

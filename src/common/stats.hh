@@ -167,7 +167,12 @@ class Group
     /** Attach a child group (e.g. core.iq). */
     void addChild(Group *child) { children.push_back(child); }
 
-    /** Value of a scalar/average by name; panics on unknown name. */
+    /**
+     * Value of a statistic by (possibly dotted) name; panics on unknown
+     * names.  Dots first select child groups; a distribution is read
+     * through its sub-fields: `dist.mean`, `dist.min`, `dist.max`,
+     * `dist.samples`.
+     */
     double lookup(const std::string &name) const;
 
     /** True if the (possibly dotted) name resolves in this group tree. */
@@ -175,6 +180,15 @@ class Group
 
     /** Print every statistic, one per line: name value # desc. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Snapshot the whole stats tree as one JSON object: scalars and
+     * averages as numbers, distributions as objects with
+     * mean/min/max/samples and the raw histogram, children as nested
+     * objects keyed by group name.  Non-finite values follow the
+     * tree-wide convention and serialise as `null`.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
 
     /** Reset every registered statistic (incl. children). */
     void resetAll();

@@ -110,6 +110,12 @@ OooCore::OooCore(const Program &program_, const CoreParams &params_)
                          "");
     statsGroup.addAverage("rob_occupancy", &robOccupancy,
                           "ROB occupancy per cycle");
+    const double rob_hi = static_cast<double>(params.robSize) + 1.0;
+    robOccupancyDist.configure(
+        0.0, rob_hi,
+        std::max(1.0, rob_hi / 64.0));
+    statsGroup.addDistribution("rob_occupancy_dist", &robOccupancyDist,
+                               "ROB occupancy distribution");
 
     statsGroup.addChild(&iq->statGroup());
     statsGroup.addChild(&lsq->statGroup());
@@ -373,6 +379,7 @@ OooCore::issueStage()
             return false;
         inst->issued = true;
         inst->issueCycle = curCycle;
+        ++issuedThisCycleCount;
         const unsigned lat = fu.latency(inst->opClass());
         wbQueue[curCycle + lat].push_back(inst);
         ++inFlightExec;
@@ -575,6 +582,7 @@ OooCore::tick()
 {
     ++curCycle;
     cyclesStat.inc();
+    issuedThisCycleCount = 0;
 
     mem.tick(curCycle);
     fu.beginCycle(curCycle);
@@ -590,6 +598,10 @@ OooCore::tick()
     fetchStage();
 
     robOccupancy.sample(static_cast<double>(rob.size()));
+    robOccupancyDist.sample(static_cast<double>(rob.size()));
+
+    if (cycleHook)
+        cycleHook(*this, curCycle);
 }
 
 void

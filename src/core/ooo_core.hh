@@ -16,6 +16,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -142,6 +143,15 @@ class OooCore
     /** Attach a pipeline-event observer (tracing); may be null. */
     void setObserver(CommitObserver *obs) { observer = obs; }
 
+    /**
+     * Hook invoked at the end of every tick(), after all stages have
+     * run.  Used by the invariant auditor; may be empty.  Kept as a
+     * std::function so the sim layer can observe the core without the
+     * core library depending on it.
+     */
+    using CycleHook = std::function<void(OooCore &, Cycle)>;
+    void setCycleHook(CycleHook hook) { cycleHook = std::move(hook); }
+
     IqBase &iqUnit() { return *iq; }
     Lsq &lsqUnit() { return *lsq; }
     MemHierarchy &memHierarchy() { return mem; }
@@ -165,8 +175,10 @@ class OooCore
     stats::Scalar committedBranches;
     stats::Scalar committedCondBranches;
     stats::Average robOccupancy;
+    stats::Distribution robOccupancyDist;
 
   private:
+    friend class Auditor;
     /** ExecContext over the speculative fetch state. */
     class FetchContext : public ExecContext
     {
@@ -271,6 +283,8 @@ class OooCore
     Cycle curCycle = 0;
     SeqNum nextSeq = 1;
     bool haltCommitted = false;
+    unsigned issuedThisCycleCount = 0;
+    CycleHook cycleHook;
 
     // Pending squash (oldest resolving mispredict this cycle).
     DynInstPtr pendingSquashBranch;

@@ -54,6 +54,13 @@ struct IqParams
     // FIFO IQ (Palacharla et al.).
     unsigned numFifos = 16;
     unsigned fifoDepth = 32;
+
+    /**
+     * Test-only fault injection: let promotion ignore the previous-cycle
+     * free-entry bound (section 3.1) so the invariant auditor's negative
+     * tests can prove a broken bound is caught.  Never set in real runs.
+     */
+    bool auditInjectOverPromote = false;
 };
 
 class IqBase
@@ -120,6 +127,13 @@ class IqBase
 
     /** Extra dispatch pipeline stages this design needs (paper: 1). */
     virtual unsigned extraDispatchCycles() const { return 0; }
+
+    /**
+     * Enable the per-cycle bookkeeping the invariant auditor reads
+     * (promotion counts, free-entry snapshots).  A no-op for designs
+     * with nothing to track.
+     */
+    virtual void setAuditTracking(bool) {}
 
     /**
      * The source registers that gate IQ issue.  Stores wait only on

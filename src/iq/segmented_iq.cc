@@ -526,9 +526,48 @@ SegmentedIq::moveInst(const DynInstPtr &inst, unsigned from, unsigned to,
 }
 
 void
+SegmentedIq::setAuditTracking(bool on)
+{
+    auditTracking = on;
+    const std::size_t n = segments.size();
+    freePrevSnapshot.assign(on ? n : 0, params.segmentSize);
+    promotedInto.assign(on ? n : 0, 0);
+}
+
+void
+SegmentedIq::dumpSegment(std::ostream &os, unsigned k) const
+{
+    const auto &seg = segments[k];
+    os << "segment " << k << ": " << seg.size() << "/" << params.segmentSize
+       << " entries, admit threshold " << threshold(k) << "\n";
+    for (const auto &inst : seg) {
+        os << "  seq=" << inst->seq << " pc=" << std::hex << inst->pc
+           << std::dec << " seg=" << inst->seg.segment;
+        if (inst->seg.headedChain != kNoChain) {
+            os << " heads=" << inst->seg.headedChain
+               << (inst->seg.chainReleased ? "(released)" : "");
+        }
+        for (int m = 0; m < inst->seg.numMemberships; ++m) {
+            const ChainMembership &mem = inst->seg.memberships[m];
+            os << " [chain=" << mem.chain << " delay=" << mem.delay
+               << " headSeg=" << mem.headSegment
+               << (mem.selfTimed ? " selfTimed" : "")
+               << (mem.suspended ? " suspended" : "")
+               << " applied=" << mem.appliedSeq << "]";
+        }
+        os << "\n";
+    }
+}
+
+void
 SegmentedIq::tick(Cycle cycle, bool core_busy)
 {
     const unsigned n = static_cast<unsigned>(segments.size());
+
+    if (auditTracking) {
+        freePrevSnapshot = freePrevCycle;
+        promotedInto.assign(n, 0);
+    }
 
     // 0. Release chain wires whose drain delay has matured.
     while (!chainDrainQueue.empty() &&
@@ -575,6 +614,14 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
                 freePrevCycle[k - 1],
                 static_cast<unsigned>(params.segmentSize -
                                       segments[k - 1].size())));
+        if (params.auditInjectOverPromote) {
+            // Test-only fault: drop the previous-cycle free bound and
+            // fill whatever space the destination has *now*.
+            budget = std::min<unsigned>(
+                params.issueWidth,
+                static_cast<unsigned>(params.segmentSize -
+                                      segments[k - 1].size()));
+        }
 
         for (auto &inst : eligible) {
             if (budget == 0)
@@ -582,6 +629,8 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
             moveInst(inst, k, k - 1, cycle);
             promotions.inc();
             ++promotedThisCycle;
+            if (auditTracking)
+                ++promotedInto[k - 1];
             --budget;
         }
         for (auto &inst : pushdown) {
@@ -591,6 +640,8 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
             promotions.inc();
             pushdownPromotions.inc();
             ++promotedThisCycle;
+            if (auditTracking)
+                ++promotedInto[k - 1];
             --budget;
         }
     }

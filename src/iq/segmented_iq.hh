@@ -90,6 +90,11 @@ class SegmentedIq : public IqBase
     /** Segments currently powered (== numSegments unless resizing). */
     unsigned activeSegmentCount() const { return activeSegments; }
 
+    void setAuditTracking(bool on) override;
+
+    /** Pipe-trace-style dump of one segment's entries (audit panics). */
+    void dumpSegment(std::ostream &os, unsigned k) const;
+
     // --- Statistics (Table 2, Figure 2 and section 6 text) ---------------
     stats::Scalar chainsCreated;
     stats::Scalar headsFromLoads;
@@ -111,6 +116,8 @@ class SegmentedIq : public IqBase
     stats::Average activeSegmentsAvg;
 
   private:
+    friend class Auditor;
+
     enum class SignalKind : std::uint8_t { Assert, Suspend, Resume };
 
     /** One chain-wire event, pipelined upward from originSegment. */
@@ -228,6 +235,13 @@ class SegmentedIq : public IqBase
     unsigned promotedThisCycle = 0;
     unsigned activeSegments = 1;
     Cycle nextResizeCheck = 0;
+
+    // Audit bookkeeping (setAuditTracking): what each tick's promotion
+    // round actually used and did, so the auditor can re-check the
+    // bound after the fact.  Deadlock-recovery moves are not counted.
+    bool auditTracking = false;
+    std::vector<unsigned> freePrevSnapshot;  ///< freePrevCycle at tick start
+    std::vector<unsigned> promotedInto;      ///< promotions per destination
 };
 
 } // namespace sciq

@@ -1,0 +1,252 @@
+#include "audit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/ooo_core.hh"
+#include "iq/segmented_iq.hh"
+
+namespace sciq {
+
+namespace {
+
+/** Warn about the first few violations even when not panicking. */
+constexpr int kMaxWarnings = 5;
+
+} // namespace
+
+Auditor::Auditor(bool panic_on_violation)
+    : panicOnViolation_(panic_on_violation), group_("audit")
+{
+    group_.addScalar("cycles_audited", &cyclesAudited,
+                     "cycles the invariant auditor ran");
+    group_.addScalar("negative_delay", &negativeDelay,
+                     "chain-member delay values below zero");
+    group_.addScalar("segment_overflow", &segmentOverflow,
+                     "segment occupancy above capacity");
+    group_.addScalar("promotion_bound", &promotionBound,
+                     "promotions above the prev-cycle free bound");
+    group_.addScalar("issue_over_width", &issueOverWidth,
+                     "cycles issuing more than the issue width");
+    group_.addScalar("wire_delivery", &wireDelivery,
+                     "chain-wire signals missed past their arrival cycle");
+    group_.addScalar("pool_bound", &poolBound,
+                     "cycles with leaked DynInstPool slots");
+}
+
+void
+Auditor::attach(OooCore &core)
+{
+    core.statGroup().addChild(&group_);
+    core.iqUnit().setAuditTracking(true);
+    core.setCycleHook([this](OooCore &c, Cycle cycle) {
+        auditCycle(c, cycle);
+    });
+}
+
+void
+Auditor::violation(stats::Scalar &counter, const char *invariant,
+                   Cycle cycle, const std::string &detail)
+{
+    counter.inc();
+    ++total_;
+    if (panicOnViolation_) {
+        panic("audit: invariant '%s' violated at cycle %llu\n%s",
+              invariant, static_cast<unsigned long long>(cycle),
+              detail.c_str());
+    }
+    if (total_ <= kMaxWarnings) {
+        warn("audit: invariant '%s' violated at cycle %llu\n%s",
+             invariant, static_cast<unsigned long long>(cycle),
+             detail.c_str());
+    }
+}
+
+void
+Auditor::auditCycle(OooCore &core, Cycle cycle)
+{
+    cyclesAudited.inc();
+
+    if (core.issuedThisCycleCount > core.params.iq.issueWidth) {
+        std::ostringstream os;
+        core.debugDump(os);
+        violation(issueOverWidth, "issue <= issueWidth", cycle,
+                  "issued " + std::to_string(core.issuedThisCycleCount) +
+                      " > width " +
+                      std::to_string(core.params.iq.issueWidth) + "\n" +
+                      os.str());
+    }
+
+    // Everything holding a DynInstPtr is bounded: the ROB, the front-end
+    // queue, and completed-but-squashed instructions draining through
+    // the writeback queue (themselves once-ROB residents).  Twice the
+    // ROB plus the front end is a deliberately generous but *finite*
+    // ceiling: a storage leak (e.g. a container pinning recycled slots)
+    // grows monotonically and crosses it quickly.
+    const std::size_t pool_cap =
+        2 * static_cast<std::size_t>(core.params.robSize) +
+        core.frontEndCap;
+    if (core.instPool.liveCount() > pool_cap) {
+        std::ostringstream os;
+        core.debugDump(os);
+        violation(poolBound, "pool live count <= window bound", cycle,
+                  "live " + std::to_string(core.instPool.liveCount()) +
+                      " > bound " + std::to_string(pool_cap) + "\n" +
+                      os.str());
+    }
+
+    if (auto *seg = dynamic_cast<SegmentedIq *>(core.iq.get()))
+        auditSegmented(*seg, cycle);
+}
+
+void
+Auditor::auditSegmented(SegmentedIq &iq, Cycle cycle)
+{
+    const unsigned n = static_cast<unsigned>(iq.segments.size());
+
+    auto segDump = [&iq](unsigned k) {
+        std::ostringstream os;
+        iq.dumpSegment(os, k);
+        return os.str();
+    };
+
+    for (unsigned k = 0; k < n; ++k) {
+        const auto &seg = iq.segments[k];
+
+        if (seg.size() > iq.params.segmentSize) {
+            violation(segmentOverflow, "segment occupancy <= capacity",
+                      cycle,
+                      "segment " + std::to_string(k) + " holds " +
+                          std::to_string(seg.size()) + " > " +
+                          std::to_string(iq.params.segmentSize) + "\n" +
+                          segDump(k));
+        }
+
+        for (const auto &inst : seg) {
+            if (inst->seg.segment != static_cast<int>(k)) {
+                violation(segmentOverflow,
+                          "entry segment field matches its segment", cycle,
+                          "seq " + std::to_string(inst->seq) +
+                              " records segment " +
+                              std::to_string(inst->seg.segment) +
+                              " but lives in " + std::to_string(k) + "\n" +
+                              segDump(k));
+            }
+
+            for (int m = 0; m < inst->seg.numMemberships; ++m) {
+                const ChainMembership &mem = inst->seg.memberships[m];
+
+                if (mem.delay < 0) {
+                    violation(negativeDelay, "chain delay >= 0", cycle,
+                              "seq " + std::to_string(inst->seq) +
+                                  " membership " + std::to_string(m) +
+                                  " delay " + std::to_string(mem.delay) +
+                                  "\n" + segDump(k));
+                }
+
+                // Chain-wire exactness: every signal is applied on the
+                // cycle it becomes visible at this segment.  A signal
+                // generated at cycle g from segment o reaches segment s
+                // at g + max(0, s - o); anything still unapplied a full
+                // cycle past that arrival was missed by delivery.
+                // (Signals generated after this cycle's delivery pass -
+                // e.g. load-resume events from the LSQ - are legitimately
+                // pending, hence the strict comparison.)
+                if (mem.chain == kNoChain)
+                    continue;
+                const auto &cs = iq.stateOf(mem.chain);
+                if (cs.gen != mem.gen)
+                    continue;
+                if (mem.appliedSeq > cs.seqCounter) {
+                    violation(wireDelivery,
+                              "applied signal count <= signals generated",
+                              cycle,
+                              "seq " + std::to_string(inst->seq) +
+                                  " applied " +
+                                  std::to_string(mem.appliedSeq) + " > " +
+                                  std::to_string(cs.seqCounter) + "\n" +
+                                  segDump(k));
+                }
+                for (const auto &sig : cs.log) {
+                    if (sig.seq <= mem.appliedSeq)
+                        continue;
+                    const Cycle lag =
+                        static_cast<int>(k) > sig.originSegment
+                            ? static_cast<Cycle>(static_cast<int>(k) -
+                                                 sig.originSegment)
+                            : 0;
+                    if (sig.cycle + lag < cycle) {
+                        violation(
+                            wireDelivery,
+                            "chain-wire signals arrive on schedule", cycle,
+                            "seq " + std::to_string(inst->seq) +
+                                " in segment " + std::to_string(k) +
+                                " missed signal " +
+                                std::to_string(sig.seq) + " of chain " +
+                                std::to_string(mem.chain) +
+                                " (generated cycle " +
+                                std::to_string(sig.cycle) +
+                                " at segment " +
+                                std::to_string(sig.originSegment) + ")\n" +
+                                segDump(k));
+                    }
+                }
+            }
+        }
+    }
+
+    // The dispatch-stage register table listens at the top segment.
+    {
+        const int top = static_cast<int>(n) - 1;
+        for (std::size_t r = 0; r < iq.regInfo.size(); ++r) {
+            const auto &e = iq.regInfo[r];
+            if (!e.pending || e.chain == kNoChain)
+                continue;
+            const auto &cs = iq.stateOf(e.chain);
+            if (cs.gen != e.gen)
+                continue;
+            for (const auto &sig : cs.log) {
+                if (sig.seq <= e.appliedSeq)
+                    continue;
+                const Cycle lag =
+                    top > sig.originSegment
+                        ? static_cast<Cycle>(top - sig.originSegment)
+                        : 0;
+                if (sig.cycle + lag < cycle) {
+                    violation(wireDelivery,
+                              "chain-wire signals arrive on schedule",
+                              cycle,
+                              "regInfo[" + std::to_string(r) +
+                                  "] missed signal " +
+                                  std::to_string(sig.seq) + " of chain " +
+                                  std::to_string(e.chain) +
+                                  " (generated cycle " +
+                                  std::to_string(sig.cycle) +
+                                  " at segment " +
+                                  std::to_string(sig.originSegment) + ")");
+                }
+            }
+        }
+    }
+
+    // Promotion respects the previous-cycle free count and the
+    // inter-segment bandwidth (deadlock-recovery force promotions are
+    // exempt and not counted by the tracking hooks).
+    if (iq.auditTracking && !iq.promotedInto.empty()) {
+        for (unsigned k = 0; k + 1 < n; ++k) {
+            const unsigned bound = std::min<unsigned>(
+                iq.params.issueWidth, iq.freePrevSnapshot[k]);
+            if (iq.promotedInto[k] > bound) {
+                violation(promotionBound,
+                          "promotions <= prev-cycle free entries", cycle,
+                          "segment " + std::to_string(k) + " accepted " +
+                              std::to_string(iq.promotedInto[k]) +
+                              " promotions, bound " +
+                              std::to_string(bound) + "\n" + segDump(k));
+            }
+        }
+    }
+}
+
+} // namespace sciq

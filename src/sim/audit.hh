@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cycle-level invariant auditor (DESIGN.md section 9).
+ *
+ * When `SimConfig::audit` is set (config key `audit=1`), an Auditor is
+ * attached to the core through its end-of-cycle hook and re-checks the
+ * simulator's structural invariants every cycle:
+ *
+ *  - per-member chain delay values never go negative;
+ *  - segment occupancy never exceeds segment capacity (and the queue
+ *    never exceeds its total capacity);
+ *  - promotions into a segment respect the previous-cycle free-entry
+ *    bound and the issue width (deadlock-recovery force promotions are
+ *    exempt, as section 4.5 specifies);
+ *  - issue never exceeds the issue width;
+ *  - chain-wire delivery is exact: a signal generated at segment o on
+ *    cycle g is applied by every listener in segment s no later than
+ *    cycle g + max(0, s - o) (the pipelined-wire timing), and never
+ *    before;
+ *  - the DynInstPool's live-slot count stays within the in-flight
+ *    window bound (catches storage leaks such as containers pinning
+ *    recycled slots).
+ *
+ * Violations are accumulated into a `stats::Group` ("audit") so sweeps
+ * can assert on them cheaply; with `auditPanic` (key `audit_panic=1`,
+ * the default in assertion-enabled builds) the first violation panics
+ * with a pipe-trace-style dump of the offending structure.
+ */
+
+#ifndef SCIQ_SIM_AUDIT_HH
+#define SCIQ_SIM_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sciq {
+
+class OooCore;
+class SegmentedIq;
+
+class Auditor
+{
+  public:
+    /**
+     * @param panic_on_violation Panic (with a state dump) at the first
+     *        violation instead of counting on.
+     */
+    explicit Auditor(bool panic_on_violation = false);
+
+    Auditor(const Auditor &) = delete;
+    Auditor &operator=(const Auditor &) = delete;
+
+    /**
+     * Wire this auditor into a core: registers the "audit" stats group
+     * as a child of the core's group, enables audit bookkeeping in the
+     * IQ, and installs the end-of-cycle hook that runs the checks.
+     */
+    void attach(OooCore &core);
+
+    /** Run every invariant check against the core's current state. */
+    void auditCycle(OooCore &core, Cycle cycle);
+
+    std::uint64_t totalViolations() const { return total_; }
+
+    stats::Group &statGroup() { return group_; }
+
+    // Violation counters, one per audited invariant.
+    stats::Scalar cyclesAudited;
+    stats::Scalar negativeDelay;      ///< chain member delay below zero
+    stats::Scalar segmentOverflow;    ///< occupancy above capacity
+    stats::Scalar promotionBound;     ///< promotions above prev-cycle free
+    stats::Scalar issueOverWidth;     ///< issued more than issueWidth
+    stats::Scalar wireDelivery;       ///< chain-wire signal missed/early
+    stats::Scalar poolBound;          ///< DynInstPool live slots leaked
+
+  private:
+    void violation(stats::Scalar &counter, const char *invariant,
+                   Cycle cycle, const std::string &detail);
+
+    void auditSegmented(SegmentedIq &iq, Cycle cycle);
+
+    bool panicOnViolation_;
+    std::uint64_t total_ = 0;
+    stats::Group group_;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_AUDIT_HH

@@ -51,6 +51,10 @@ SimConfig::apply(const ConfigMap &cfg)
     maxCycles = static_cast<Cycle>(
         cfg.getInt("max_cycles", static_cast<std::int64_t>(maxCycles)));
     validate = cfg.getBool("validate", validate);
+    audit = cfg.getBool("audit", audit);
+    auditPanic = cfg.getBool("audit_panic", auditPanic);
+    core.iq.auditInjectOverPromote = cfg.getBool(
+        "audit_inject_overpromote", core.iq.auditInjectOverPromote);
     fastForward = static_cast<std::uint64_t>(
         cfg.getInt("ff", static_cast<std::int64_t>(fastForward)));
 }

@@ -29,6 +29,19 @@ struct SimConfig
     bool validate = true;
 
     /**
+     * Attach the cycle-level invariant auditor (DESIGN.md section 9).
+     * Violations accumulate under the `core.audit` stats group and in
+     * RunResult::auditViolations.  Key: `audit=1`.
+     */
+    bool audit = false;
+
+    /**
+     * With the auditor attached, panic (with a state dump) at the first
+     * violation instead of counting on.  Key: `audit_panic=1`.
+     */
+    bool auditPanic = false;
+
+    /**
      * Skip this many instructions with functional warming before the
      * timed run (the paper's checkpoint methodology at our scale).
      */

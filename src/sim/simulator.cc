@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "iq/segmented_iq.hh"
 #include "isa/functional_core.hh"
+#include "sim/audit.hh"
 #include "sim/fast_forward.hh"
 
 namespace sciq {
@@ -14,6 +15,10 @@ Simulator::Simulator(const SimConfig &cfg) : config(cfg)
     program_ = std::make_unique<Program>(
         buildWorkload(config.workload, config.wl));
     core_ = std::make_unique<OooCore>(*program_, config.core);
+    if (config.audit) {
+        auditor_ = std::make_unique<Auditor>(config.auditPanic);
+        auditor_->attach(*core_);
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -46,6 +51,8 @@ Simulator::run()
     r.insts = core_->committedCount();
     r.ipc = core_->ipc();
     r.haltedCleanly = core_->halted();
+    if (auditor_)
+        r.auditViolations = auditor_->totalViolations();
 
     // Misprediction rate per *committed* conditional branch (wrong-path
     // and post-squash refetch predictions would inflate the base).

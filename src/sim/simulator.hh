@@ -17,6 +17,8 @@
 
 namespace sciq {
 
+class Auditor;
+
 /** Everything the benchmark harnesses report, in one POD. */
 struct RunResult
 {
@@ -55,6 +57,9 @@ struct RunResult
     double segActiveAvg = 0.0;      ///< powered segments per cycle
     double segCyclesActive = 0.0;   ///< total powered segment-cycles
 
+    /** Invariant-auditor violations (0 unless SimConfig::audit). */
+    std::uint64_t auditViolations = 0;
+
     bool validated = false;
     bool haltedCleanly = false;
 };
@@ -71,10 +76,14 @@ class Simulator
     OooCore &core() { return *core_; }
     const Program &program() const { return *program_; }
 
+    /** The attached invariant auditor, or null when audit is off. */
+    Auditor *auditor() { return auditor_.get(); }
+
   private:
     SimConfig config;
     std::unique_ptr<Program> program_;
     std::unique_ptr<OooCore> core_;
+    std::unique_ptr<Auditor> auditor_;
 };
 
 /** Convenience: configure, run, and return the result. */

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <mutex>
 #include <thread>
+
+#include "common/json.hh"
 
 namespace sciq {
 
@@ -79,33 +80,17 @@ SweepRunner::run(const std::vector<SimConfig> &configs,
 
 namespace {
 
-void
-jsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
+/**
+ * One numeric field.  json::writeNumber emits `null` for nan/inf
+ * (e.g. hmp_accuracy on a run with no HMP-eligible loads), keeping
+ * the output strictly RFC 8259 parseable.
+ */
 void
 jsonField(std::ostream &os, const char *key, double v, bool last = false)
 {
-    os << "    \"" << key << "\": " << v << (last ? "\n" : ",\n");
+    os << "    \"" << key << "\": ";
+    json::writeNumber(os, v);
+    os << (last ? "\n" : ",\n");
 }
 
 } // namespace
@@ -113,15 +98,14 @@ jsonField(std::ostream &os, const char *key, double v, bool last = false)
 void
 writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
 {
-    const auto saved_precision = os.precision(17);
     os << "[\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &r = results[i];
         os << "  {\n";
         os << "    \"workload\": ";
-        jsonString(os, r.workload);
+        json::writeString(os, r.workload);
         os << ",\n    \"iq_kind\": ";
-        jsonString(os, r.iqKind);
+        json::writeString(os, r.iqKind);
         os << ",\n";
         os << "    \"iq_size\": " << r.iqSize << ",\n";
         os << "    \"chains\": " << r.chains << ",\n";
@@ -144,6 +128,7 @@ writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
         jsonField(os, "l1d_delayed_hit_frac", r.l1dDelayedHitFrac);
         jsonField(os, "seg_active_avg", r.segActiveAvg);
         jsonField(os, "seg_cycles_active", r.segCyclesActive);
+        os << "    \"audit_violations\": " << r.auditViolations << ",\n";
         os << "    \"validated\": " << (r.validated ? "true" : "false")
            << ",\n";
         os << "    \"halted_cleanly\": "
@@ -151,7 +136,6 @@ writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
         os << "  }" << (i + 1 == results.size() ? "\n" : ",\n");
     }
     os << "]\n";
-    os.precision(saved_precision);
 }
 
 bool

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/circular_queue.hh"
 #include "common/logging.hh"
 
@@ -86,6 +88,34 @@ TEST(CircularQueue, ClearResets)
     EXPECT_TRUE(q.empty());
     q.pushBack(7);
     EXPECT_EQ(q.front(), 7);
+}
+
+// Regression: clear() used to reset only head/count, leaving the
+// abandoned slots holding live T objects.  For owning element types
+// (DynInstPtr, shared_ptr) that pinned the pointees until the same
+// position happened to be overwritten again.
+TEST(CircularQueue, ClearDestroysHeldElements)
+{
+    CircularQueue<std::shared_ptr<int>> q(4);
+    auto p = std::make_shared<int>(7);
+    q.pushBack(p);
+    q.pushBack(p);
+    q.pushBack(p);
+    EXPECT_EQ(p.use_count(), 4);
+    q.clear();
+    EXPECT_EQ(p.use_count(), 1) << "clear() left live copies in the buffer";
+}
+
+TEST(CircularQueue, PopFrontReleasesOwnership)
+{
+    // popFront/popBack move out of the slot; nothing may linger behind.
+    CircularQueue<std::shared_ptr<int>> q(2);
+    auto p = std::make_shared<int>(1);
+    q.pushBack(p);
+    q.pushBack(p);
+    (void)q.popFront();
+    (void)q.popBack();
+    EXPECT_EQ(p.use_count(), 1);
 }
 
 TEST(CircularQueue, SetCapacityOnEmpty)

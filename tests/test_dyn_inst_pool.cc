@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/circular_queue.hh"
 #include "core/dyn_inst_pool.hh"
 #include "sim/simulator.hh"
 
@@ -140,6 +141,36 @@ TEST(DynInstPool, CheckpointOwnershipSurvivesCopies)
     inst.reset();
     ASSERT_NE(copy->checkpoint, nullptr);
     EXPECT_EQ(copy->checkpoint->regs[3], 99u);
+}
+
+/**
+ * Regression for the CircularQueue::clear() leak: the ROB and LSQ are
+ * CircularQueue<DynInstPtr>, and a clear() that only reset the indices
+ * left every abandoned slot holding a reference -- the pool reported
+ * those instructions live forever (exactly what the auditor's pool
+ * bound flags).
+ */
+TEST(DynInstPool, CircularQueueClearDropsReferences)
+{
+    DynInstPool pool;
+    CircularQueue<DynInstPtr> rob(8);
+    for (int i = 0; i < 6; ++i)
+        rob.pushBack(pool.create());
+    // Pop a couple first so the live region is offset from slot 0, the
+    // way a real ROB wraps.
+    (void)rob.popFront();
+    (void)rob.popFront();
+    rob.pushBack(pool.create());
+    EXPECT_EQ(pool.liveCount(), 5u);
+
+    rob.clear();
+    EXPECT_EQ(pool.liveCount(), 0u)
+        << "clear() left DynInstPtrs alive in the abandoned slots";
+
+    // The recycled slots are reusable immediately.
+    DynInstPtr fresh = pool.create();
+    EXPECT_GT(pool.slotsReused(), 0u);
+    EXPECT_EQ(pool.liveCount(), 1u);
 }
 
 /**

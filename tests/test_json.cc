@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Strict-JSON parser and writer tests.  The parser guards the
+ * `bench_out=` result files and the golden-stats snapshots, so it must
+ * reject everything RFC 8259 rejects -- in particular the bare
+ * `nan`/`inf` tokens the old emitter used to produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace sciq;
+
+namespace {
+
+TEST(JsonParse, AcceptsScalars)
+{
+    EXPECT_TRUE(json::parse("null").isNull());
+    EXPECT_TRUE(json::parse("true").asBool());
+    EXPECT_FALSE(json::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(json::parse("0").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(json::parse("-0.5").asNumber(), -0.5);
+    EXPECT_DOUBLE_EQ(json::parse("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(json::parse("2.5E-1").asNumber(), 0.25);
+    EXPECT_EQ(json::parse("\"hi\"").asString(), "hi");
+    EXPECT_TRUE(json::parse("  42  ").isNumber());
+}
+
+TEST(JsonParse, AcceptsContainers)
+{
+    json::Value v = json::parse(
+        "{\"a\": [1, 2, 3], \"b\": {\"c\": null}, \"d\": \"x\"}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("a").at(std::size_t{2}).asNumber(), 3.0);
+    EXPECT_TRUE(v.at("b").at("c").isNull());
+    EXPECT_TRUE(v.contains("d"));
+    EXPECT_FALSE(v.contains("e"));
+    EXPECT_TRUE(json::parse("[]").isArray());
+    EXPECT_EQ(json::parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, RejectsNonFiniteTokens)
+{
+    // The regression that motivated the strict parser: the sweep emitter
+    // wrote bare nan/inf, which no conforming consumer accepts.
+    EXPECT_THROW(json::parse("nan"), json::ParseError);
+    EXPECT_THROW(json::parse("inf"), json::ParseError);
+    EXPECT_THROW(json::parse("-inf"), json::ParseError);
+    EXPECT_THROW(json::parse("NaN"), json::ParseError);
+    EXPECT_THROW(json::parse("Infinity"), json::ParseError);
+    EXPECT_THROW(json::parse("{\"ipc\": nan}"), json::ParseError);
+    EXPECT_THROW(json::parse("[1, inf]"), json::ParseError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(json::parse(""), json::ParseError);
+    EXPECT_THROW(json::parse("   "), json::ParseError);
+    EXPECT_THROW(json::parse("[1, 2,]"), json::ParseError);     // trailing ,
+    EXPECT_THROW(json::parse("{\"a\": 1,}"), json::ParseError);
+    EXPECT_THROW(json::parse("{a: 1}"), json::ParseError);      // bare key
+    EXPECT_THROW(json::parse("{'a': 1}"), json::ParseError);
+    EXPECT_THROW(json::parse("{\"a\": 1 \"b\": 2}"), json::ParseError);
+    EXPECT_THROW(json::parse("[1 2]"), json::ParseError);
+    EXPECT_THROW(json::parse("[1] garbage"), json::ParseError);  // trailing
+    EXPECT_THROW(json::parse("{\"a\": 1} {\"b\": 2}"), json::ParseError);
+    EXPECT_THROW(json::parse("{\"a\": }"), json::ParseError);
+    EXPECT_THROW(json::parse("[1,"), json::ParseError);
+    EXPECT_THROW(json::parse("\"unterminated"), json::ParseError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(json::parse("{\"a\": 1, \"a\": 2}"), json::ParseError);
+    // ... but the same key in sibling objects is fine.
+    EXPECT_NO_THROW(json::parse("[{\"a\": 1}, {\"a\": 2}]"));
+}
+
+TEST(JsonParse, RejectsBadNumbers)
+{
+    EXPECT_THROW(json::parse("01"), json::ParseError);   // leading zero
+    EXPECT_THROW(json::parse("+1"), json::ParseError);
+    EXPECT_THROW(json::parse("1."), json::ParseError);
+    EXPECT_THROW(json::parse(".5"), json::ParseError);
+    EXPECT_THROW(json::parse("1e"), json::ParseError);
+    EXPECT_THROW(json::parse("1e+"), json::ParseError);
+    EXPECT_THROW(json::parse("-"), json::ParseError);
+    EXPECT_THROW(json::parse("0x10"), json::ParseError);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(json::parse("\"a\\n\\t\\\\\\\"b\\/\"").asString(),
+              "a\n\t\\\"b/");
+    EXPECT_EQ(json::parse("\"\\u0041\"").asString(), "A");
+    // Non-ASCII BMP codepoint -> UTF-8.
+    EXPECT_EQ(json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    // Surrogate pair -> 4-byte UTF-8 (U+1F600).
+    EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsBadStrings)
+{
+    EXPECT_THROW(json::parse("\"\\x41\""), json::ParseError);
+    EXPECT_THROW(json::parse("\"\\u12\""), json::ParseError);
+    EXPECT_THROW(json::parse("\"\\ud800\""), json::ParseError);  // lone hi
+    EXPECT_THROW(json::parse("\"\\ude00\""), json::ParseError);  // lone lo
+    EXPECT_THROW(json::parse("\"\\ud800\\u0041\""), json::ParseError);
+    EXPECT_THROW(json::parse("\"a\nb\""), json::ParseError);
+}
+
+TEST(JsonParse, RejectsExcessiveNesting)
+{
+    std::string deep(300, '[');
+    deep += std::string(300, ']');
+    EXPECT_THROW(json::parse(deep), json::ParseError);
+    // A comfortably shallow document is fine.
+    std::string ok(50, '[');
+    ok += std::string(50, ']');
+    EXPECT_NO_THROW(json::parse(ok));
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn)
+{
+    try {
+        json::parse("{\n  \"a\": nan\n}");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonValue, AccessorsEnforceKind)
+{
+    json::Value v = json::parse("{\"a\": [1]}");
+    EXPECT_THROW(v.asNumber(), json::ParseError);
+    EXPECT_THROW(v.at(std::size_t{0}), json::ParseError);
+    EXPECT_THROW(v.at("missing"), json::ParseError);
+    EXPECT_THROW(v.at("a").at(std::size_t{5}), json::ParseError);
+}
+
+TEST(JsonWrite, NumberShortestRoundTrip)
+{
+    auto fmt = [](double d) {
+        std::ostringstream os;
+        json::writeNumber(os, d);
+        return os.str();
+    };
+    EXPECT_EQ(fmt(0.0), "0");
+    EXPECT_EQ(fmt(1.5), "1.5");
+    EXPECT_EQ(fmt(-2.0), "-2");
+    // 0.1 must survive a write/parse round trip bit-for-bit.
+    EXPECT_EQ(json::parse(fmt(0.1)).asNumber(), 0.1);
+    const double tricky = 1.0 / 3.0;
+    EXPECT_EQ(json::parse(fmt(tricky)).asNumber(), tricky);
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull)
+{
+    auto fmt = [](double d) {
+        std::ostringstream os;
+        json::writeNumber(os, d);
+        return os.str();
+    };
+    EXPECT_EQ(fmt(std::nan("")), "null");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(fmt(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWrite, StringEscapingRoundTrips)
+{
+    const std::string nasty = "quote\" slash\\ nl\n tab\t bell\x07 end";
+    std::ostringstream os;
+    json::writeString(os, nasty);
+    EXPECT_EQ(json::parse(os.str()).asString(), nasty);
+}
+
+TEST(JsonParseFile, MissingFileThrows)
+{
+    EXPECT_THROW(json::parseFile("/no/such/file.json"), json::ParseError);
+}
+
+} // namespace

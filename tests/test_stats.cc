@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -92,6 +93,95 @@ TEST(StatsGroup, UnknownLookupPanics)
 {
     Group g("core");
     EXPECT_THROW(g.lookup("missing"), PanicError);
+}
+
+// Regression: lookup() used to ignore distributions entirely while
+// contains() reported them present, so any name contains() approved
+// could still panic in lookup().
+TEST(StatsGroup, DistributionSubFieldLookup)
+{
+    Group g("core");
+    Distribution d;
+    d.configure(0, 100, 10);
+    d.sample(10);
+    d.sample(30);
+    g.addDistribution("occ", &d, "occupancy");
+
+    EXPECT_TRUE(g.contains("occ"));
+    EXPECT_TRUE(g.contains("occ.mean"));
+    EXPECT_TRUE(g.contains("occ.min"));
+    EXPECT_TRUE(g.contains("occ.max"));
+    EXPECT_TRUE(g.contains("occ.samples"));
+    EXPECT_FALSE(g.contains("occ.bogus"));
+
+    EXPECT_DOUBLE_EQ(g.lookup("occ.mean"), 20.0);
+    EXPECT_DOUBLE_EQ(g.lookup("occ.min"), 10.0);
+    EXPECT_DOUBLE_EQ(g.lookup("occ.max"), 30.0);
+    EXPECT_DOUBLE_EQ(g.lookup("occ.samples"), 2.0);
+
+    // A bare distribution name is ambiguous - the panic must say so.
+    EXPECT_THROW(g.lookup("occ"), PanicError);
+    EXPECT_THROW(g.lookup("occ.bogus"), PanicError);
+}
+
+TEST(StatsGroup, DistributionLookupThroughChildGroups)
+{
+    Group parent("core");
+    Group child("iq");
+    Distribution d;
+    d.configure(0, 8, 1);
+    d.sample(4);
+    child.addDistribution("lat", &d, "");
+    parent.addChild(&child);
+
+    EXPECT_TRUE(parent.contains("iq.lat.mean"));
+    EXPECT_DOUBLE_EQ(parent.lookup("iq.lat.mean"), 4.0);
+}
+
+TEST(StatsGroup, DumpJsonRoundTripsThroughStrictParser)
+{
+    Group parent("core");
+    Group child("iq");
+    Scalar cycles;
+    cycles.set(123);
+    Average occ;
+    occ.sample(2);
+    occ.sample(4);
+    Distribution d;
+    d.configure(0, 4, 1);
+    d.sample(1);
+    d.sample(3);
+    parent.addScalar("cycles", &cycles, "");
+    parent.addDistribution("occ_dist", &d, "");
+    child.addAverage("occ", &occ, "");
+    parent.addChild(&child);
+
+    std::ostringstream os;
+    parent.dumpJson(os);
+
+    json::Value v = json::parse(os.str());
+    EXPECT_DOUBLE_EQ(v.at("cycles").asNumber(), 123.0);
+    EXPECT_DOUBLE_EQ(v.at("iq").at("occ").asNumber(), 3.0);
+    const json::Value &dist = v.at("occ_dist");
+    EXPECT_DOUBLE_EQ(dist.at("mean").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(dist.at("min").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("max").asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(dist.at("samples").asNumber(), 2.0);
+    ASSERT_TRUE(dist.at("histogram").isArray());
+    EXPECT_DOUBLE_EQ(dist.at("histogram").at(std::size_t{1}).asNumber(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(dist.at("histogram").at(std::size_t{3}).asNumber(),
+                     1.0);
+}
+
+TEST(StatsGroup, DumpJsonEmptyGroup)
+{
+    Group g("empty");
+    std::ostringstream os;
+    g.dumpJson(os);
+    json::Value v = json::parse(os.str());
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.size(), 0u);
 }
 
 TEST(StatsGroup, DumpContainsNamesAndValues)

@@ -6,14 +6,33 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
 
 using namespace sciq;
 
 namespace {
+
+/**
+ * Bit-for-bit double equality: EXPECT_EQ fails on NaN == NaN, but for
+ * determinism checks an undefined rate must reproduce as the *same*
+ * undefined rate.
+ */
+void
+expectSameBits(double a, double b, const char *field, std::size_t i)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << field << " differs (" << a << " vs " << b
+                      << ") config " << i;
+}
 
 std::vector<SimConfig>
 smallConfigSet()
@@ -42,26 +61,33 @@ expectIdentical(const RunResult &a, const RunResult &b, std::size_t i)
     EXPECT_EQ(a.chains, b.chains) << "config " << i;
     EXPECT_EQ(a.cycles, b.cycles) << "config " << i;
     EXPECT_EQ(a.insts, b.insts) << "config " << i;
-    EXPECT_EQ(a.ipc, b.ipc) << "config " << i;
-    EXPECT_EQ(a.avgChains, b.avgChains) << "config " << i;
-    EXPECT_EQ(a.peakChains, b.peakChains) << "config " << i;
-    EXPECT_EQ(a.hmpAccuracy, b.hmpAccuracy) << "config " << i;
-    EXPECT_EQ(a.hmpCoverage, b.hmpCoverage) << "config " << i;
-    EXPECT_EQ(a.lrpMispredictRate, b.lrpMispredictRate) << "config " << i;
-    EXPECT_EQ(a.branchMispredictRate, b.branchMispredictRate)
-        << "config " << i;
-    EXPECT_EQ(a.iqOccupancyAvg, b.iqOccupancyAvg) << "config " << i;
-    EXPECT_EQ(a.seg0ReadyAvg, b.seg0ReadyAvg) << "config " << i;
-    EXPECT_EQ(a.seg0OccupancyAvg, b.seg0OccupancyAvg) << "config " << i;
-    EXPECT_EQ(a.deadlockCycleFrac, b.deadlockCycleFrac) << "config " << i;
-    EXPECT_EQ(a.twoOutstandingFrac, b.twoOutstandingFrac)
-        << "config " << i;
-    EXPECT_EQ(a.headsFromLoadsFrac, b.headsFromLoadsFrac)
-        << "config " << i;
-    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate) << "config " << i;
-    EXPECT_EQ(a.l1dDelayedHitFrac, b.l1dDelayedHitFrac) << "config " << i;
-    EXPECT_EQ(a.segActiveAvg, b.segActiveAvg) << "config " << i;
-    EXPECT_EQ(a.segCyclesActive, b.segCyclesActive) << "config " << i;
+    expectSameBits(a.ipc, b.ipc, "ipc", i);
+    expectSameBits(a.avgChains, b.avgChains, "avgChains", i);
+    expectSameBits(a.peakChains, b.peakChains, "peakChains", i);
+    expectSameBits(a.hmpAccuracy, b.hmpAccuracy, "hmpAccuracy", i);
+    expectSameBits(a.hmpCoverage, b.hmpCoverage, "hmpCoverage", i);
+    expectSameBits(a.lrpMispredictRate, b.lrpMispredictRate,
+                   "lrpMispredictRate", i);
+    expectSameBits(a.branchMispredictRate, b.branchMispredictRate,
+                   "branchMispredictRate", i);
+    expectSameBits(a.iqOccupancyAvg, b.iqOccupancyAvg, "iqOccupancyAvg",
+                   i);
+    expectSameBits(a.seg0ReadyAvg, b.seg0ReadyAvg, "seg0ReadyAvg", i);
+    expectSameBits(a.seg0OccupancyAvg, b.seg0OccupancyAvg,
+                   "seg0OccupancyAvg", i);
+    expectSameBits(a.deadlockCycleFrac, b.deadlockCycleFrac,
+                   "deadlockCycleFrac", i);
+    expectSameBits(a.twoOutstandingFrac, b.twoOutstandingFrac,
+                   "twoOutstandingFrac", i);
+    expectSameBits(a.headsFromLoadsFrac, b.headsFromLoadsFrac,
+                   "headsFromLoadsFrac", i);
+    expectSameBits(a.l1dMissRate, b.l1dMissRate, "l1dMissRate", i);
+    expectSameBits(a.l1dDelayedHitFrac, b.l1dDelayedHitFrac,
+                   "l1dDelayedHitFrac", i);
+    expectSameBits(a.segActiveAvg, b.segActiveAvg, "segActiveAvg", i);
+    expectSameBits(a.segCyclesActive, b.segCyclesActive,
+                   "segCyclesActive", i);
+    EXPECT_EQ(a.auditViolations, b.auditViolations) << "config " << i;
     EXPECT_EQ(a.validated, b.validated) << "config " << i;
     EXPECT_EQ(a.haltedCleanly, b.haltedCleanly) << "config " << i;
 }
@@ -170,6 +196,70 @@ TEST(SweepJson, EscapesStrings)
     std::ostringstream os;
     writeResultsJson(os, {r});
     EXPECT_NE(os.str().find("we\\\"ird\\\\wl\\n"), std::string::npos);
+}
+
+TEST(SweepJson, RoundTripsThroughStrictParser)
+{
+    SimConfig cfg = makeSegmentedConfig(32, 16, true, false, "swim");
+    cfg.wl.iterations = 100;
+    std::vector<RunResult> results = SweepRunner(1).run({cfg});
+
+    std::ostringstream os;
+    writeResultsJson(os, results);
+
+    json::Value v = json::parse(os.str());
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.size(), 1u);
+    const json::Value &r = v.at(std::size_t{0});
+    EXPECT_EQ(r.at("workload").asString(), "swim");
+    EXPECT_EQ(r.at("iq_kind").asString(), "segmented");
+    EXPECT_DOUBLE_EQ(r.at("ipc").asNumber(), results[0].ipc);
+    EXPECT_EQ(r.at("cycles").asNumber(),
+              static_cast<double>(results[0].cycles));
+    EXPECT_TRUE(r.at("halted_cleanly").asBool());
+    EXPECT_EQ(r.at("audit_violations").asNumber(), 0.0);
+}
+
+TEST(SweepJson, NonFiniteRatesEmitNull)
+{
+    // A hand-built result with the undefined-rate fields left at NaN
+    // (and one infinity for good measure) must still produce strictly
+    // parseable JSON, with those fields serialised as null.
+    RunResult r;
+    r.workload = "empty";
+    r.iqKind = "segmented";
+    r.hmpAccuracy = std::nan("");
+    r.hmpCoverage = std::nan("");
+    r.ipc = std::numeric_limits<double>::infinity();
+
+    std::ostringstream os;
+    writeResultsJson(os, {r});
+    const std::string text = os.str();
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+
+    json::Value v = json::parse(text);
+    const json::Value &obj = v.at(std::size_t{0});
+    EXPECT_TRUE(obj.at("hmp_accuracy").isNull());
+    EXPECT_TRUE(obj.at("hmp_coverage").isNull());
+    EXPECT_TRUE(obj.at("ipc").isNull());
+    EXPECT_TRUE(obj.at("l1d_miss_rate").isNumber());
+}
+
+TEST(SweepJson, NoHmpRunEmitsNullAccuracy)
+{
+    // End-to-end regression for the original bug: with the HMP disabled
+    // nothing is ever predicted, hmp_accuracy is undefined, and the old
+    // emitter wrote a bare `nan` token no parser would accept.
+    SimConfig cfg = makeSegmentedConfig(32, 16, false, false, "swim");
+    cfg.wl.iterations = 100;
+    std::vector<RunResult> results = SweepRunner(1).run({cfg});
+    ASSERT_TRUE(std::isnan(results[0].hmpAccuracy));
+
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    json::Value v = json::parse(os.str());
+    EXPECT_TRUE(v.at(std::size_t{0}).at("hmp_accuracy").isNull());
 }
 
 } // namespace

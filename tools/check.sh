@@ -1,0 +1,35 @@
+#!/bin/sh
+# Full pre-merge check: tier-1 tests, the invariant-audit sweep, and one
+# sanitizer configuration.  Run from the repository root:
+#
+#   tools/check.sh [ubsan|asan|tsan]
+#
+# The optional argument picks the sanitizer config (default: ubsan).
+set -eu
+
+san="${1:-ubsan}"
+case "$san" in
+  ubsan) san_flag=-DSCIQ_UBSAN=ON ;;
+  asan)  san_flag=-DSCIQ_ASAN=ON ;;
+  tsan)  san_flag=-DSCIQ_TSAN=ON ;;
+  *) echo "unknown sanitizer '$san' (want ubsan, asan or tsan)" >&2
+     exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
+./build/tests/test_audit
+
+echo "== sanitizer smoke ($san) =="
+cmake -B "build-$san" -S . "$san_flag" >/dev/null
+cmake --build "build-$san" -j "$jobs"
+ctest --test-dir "build-$san" --output-on-failure -j "$jobs" \
+      -L sanitize_smoke
+
+echo "== all checks passed =="

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Strict JSON linter for bench_out= result files.  Exits 0 only when
+ * every argument parses under the RFC 8259 parser (which rejects bare
+ * nan/inf, trailing commas, duplicate keys, unpaired surrogates, ...).
+ */
+
+#include <cstdio>
+
+#include "common/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s file.json [...]\n", argv[0]);
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            sciq::json::parseFile(argv[i]);
+            std::printf("%s: ok\n", argv[i]);
+        } catch (const sciq::json::ParseError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+            rc = 1;
+        }
+    }
+    return rc;
+}
