@@ -92,6 +92,14 @@ class CircularQueue
         return buf[(head + i) % buf.size()];
     }
 
+    /** Unchecked element access for bounds-established hot loops. */
+    T &operator[](std::size_t i) { return buf[(head + i) % buf.size()]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) % buf.size()];
+    }
+
     void
     clear()
     {

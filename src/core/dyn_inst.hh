@@ -42,6 +42,11 @@ struct ChainMembership
     int headSegment = 0;
     bool selfTimed = false;
     bool suspended = false;  ///< self-timing suspended (head missed)
+
+    // Back-pointers into the segmented IQ's incremental scheduling
+    // indices (DESIGN.md section 11); -1 = not on the list.
+    int subIdx = -1;  ///< position in the chain's subscriber list
+    int cdIdx = -1;   ///< position in the self-timed countdown list
 };
 
 /** Scheduler state for the segmented IQ. */
@@ -53,6 +58,14 @@ struct SegIqState
     std::uint32_t headedGen = 0;
     bool chainReleased = false;      ///< headed chain already freed
     int segment = -1;        ///< current segment index (0 = issue buffer)
+    bool promoEligible = false;  ///< counted as a promotion candidate
+};
+
+/** Scheduler state for the ideal (monolithic CAM) IQ. */
+struct IdealIqState
+{
+    int pendingOps = 0;   ///< unready gating sources at last update
+    bool inQueue = false; ///< resident (waiter entries may be stale)
 };
 
 /** Scheduler state for the prescheduling IQ (Michaud-Seznec). */
@@ -124,6 +137,7 @@ class DynInst
 
     // ---- IQ-design-specific scheduler state ---------------------------------
     SegIqState seg;
+    IdealIqState ideal;
     PreschedState presched;
     int fifoId = -1;  ///< for the Palacharla FIFO design
 

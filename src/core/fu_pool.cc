@@ -1,5 +1,7 @@
 #include "fu_pool.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sciq {
@@ -48,6 +50,19 @@ FuPool::latency(OpClass cls) const
         break;
     }
     panic("latency of invalid op class");
+}
+
+unsigned
+FuPool::maxLatency() const
+{
+    unsigned m = params.intAluLat;
+    m = std::max(m, params.intMulLat);
+    m = std::max(m, params.intDivLat);
+    m = std::max(m, params.fpAddLat);
+    m = std::max(m, params.fpMulLat);
+    m = std::max(m, params.fpDivLat);
+    m = std::max(m, params.fpSqrtLat);
+    return m;
 }
 
 FuPool::PoolId

@@ -43,6 +43,9 @@ class FuPool
     /** Execution latency of an op class (branches/mem use the int ALU). */
     unsigned latency(OpClass cls) const;
 
+    /** Largest latency any op class can report (writeback horizon). */
+    unsigned maxLatency() const;
+
     /**
      * Try to start an operation of class `cls` at `cycle`.
      * @return true and reserve a unit, false on a structural hazard.

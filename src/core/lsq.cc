@@ -47,14 +47,14 @@ Lsq::setAddrReady(const DynInstPtr &inst, Cycle cycle)
 int
 Lsq::classifyLoad(std::size_t idx) const
 {
-    const DynInstPtr &load = entries.at(idx).inst;
+    const DynInstPtr &load = entries[idx].inst;
     const Addr lo = load->effAddr;
     const Addr hi = lo + load->staticInst.memSize();
 
     // Scan older entries youngest-first so the first overlapping store
     // found is the forwarding candidate.
     for (std::size_t j = idx; j-- > 0;) {
-        const DynInstPtr &st = entries.at(j).inst;
+        const DynInstPtr &st = entries[j].inst;
         if (!st->isStore())
             continue;
         if (!st->addrReady)
@@ -127,7 +127,7 @@ Lsq::tick(Cycle cycle)
 
     // 3. Stores whose data just became ready are now commit-eligible.
     for (std::size_t i = 0; i < entries.size(); ++i) {
-        Entry &e = entries.at(i);
+        Entry &e = entries[i];
         if (e.inst->isStore() && e.inst->addrReady && !e.inst->completed &&
             scoreboard.isReady(e.inst->physSrc[1])) {
             cb.onStoreReady(e.inst, cycle);
@@ -137,7 +137,7 @@ Lsq::tick(Cycle cycle)
     // 4. Issue ready loads (oldest first; non-conflicting loads may
     //    bypass stalled ones).
     for (std::size_t i = 0; i < entries.size(); ++i) {
-        Entry &e = entries.at(i);
+        Entry &e = entries[i];
         DynInstPtr &inst = e.inst;
         if (!inst->isLoad() || !inst->addrReady || e.accessSent ||
             inst->memAccessDone) {

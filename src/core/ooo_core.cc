@@ -63,6 +63,14 @@ OooCore::OooCore(const Program &program_, const CoreParams &params_)
         break;
     }
 
+    // Writeback ring: power-of-two capacity strictly above the largest
+    // FU latency, so (cycle & mask) buckets never alias live events.
+    std::size_t wb_cap = 1;
+    while (wb_cap <= fu.maxLatency())
+        wb_cap *= 2;
+    wbRing.resize(wb_cap);
+    wbMask = wb_cap - 1;
+
     Lsq::Callbacks cb;
     cb.onLoadComplete = [this](const DynInstPtr &inst, Cycle cycle) {
         markLoadComplete(inst, cycle);
@@ -132,27 +140,41 @@ OooCore::~OooCore() = default;
 std::uint64_t
 OooCore::FetchContext::readMem(Addr addr, unsigned size)
 {
-    // Byte-wise search of in-flight (speculative) stores, youngest
-    // first, falling back to committed memory.
+    // Byte-wise forwarding from in-flight (speculative) stores,
+    // youngest first, falling back to committed memory.  One pass over
+    // the store queue fills every covered byte from its youngest
+    // producer - equivalent to the per-byte youngest-first search, at
+    // one queue walk per load instead of one per byte.
     std::uint64_t value = 0;
-    for (unsigned i = 0; i < size; ++i) {
-        const Addr a = addr + i;
-        std::uint8_t byte = 0;
-        bool found = false;
-        for (auto it = core.storeQueueSpec.rbegin();
-             it != core.storeQueueSpec.rend(); ++it) {
-            const DynInstPtr &st = *it;
-            const Addr lo = st->effAddr;
-            const unsigned sz = st->staticInst.memSize();
-            if (a >= lo && a < lo + sz) {
-                byte = static_cast<std::uint8_t>(st->memValue >>
-                                                 (8 * (a - lo)));
-                found = true;
-                break;
-            }
+    unsigned filled = 0;  // per-byte bitmask; size <= 8
+    const unsigned all = (size >= 8) ? 0xffu : ((1u << size) - 1u);
+    for (auto it = core.storeQueueSpec.rbegin();
+         it != core.storeQueueSpec.rend() && filled != all; ++it) {
+        const DynInstPtr &st = *it;
+        const Addr lo = st->effAddr;
+        const Addr hi = lo + st->staticInst.memSize();
+        if (lo >= addr + size || hi <= addr)
+            continue;
+        const unsigned first = lo > addr ? static_cast<unsigned>(lo - addr)
+                                         : 0u;
+        const unsigned last = hi < addr + size
+                                  ? static_cast<unsigned>(hi - addr)
+                                  : size;
+        for (unsigned i = first; i < last; ++i) {
+            if (filled & (1u << i))
+                continue;  // a younger store already produced this byte
+            const Addr a = addr + i;
+            const auto byte =
+                static_cast<std::uint8_t>(st->memValue >> (8 * (a - lo)));
+            value |= static_cast<std::uint64_t>(byte) << (8 * i);
+            filled |= 1u << i;
         }
-        if (!found)
-            byte = static_cast<std::uint8_t>(core.commitMem.read(a, 1));
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        if (filled & (1u << i))
+            continue;
+        const auto byte =
+            static_cast<std::uint8_t>(core.commitMem.read(addr + i, 1));
         value |= static_cast<std::uint64_t>(byte) << (8 * i);
     }
     return value;
@@ -381,7 +403,9 @@ OooCore::issueStage()
         inst->issueCycle = curCycle;
         ++issuedThisCycleCount;
         const unsigned lat = fu.latency(inst->opClass());
-        wbQueue[curCycle + lat].push_back(inst);
+        SCIQ_ASSERT(lat > 0 && lat <= wbMask,
+                    "FU latency %u outside the writeback ring", lat);
+        wbRing[(curCycle + lat) & wbMask].push_back(inst);
         ++inFlightExec;
         return true;
     });
@@ -395,6 +419,7 @@ OooCore::markLoadComplete(const DynInstPtr &inst, Cycle cycle)
     if (inst->physDst != kInvalidReg) {
         scoreboard.setReady(inst->physDst);
         physReadyCycle[inst->physDst] = cycle;
+        iq->onRegReady(inst->physDst);
     }
     iq->onLoadComplete(inst, cycle);
     // A load "writes back" when its data returns: chains headed by it
@@ -414,13 +439,16 @@ OooCore::markStoreReady(const DynInstPtr &inst, Cycle cycle)
 void
 OooCore::writebackStage()
 {
-    auto it = wbQueue.find(curCycle);
-    if (it == wbQueue.end())
+    auto &bucket = wbRing[curCycle & wbMask];
+    if (bucket.empty())
         return;
-    std::vector<DynInstPtr> done = std::move(it->second);
-    wbQueue.erase(it);
+    // Swap the bucket out (capacities ping-pong, so draining stays
+    // allocation-free): nothing may append to this cycle's bucket
+    // while it is being walked.
+    wbScratch.clear();
+    wbScratch.swap(bucket);
 
-    for (DynInstPtr &inst : done) {
+    for (DynInstPtr &inst : wbScratch) {
         SCIQ_ASSERT(inFlightExec > 0, "writeback underflow");
         --inFlightExec;
         if (inst->squashed)
@@ -437,6 +465,7 @@ OooCore::writebackStage()
         if (inst->physDst != kInvalidReg) {
             scoreboard.setReady(inst->physDst);
             physReadyCycle[inst->physDst] = curCycle;
+            iq->onRegReady(inst->physDst);
         }
         iq->onWriteback(inst, curCycle);
 
@@ -448,6 +477,7 @@ OooCore::writebackStage()
             }
         }
     }
+    wbScratch.clear();  // release the DynInstPtr refs promptly
 }
 
 void
@@ -469,6 +499,7 @@ OooCore::doSquash()
         if (inst->physDst != kInvalidReg) {
             rename.undo(inst->archDst, inst->physDst, inst->prevPhysDst);
             scoreboard.setReady(inst->physDst);  // back on the free list
+            iq->onRegReady(inst->physDst);
         }
     }
 

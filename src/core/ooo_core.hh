@@ -17,7 +17,6 @@
 #include <array>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -276,8 +275,13 @@ class OooCore
     // I-cache line tracking.
     std::unordered_map<Addr, Cycle> lineReadyAt;  ///< kCycleNever = pending
 
-    // Completion schedule (writeback events).
-    std::map<Cycle, std::vector<DynInstPtr>> wbQueue;
+    // Completion schedule: a cycle-bucketed ring indexed by
+    // (cycle & wbMask).  Capacity is a power of two strictly greater
+    // than the largest FU latency, so a bucket is always drained
+    // before any in-flight op can wrap around onto it.
+    std::vector<std::vector<DynInstPtr>> wbRing;
+    std::size_t wbMask = 0;
+    std::vector<DynInstPtr> wbScratch;  ///< drain buffer (reused)
     unsigned inFlightExec = 0;
 
     Cycle curCycle = 0;

@@ -71,6 +71,19 @@ class ChainAllocator
         return gens[static_cast<std::size_t>(id)];
     }
 
+    /**
+     * True when `gen` is the generation the wire currently carries,
+     * i.e. signals and memberships tagged with it are still
+     * authoritative.  After free() the old generation is dead even
+     * though listeners may still hold it (they compare generations
+     * before applying anything).
+     */
+    bool
+    isLive(ChainId id, std::uint32_t gen) const
+    {
+        return gens[static_cast<std::size_t>(id)] == gen;
+    }
+
     unsigned inUse() const { return inUseCount; }
     unsigned peak() const { return peakCount; }
     int capacity() const { return maxChains; }

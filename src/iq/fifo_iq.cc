@@ -22,10 +22,7 @@ FifoIq::FifoIq(const IqParams &params_, const Scoreboard &scoreboard_,
 std::size_t
 FifoIq::occupancy() const
 {
-    std::size_t total = 0;
-    for (const auto &f : fifos)
-        total += f.size();
-    return total;
+    return totalOcc;
 }
 
 int
@@ -78,6 +75,7 @@ FifoIq::insert(const DynInstPtr &inst, Cycle)
         steeredBehindProducer.inc();
     inst->fifoId = f;
     fifos[static_cast<std::size_t>(f)].push_back(inst);
+    ++totalOcc;
     instsInserted.inc();
 
     RegIndex dst = inst->staticInst.dstReg();
@@ -89,7 +87,8 @@ void
 FifoIq::issueSelect(Cycle, const TryIssue &try_issue)
 {
     // Consider only FIFO heads, oldest first across FIFOs.
-    std::vector<std::size_t> ready;
+    std::vector<std::size_t> &ready = readyScratch;
+    ready.clear();
     for (std::size_t f = 0; f < fifos.size(); ++f) {
         if (!fifos[f].empty() && operandsReady(*fifos[f].front()))
             ready.push_back(f);
@@ -107,6 +106,7 @@ FifoIq::issueSelect(Cycle, const TryIssue &try_issue)
         if (!try_issue(inst))
             continue;  // structural hazard; another head may still go
         fifos[f].pop_front();
+        --totalOcc;
         instsIssued.inc();
         ++issued;
     }
@@ -122,8 +122,10 @@ void
 FifoIq::squash(SeqNum youngest_kept)
 {
     for (auto &f : fifos) {
-        while (!f.empty() && f.back()->seq > youngest_kept)
+        while (!f.empty() && f.back()->seq > youngest_kept) {
             f.pop_back();
+            --totalOcc;
+        }
     }
     for (auto &p : producer) {
         if (p && p->seq > youngest_kept)

@@ -43,6 +43,10 @@ class FifoIq : public IqBase
     int steer(const DynInstPtr &inst) const;
 
     std::vector<std::deque<DynInstPtr>> fifos;
+    std::size_t totalOcc = 0;  ///< sum of FIFO sizes, O(1) occupancy
+
+    /** Issue-select scratch (reused; avoids per-cycle allocation). */
+    std::vector<std::size_t> readyScratch;
 
     /** Most recent in-queue producer of each architectural register. */
     std::array<DynInstPtr, kNumArchRegs> producer;

@@ -11,6 +11,8 @@ IdealIq::IdealIq(const IqParams &params, const Scoreboard &scoreboard,
     : IqBase(params, scoreboard, fu, "iq")
 {
     insts.reserve(params.numEntries);
+    readyList.reserve(params.numEntries);
+    waiters.resize(scoreboard.size());
 }
 
 bool
@@ -20,23 +22,80 @@ IdealIq::canInsert(const DynInstPtr &)
 }
 
 void
+IdealIq::pushReady(const DynInstPtr &inst)
+{
+    // Almost always the youngest entry so far; fall back to a sorted
+    // insert for the rare out-of-order wakeup.
+    if (readyList.empty() || readyList.back()->seq < inst->seq) {
+        readyList.push_back(inst);
+        return;
+    }
+    auto pos = std::lower_bound(readyList.begin(), readyList.end(), inst,
+                                [](const DynInstPtr &a, const DynInstPtr &b) {
+                                    return a->seq < b->seq;
+                                });
+    readyList.insert(pos, inst);
+}
+
+void
 IdealIq::insert(const DynInstPtr &inst, Cycle)
 {
     SCIQ_ASSERT(insts.size() < params.numEntries, "ideal IQ overflow");
     instsInserted.inc();
     insts.push_back(inst);
+    inst->ideal.inQueue = true;
+
+    int pending = 0;
+    const auto srcs = iqSources(*inst);
+    for (RegIndex r : srcs) {
+        if (r == kInvalidReg || scoreboard.isReady(r))
+            continue;
+        ++pending;
+        waiters[r].push_back(inst);
+    }
+    inst->ideal.pendingOps = pending;
+    if (pending == 0)
+        pushReady(inst);
+}
+
+void
+IdealIq::onRegReady(RegIndex r)
+{
+    if (r == kInvalidReg || static_cast<std::size_t>(r) >= waiters.size())
+        return;
+    auto &list = waiters[r];
+    if (list.empty())
+        return;
+    for (DynInstPtr &w : list) {
+        if (!w->ideal.inQueue)
+            continue;  // squashed or issued while waiting
+        if (--w->ideal.pendingOps == 0)
+            pushReady(w);
+    }
+    list.clear();
 }
 
 void
 IdealIq::issueSelect(Cycle, const TryIssue &try_issue)
 {
     unsigned issued = 0;
-    for (auto it = insts.begin();
-         it != insts.end() && issued < params.issueWidth;) {
-        if (operandsReady(**it) && try_issue(*it)) {
+    for (auto it = readyList.begin();
+         it != readyList.end() && issued < params.issueWidth;) {
+        DynInstPtr inst = *it;
+        if (operandsReady(*inst) && try_issue(inst)) {
             instsIssued.inc();
             ++issued;
-            it = insts.erase(it);
+            inst->ideal.inQueue = false;
+            it = readyList.erase(it);
+            // Residency list is seq-sorted: binary search the victim.
+            auto pos = std::lower_bound(
+                insts.begin(), insts.end(), inst,
+                [](const DynInstPtr &a, const DynInstPtr &b) {
+                    return a->seq < b->seq;
+                });
+            SCIQ_ASSERT(pos != insts.end() && *pos == inst,
+                        "issued instruction missing from the ideal IQ");
+            insts.erase(pos);
         } else {
             ++it;
         }
@@ -52,11 +111,16 @@ IdealIq::tick(Cycle, bool)
 void
 IdealIq::squash(SeqNum youngest_kept)
 {
-    insts.erase(std::remove_if(insts.begin(), insts.end(),
-                               [youngest_kept](const DynInstPtr &p) {
-                                   return p->seq > youngest_kept;
-                               }),
-                insts.end());
+    // Both lists are seq-sorted, so the squashed set is a suffix.
+    auto cmp = [](SeqNum s, const DynInstPtr &p) { return s < p->seq; };
+    auto pos = std::upper_bound(insts.begin(), insts.end(), youngest_kept,
+                                cmp);
+    for (auto it = pos; it != insts.end(); ++it)
+        (*it)->ideal.inQueue = false;
+    insts.erase(pos, insts.end());
+    auto rpos = std::upper_bound(readyList.begin(), readyList.end(),
+                                 youngest_kept, cmp);
+    readyList.erase(rpos, readyList.end());
 }
 
 } // namespace sciq

@@ -4,6 +4,15 @@
  * select over the entire window, any size.  This is the paper's upper
  * bound ("ideal" curves in Figures 2 and 3); a real implementation of
  * this structure at 512 entries would not meet cycle time.
+ *
+ * Wakeup is event-driven (DESIGN.md section 11): entries with pending
+ * operands register as waiters on the producing physical registers and
+ * move to a seq-sorted ready list when the core reports the register
+ * ready (onRegReady), so issue selection walks only ready entries
+ * instead of polling every resident instruction's scoreboard bits each
+ * cycle.  Scoreboard readiness is monotone while an instruction is
+ * resident, which is what makes the ready set grow-only between
+ * issues.
  */
 
 #ifndef SCIQ_IQ_IDEAL_IQ_HH
@@ -25,12 +34,33 @@ class IdealIq : public IqBase
     void insert(const DynInstPtr &inst, Cycle cycle) override;
     void issueSelect(Cycle cycle, const TryIssue &try_issue) override;
     void tick(Cycle cycle, bool core_busy) override;
+    void onRegReady(RegIndex r) override;
     void squash(SeqNum youngest_kept) override;
     std::size_t occupancy() const override { return insts.size(); }
 
   private:
+    friend class Auditor;
+
+    /** Append to the ready list, keeping it seq-sorted. */
+    void pushReady(const DynInstPtr &inst);
+
     /** Held in dispatch (= program) order, so oldest-first is a scan. */
     std::vector<DynInstPtr> insts;
+
+    /**
+     * Resident instructions whose gating operands are all ready, in
+     * seq order.  Issue selection walks only this list.
+     */
+    std::vector<DynInstPtr> readyList;
+
+    /**
+     * Per-physical-register waiter lists.  Entries hold strong refs
+     * (pinning the pool slot) but are guarded by ideal.inQueue, so a
+     * squashed waiter is simply dropped when its register fires; every
+     * cleared register is eventually set ready (writeback or squash
+     * undo), so the lists drain promptly.
+     */
+    std::vector<std::vector<DynInstPtr>> waiters;
 };
 
 } // namespace sciq

@@ -108,6 +108,14 @@ class IqBase
     /** An instruction wrote back: chains may be deallocated. */
     virtual void onWriteback(const DynInstPtr &, Cycle) {}
 
+    /**
+     * A physical register just became ready in the scoreboard (load
+     * completion, writeback, or squash undo).  Designs that keep a
+     * ready-event index use it to wake waiters instead of re-polling
+     * operands every cycle.
+     */
+    virtual void onRegReady(RegIndex) {}
+
     /** An instruction committed: recovery logs may be pruned. */
     virtual void onCommit(const DynInstPtr &) {}
 

@@ -61,19 +61,37 @@ SegmentedIq::SegmentedIq(const IqParams &params_,
                          "sum over cycles of powered segments");
     statsGroup.addAverage("active_segments", &activeSegmentsAvg,
                           "powered segments per cycle");
+    statsGroup.addScalar("log_peak", &logPeak,
+                         "peak per-chain signal-log length");
+    statsGroup.addScalar("dirty_segments", &dirtySegments,
+                         "segments visited by the promotion pass");
 
     // With resizing off all segments are always powered; with it on we
     // start minimal and grow under dispatch pressure.
     activeSegments = params.dynamicResize ? 1 : n;
+
+    eligCount.assign(n, 0);
+    regCdPos.fill(-1);
+    regSubPos.fill(-1);
+    regSubChain.fill(kNoChain);
+}
+
+void
+SegmentedIq::SignalRing::grow()
+{
+    const std::size_t old_cap = buf.size();
+    const std::size_t new_cap = old_cap ? old_cap * 2 : 8;
+    std::vector<LoggedSignal> nb(new_cap);
+    for (std::size_t i = 0; i < count; ++i)
+        nb[i] = buf[(head + i) & (old_cap - 1)];
+    buf = std::move(nb);
+    head = 0;
 }
 
 std::size_t
 SegmentedIq::occupancy() const
 {
-    std::size_t total = 0;
-    for (const auto &seg : segments)
-        total += seg.size();
-    return total;
+    return totalOcc;
 }
 
 SegmentedIq::ChainState &
@@ -308,6 +326,10 @@ SegmentedIq::insert(const DynInstPtr &inst, Cycle)
         cs.suspended = false;
         cs.seqCounter = 0;
         cs.log.clear();
+        // Subscriber lists are NOT cleared on wire reuse: stale-
+        // generation listeners are skipped by delivery and drop off
+        // through their own lifecycle.  If the cleared log left the
+        // chain on the active list, the tick-5 prune sweep retires it.
         chainsCreated.inc();
         if (plan.isLoadHead)
             headsFromLoads.inc();
@@ -315,6 +337,13 @@ SegmentedIq::insert(const DynInstPtr &inst, Cycle)
 
     seg_state.segment = target;
     insertSorted(segments[target], inst);
+    ++totalOcc;
+    onSegSizeChanged(static_cast<unsigned>(target));
+    for (int k = 0; k < seg_state.numMemberships; ++k) {
+        subscribeMember(inst.get(), k);
+        subSyncMemberCd(inst.get(), k);
+    }
+    refreshElig(inst.get());
     instsInserted.inc();
     dispatchSegment.sample(static_cast<double>(target));
 
@@ -366,7 +395,11 @@ SegmentedIq::insert(const DynInstPtr &inst, Cycle)
                 e.latency = longest + exec_lat;
             }
         }
+        unsubscribeReg(dst);
         regInfo[dst] = e;
+        if (e.chain != kNoChain)
+            subscribeReg(dst);
+        syncRegCd(dst);
     }
 }
 
@@ -377,6 +410,158 @@ SegmentedIq::effectiveDelay(const DynInst &inst) const
     for (int k = 0; k < inst.seg.numMemberships; ++k)
         d = std::max(d, inst.seg.memberships[k].delay);
     return d;
+}
+
+// --- Incremental-index maintenance (section 11) --------------------------
+
+void
+SegmentedIq::subscribeMember(DynInst *inst, int slot)
+{
+    ChainMembership &m = inst->seg.memberships[slot];
+    if (m.chain == kNoChain)
+        return;
+    ChainState &cs = stateOf(m.chain);
+    m.subIdx = static_cast<int>(cs.memberSubs.size());
+    cs.memberSubs.push_back({inst, slot});
+}
+
+void
+SegmentedIq::unsubscribeMember(DynInst *inst, int slot)
+{
+    ChainMembership &m = inst->seg.memberships[slot];
+    if (m.subIdx < 0)
+        return;
+    ChainState &cs = stateOf(m.chain);
+    const int i = m.subIdx;
+    m.subIdx = -1;
+    const MemberSub last = cs.memberSubs.back();
+    cs.memberSubs[i] = last;
+    cs.memberSubs.pop_back();
+    if (static_cast<std::size_t>(i) < cs.memberSubs.size())
+        last.inst->seg.memberships[last.slot].subIdx = i;
+}
+
+void
+SegmentedIq::subSyncMemberCd(DynInst *inst, int slot)
+{
+    ChainMembership &m = inst->seg.memberships[slot];
+    const bool want = m.selfTimed && !m.suspended && m.delay > 0;
+    if (want && m.cdIdx < 0) {
+        m.cdIdx = static_cast<int>(memberCountdown.size());
+        memberCountdown.push_back({inst, slot});
+    } else if (!want && m.cdIdx >= 0) {
+        removeMemberCd(inst, slot);
+    }
+}
+
+void
+SegmentedIq::removeMemberCd(DynInst *inst, int slot)
+{
+    ChainMembership &m = inst->seg.memberships[slot];
+    const int i = m.cdIdx;
+    m.cdIdx = -1;
+    const CdRef last = memberCountdown.back();
+    memberCountdown[i] = last;
+    memberCountdown.pop_back();
+    if (static_cast<std::size_t>(i) < memberCountdown.size())
+        last.inst->seg.memberships[last.slot].cdIdx = i;
+}
+
+void
+SegmentedIq::subscribeReg(RegIndex r)
+{
+    ChainState &cs = stateOf(regInfo[r].chain);
+    regSubChain[r] = regInfo[r].chain;
+    regSubPos[r] = static_cast<int>(cs.regSubs.size());
+    cs.regSubs.push_back(r);
+}
+
+void
+SegmentedIq::unsubscribeReg(RegIndex r)
+{
+    if (regSubChain[r] == kNoChain)
+        return;
+    ChainState &cs = stateOf(regSubChain[r]);
+    const int i = regSubPos[r];
+    regSubChain[r] = kNoChain;
+    regSubPos[r] = -1;
+    const RegIndex last = cs.regSubs.back();
+    cs.regSubs[i] = last;
+    cs.regSubs.pop_back();
+    if (static_cast<std::size_t>(i) < cs.regSubs.size())
+        regSubPos[last] = i;
+}
+
+void
+SegmentedIq::syncRegCd(RegIndex r)
+{
+    const RegInfoEntry &e = regInfo[r];
+    const bool want =
+        e.pending && e.selfTimed && !e.suspended && e.latency > 0;
+    const int i = regCdPos[r];
+    if (want && i < 0) {
+        regCdPos[r] = static_cast<int>(regCountdown.size());
+        regCountdown.push_back(r);
+    } else if (!want && i >= 0) {
+        regCdPos[r] = -1;
+        const RegIndex last = regCountdown.back();
+        regCountdown[i] = last;
+        regCountdown.pop_back();
+        if (static_cast<std::size_t>(i) < regCountdown.size())
+            regCdPos[last] = i;
+    }
+}
+
+void
+SegmentedIq::refreshElig(DynInst *inst)
+{
+    const int k = inst->seg.segment;
+    const bool now = k >= 1 && effectiveDelay(*inst) < threshold(k - 1);
+    if (now == inst->seg.promoEligible)
+        return;
+    inst->seg.promoEligible = now;
+    if (now) {
+        if (eligCount[k]++ == 0 && k < 64)
+            eligMask |= 1ULL << k;
+    } else {
+        if (--eligCount[k] == 0 && k < 64)
+            eligMask &= ~(1ULL << k);
+    }
+}
+
+void
+SegmentedIq::leaveElig(DynInst *inst)
+{
+    if (!inst->seg.promoEligible)
+        return;
+    inst->seg.promoEligible = false;
+    const int k = inst->seg.segment;
+    if (--eligCount[k] == 0 && k < 64)
+        eligMask &= ~(1ULL << k);
+}
+
+void
+SegmentedIq::onSegSizeChanged(unsigned k)
+{
+    if (k >= 64)
+        return;
+    if (params.segmentSize - segments[k].size() < params.issueWidth)
+        nearFullMask |= 1ULL << k;
+    else
+        nearFullMask &= ~(1ULL << k);
+}
+
+void
+SegmentedIq::onLeaveQueue(const DynInstPtr &inst)
+{
+    DynInst *p = inst.get();
+    for (int s = 0; s < p->seg.numMemberships; ++s) {
+        unsubscribeMember(p, s);
+        if (p->seg.memberships[s].cdIdx >= 0)
+            removeMemberCd(p, s);
+    }
+    leaveElig(p);
+    --totalOcc;
 }
 
 void
@@ -405,6 +590,12 @@ SegmentedIq::emitSignal(const DynInstPtr &head, SignalKind kind,
     }
     cs.log.push_back(LoggedSignal{++cs.seqCounter, cycle, origin_segment,
                                   kind});
+    if (!cs.active) {
+        cs.active = true;
+        activeChains.push_back(head->seg.headedChain);
+    }
+    if (static_cast<double>(cs.log.size()) > logPeak.value())
+        logPeak.set(static_cast<double>(cs.log.size()));
 }
 
 void
@@ -415,7 +606,8 @@ SegmentedIq::deliverToMembership(ChainMembership &m, int segment, Cycle now)
     const ChainState &cs = stateOf(m.chain);
     if (cs.gen != m.gen)
         return;  // chain wire reused; all relevant signals were seen
-    for (const LoggedSignal &sig : cs.log) {
+    for (std::size_t i = 0; i < cs.log.size(); ++i) {
+        const LoggedSignal &sig = cs.log.at(i);
         if (sig.seq <= m.appliedSeq)
             continue;
         const Cycle lag = segment > sig.originSegment
@@ -445,39 +637,38 @@ SegmentedIq::deliverToMembership(ChainMembership &m, int segment, Cycle now)
 }
 
 void
-SegmentedIq::deliverToTable(Cycle now)
+SegmentedIq::deliverToRegEntry(RegInfoEntry &e, const ChainState &cs,
+                               Cycle now)
 {
+    if (!e.pending || e.chain == kNoChain)
+        return;
+    if (cs.gen != e.gen)
+        return;
     const int top = static_cast<int>(segments.size()) - 1;
-    for (auto &e : regInfo) {
-        if (!e.pending || e.chain == kNoChain)
+    for (std::size_t i = 0; i < cs.log.size(); ++i) {
+        const LoggedSignal &sig = cs.log.at(i);
+        if (sig.seq <= e.appliedSeq)
             continue;
-        const ChainState &cs = stateOf(e.chain);
-        if (cs.gen != e.gen)
-            continue;
-        for (const LoggedSignal &sig : cs.log) {
-            if (sig.seq <= e.appliedSeq)
-                continue;
-            const Cycle lag = top > sig.originSegment
-                                  ? static_cast<Cycle>(top -
-                                                       sig.originSegment)
-                                  : 0;
-            if (now < sig.cycle + lag)
-                break;
-            e.appliedSeq = sig.seq;
-            switch (sig.kind) {
-              case SignalKind::Assert:
-                if (e.headSeg > 0)
-                    e.headSeg -= 1;
-                else
-                    e.selfTimed = true;
-                break;
-              case SignalKind::Suspend:
-                e.suspended = true;
-                break;
-              case SignalKind::Resume:
-                e.suspended = false;
-                break;
-            }
+        const Cycle lag = top > sig.originSegment
+                              ? static_cast<Cycle>(top -
+                                                   sig.originSegment)
+                              : 0;
+        if (now < sig.cycle + lag)
+            break;
+        e.appliedSeq = sig.seq;
+        switch (sig.kind) {
+          case SignalKind::Assert:
+            if (e.headSeg > 0)
+                e.headSeg -= 1;
+            else
+                e.selfTimed = true;
+            break;
+          case SignalKind::Suspend:
+            e.suspended = true;
+            break;
+          case SignalKind::Resume:
+            e.suspended = false;
+            break;
         }
     }
 }
@@ -485,29 +676,34 @@ SegmentedIq::deliverToTable(Cycle now)
 void
 SegmentedIq::issueSelect(Cycle cycle, const TryIssue &try_issue)
 {
+    // Single pass: count ready entries for the stats sample and issue
+    // oldest-first in the same sweep.  Issuing never changes another
+    // entry's scoreboard readiness, so the fused count equals the
+    // pre-issue count the stats used to take in a separate scan.
     auto &seg0 = segments[0];
+    const std::size_t occ0 = seg0.size();
     unsigned ready = 0;
-    for (const auto &inst : seg0) {
-        if (operandsReady(*inst))
-            ++ready;
-    }
-    seg0Ready.sample(static_cast<double>(ready));
-    seg0Occupancy.sample(static_cast<double>(seg0.size()));
-
     unsigned issued = 0;
-    for (auto it = seg0.begin();
-         it != seg0.end() && issued < params.issueWidth;) {
+    for (auto it = seg0.begin(); it != seg0.end();) {
         DynInstPtr inst = *it;
-        if (operandsReady(*inst) && try_issue(inst)) {
+        const bool r = operandsReady(*inst);
+        if (r)
+            ++ready;
+        if (r && issued < params.issueWidth && try_issue(inst)) {
             instsIssued.inc();
             ++issued;
             ++issuedThisCycle;
             emitSignal(inst, SignalKind::Assert, 0, cycle);
+            onLeaveQueue(inst);
             it = seg0.erase(it);
         } else {
             ++it;
         }
     }
+    seg0Ready.sample(static_cast<double>(ready));
+    seg0Occupancy.sample(static_cast<double>(occ0));
+    if (issued > 0)
+        onSegSizeChanged(0);
 }
 
 void
@@ -517,9 +713,13 @@ SegmentedIq::moveInst(const DynInstPtr &inst, unsigned from, unsigned to,
     auto &src = segments[from];
     auto it = std::find(src.begin(), src.end(), inst);
     SCIQ_ASSERT(it != src.end(), "moveInst: inst not in segment %u", from);
+    leaveElig(inst.get());
     src.erase(it);
+    onSegSizeChanged(from);
     inst->seg.segment = static_cast<int>(to);
     insertSorted(segments[to], inst);
+    onSegSizeChanged(to);
+    refreshElig(inst.get());
 
     // A promoting chain head asserts its wire in the segment it leaves.
     emitSignal(inst, SignalKind::Assert, static_cast<int>(from), cycle);
@@ -578,33 +778,50 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
 
     // 1. Promotion, per segment boundary, oldest-eligible first,
     //    limited by inter-segment bandwidth and by the *previous*
-    //    cycle's free count in the destination (section 3.1).
+    //    cycle's free count in the destination (section 3.1).  Only
+    //    dirty segments -- ones with tracked promotion candidates or
+    //    pushdown pressure -- are visited; a segment with neither has
+    //    empty eligible/pushdown lists and its round is a no-op.
     promotedThisCycle = 0;
-    for (unsigned k = 1; k < n; ++k) {
+    unsigned dirty = 0;
+    const bool any_candidates =
+        n > 64 || eligMask != 0 ||
+        (params.enablePushdown && nearFullMask != 0);
+    for (unsigned k = 1; any_candidates && k < n; ++k) {
         auto &seg = segments[k];
         if (seg.empty())
             continue;
 
+        bool pushdown_possible = false;
+        const unsigned iw = params.issueWidth;
+        const std::size_t free_here = params.segmentSize - seg.size();
+        const std::size_t free_below =
+            params.segmentSize - segments[k - 1].size();
+        if (params.enablePushdown) {
+            pushdown_possible =
+                free_here < iw &&
+                free_below * 2 > 3 * iw;  // > 1.5*IW without floats
+        }
+        if (eligCount[k] == 0 && !pushdown_possible)
+            continue;
+        ++dirty;
+
         const int thresh = threshold(k - 1);
-        std::vector<DynInstPtr> eligible, pushdown;
+        std::vector<DynInstPtr> &eligible = scratchElig;
+        std::vector<DynInstPtr> &pushdown = scratchPush;
+        eligible.clear();
+        pushdown.clear();
         for (auto &inst : seg) {
             if (effectiveDelay(*inst) < thresh)
                 eligible.push_back(inst);
         }
 
-        if (params.enablePushdown) {
-            const unsigned iw = params.issueWidth;
-            const std::size_t free_here = params.segmentSize - seg.size();
-            const std::size_t free_below =
-                params.segmentSize - segments[k - 1].size();
-            if (free_here < iw &&
-                free_below * 2 > 3 * iw) {  // > 1.5*IW without floats
-                for (auto &inst : seg) {
-                    if (pushdown.size() >= iw)
-                        break;
-                    if (effectiveDelay(*inst) >= thresh)
-                        pushdown.push_back(inst);
-                }
+        if (pushdown_possible) {
+            for (auto &inst : seg) {
+                if (pushdown.size() >= iw)
+                    break;
+                if (effectiveDelay(*inst) >= thresh)
+                    pushdown.push_back(inst);
             }
         }
 
@@ -644,37 +861,61 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
                 ++promotedInto[k - 1];
             --budget;
         }
+        eligible.clear();
+        pushdown.clear();
     }
+    dirtySegments.inc(static_cast<double>(dirty));
 
     // 2. Deliver chain-wire signals (including those generated by this
     //    cycle's issues and promotions) with pipelined visibility.
-    for (unsigned k = 0; k < n; ++k) {
-        for (auto &inst : segments[k]) {
-            for (int m = 0; m < inst->seg.numMemberships; ++m) {
-                deliverToMembership(inst->seg.memberships[m],
-                                    static_cast<int>(k), cycle);
-            }
+    //    Only chains with in-flight signals can change listener state,
+    //    and per chain only its subscribers are walked; everything a
+    //    full sweep would touch beyond that is a guaranteed no-op
+    //    (no-chain membership, stale generation, or empty log).
+    for (std::size_t c = 0; c < activeChains.size(); ++c) {
+        const ChainId id = activeChains[c];
+        ChainState &cs = chainStates[static_cast<std::size_t>(id)];
+        if (cs.log.empty())
+            continue;
+        for (const MemberSub &sub : cs.memberSubs) {
+            deliverToMembership(sub.inst->seg.memberships[sub.slot],
+                                sub.inst->seg.segment, cycle);
+            subSyncMemberCd(sub.inst, sub.slot);
+            refreshElig(sub.inst);
+        }
+        for (RegIndex r : cs.regSubs) {
+            deliverToRegEntry(regInfo[r], cs, cycle);
+            syncRegCd(r);
         }
     }
-    deliverToTable(cycle);
 
-    // 3. Self-timed countdowns (members and table entries).
-    for (auto &seg : segments) {
-        for (auto &inst : seg) {
-            for (int m = 0; m < inst->seg.numMemberships; ++m) {
-                ChainMembership &mem = inst->seg.memberships[m];
-                if (mem.selfTimed && !mem.suspended && mem.delay > 0)
-                    mem.delay -= 1;
-            }
-        }
+    // 3. Self-timed countdowns (members and table entries), walking
+    //    the explicit countdown lists.  List membership is exactly the
+    //    old sweep's predicate (selfTimed, not suspended, delay > 0),
+    //    and decrements of distinct entries commute, so any visit
+    //    order matches the sweep.  Removal swaps the back element into
+    //    the hole, so the index does not advance then.
+    for (std::size_t i = 0; i < memberCountdown.size();) {
+        const CdRef ref = memberCountdown[i];
+        ChainMembership &mem = ref.inst->seg.memberships[ref.slot];
+        mem.delay -= 1;
+        refreshElig(ref.inst);
+        if (mem.delay == 0)
+            removeMemberCd(ref.inst, ref.slot);
+        else
+            ++i;
     }
-    for (auto &e : regInfo) {
-        if (e.pending && e.selfTimed && !e.suspended && e.latency > 0)
-            e.latency -= 1;
+    for (std::size_t i = 0; i < regCountdown.size();) {
+        const RegIndex r = regCountdown[i];
+        regInfo[r].latency -= 1;
+        if (regInfo[r].latency == 0)
+            syncRegCd(r);
+        else
+            ++i;
     }
 
     // 4. Deadlock detection and recovery (section 4.5).
-    const std::size_t occ = occupancy();
+    const std::size_t occ = totalOcc;
     if (occ > 0 && issuedThisCycle == 0 && promotedThisCycle == 0 &&
         !core_busy) {
         deadlockCycles.inc();
@@ -691,9 +932,18 @@ SegmentedIq::tick(Cycle cycle, bool core_busy)
     }
     if (cycle > n + 1) {
         const Cycle horizon = cycle - n - 1;
-        for (auto &cs : chainStates) {
+        for (std::size_t c = 0; c < activeChains.size();) {
+            ChainState &cs =
+                chainStates[static_cast<std::size_t>(activeChains[c])];
             while (!cs.log.empty() && cs.log.front().cycle < horizon)
                 cs.log.pop_front();
+            if (cs.log.empty()) {
+                cs.active = false;
+                activeChains[c] = activeChains.back();
+                activeChains.pop_back();
+            } else {
+                ++c;
+            }
         }
     }
 
@@ -737,7 +987,9 @@ SegmentedIq::runDeadlockRecovery(Cycle cycle)
     DynInstPtr recycled;
     if (activeSegments > 1 && segments[0].size() >= params.segmentSize) {
         recycled = segments[0].back();
+        leaveElig(recycled.get());
         segments[0].pop_back();
+        onSegSizeChanged(0);
     }
 
     // Force every full segment to promote one instruction downward;
@@ -781,6 +1033,8 @@ SegmentedIq::runDeadlockRecovery(Cycle cycle)
                 cs.headSegment = static_cast<int>(top);
         }
         insertSorted(segments[top], recycled);
+        onSegSizeChanged(top);
+        refreshElig(recycled.get());
         SCIQ_ASSERT(segments[top].size() <= params.segmentSize,
                     "deadlock recovery overflowed the top segment");
     }
@@ -829,7 +1083,12 @@ SegmentedIq::onSquashInst(const DynInstPtr &inst)
 {
     // Called youngest-first: table restores unwind in reverse order.
     while (!undoLog.empty() && undoLog.back().seq == inst->seq) {
-        regInfo[undoLog.back().archDst] = undoLog.back().prev;
+        const RegIndex r = undoLog.back().archDst;
+        unsubscribeReg(r);
+        regInfo[r] = undoLog.back().prev;
+        if (regInfo[r].pending && regInfo[r].chain != kNoChain)
+            subscribeReg(r);
+        syncRegCd(r);
         undoLog.pop_back();
     }
     releaseChain(inst, 0);
@@ -838,12 +1097,18 @@ SegmentedIq::onSquashInst(const DynInstPtr &inst)
 void
 SegmentedIq::squash(SeqNum youngest_kept)
 {
-    for (auto &seg : segments) {
-        seg.erase(std::remove_if(seg.begin(), seg.end(),
-                                 [youngest_kept](const DynInstPtr &p) {
-                                     return p->seq > youngest_kept;
-                                 }),
-                  seg.end());
+    // Segments are seq-sorted, so the squashed set is a suffix.
+    for (unsigned k = 0; k < segments.size(); ++k) {
+        auto &seg = segments[k];
+        auto pos = std::upper_bound(
+            seg.begin(), seg.end(), youngest_kept,
+            [](SeqNum s, const DynInstPtr &p) { return s < p->seq; });
+        if (pos == seg.end())
+            continue;
+        for (auto it = pos; it != seg.end(); ++it)
+            onLeaveQueue(*it);
+        seg.erase(pos, seg.end());
+        onSegSizeChanged(k);
     }
 }
 

@@ -27,12 +27,23 @@
  * one-segment-per-cycle wire pipelining exactly while guaranteeing
  * that entries which move between segments (promotion, dispatch
  * bypass, deadlock recovery) never miss or double-apply a signal.
+ *
+ * Scheduling is event-driven (DESIGN.md section 11): signal delivery
+ * walks only the chains with in-flight signals and, per chain, only
+ * the entries subscribed to it; self-timed countdowns walk explicit
+ * countdown lists; the promotion pass visits only segments with
+ * promotion candidates (or pushdown pressure), tracked incrementally
+ * on every delay/segment change.  Per-cycle cost is therefore
+ * proportional to scheduler *activity*, not queue occupancy.  The
+ * invariant auditor (audit=1) re-derives every index from a full
+ * rescan each cycle and counts disagreements.
  */
 
 #ifndef SCIQ_IQ_SEGMENTED_IQ_HH
 #define SCIQ_IQ_SEGMENTED_IQ_HH
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -115,6 +126,10 @@ class SegmentedIq : public IqBase
     stats::Scalar segmentCyclesActive;  ///< sum over cycles of segments on
     stats::Average activeSegmentsAvg;
 
+    // Scheduling-index statistics (section 11).
+    stats::Scalar logPeak;       ///< peak per-chain signal-log length
+    stats::Scalar dirtySegments; ///< segments visited by the promotion pass
+
   private:
     friend class Auditor;
 
@@ -130,8 +145,59 @@ class SegmentedIq : public IqBase
     };
 
     /**
+     * Bounded FIFO of in-flight chain-wire signals.  Pruning at the
+     * delivery horizon (tick step 5) keeps the population to the wire
+     * pipeline depth, so the ring stays at its initial capacity in
+     * practice; it grows by doubling rather than asserting a hard cap.
+     */
+    class SignalRing
+    {
+      public:
+        bool empty() const { return count == 0; }
+        std::size_t size() const { return count; }
+        void clear() { head = 0; count = 0; }
+        const LoggedSignal &front() const { return buf[head]; }
+        const LoggedSignal &at(std::size_t i) const
+        {
+            return buf[(head + i) & (buf.size() - 1)];
+        }
+        void
+        push_back(const LoggedSignal &sig)
+        {
+            if (count == buf.size())
+                grow();
+            buf[(head + count) & (buf.size() - 1)] = sig;
+            ++count;
+        }
+        void
+        pop_front()
+        {
+            head = (head + 1) & (buf.size() - 1);
+            --count;
+        }
+
+      private:
+        void grow();
+
+        std::vector<LoggedSignal> buf;  ///< power-of-two capacity
+        std::size_t head = 0;
+        std::size_t count = 0;
+    };
+
+    /** One resident-entry subscription to a chain wire. */
+    struct MemberSub
+    {
+        DynInst *inst;
+        int slot;  ///< membership index within the instruction
+    };
+
+    /**
      * Authoritative per-chain-wire state, read by dispatch when a new
-     * member joins, plus the signal log in-flight entries consume.
+     * member joins, plus the signal log in-flight entries consume and
+     * the subscriber index delivery walks.  Subscriber lists survive
+     * wire reuse: stale-generation subscribers are skipped by the
+     * delivery generation check and unsubscribe through their normal
+     * lifecycle (issue, squash, table overwrite).
      */
     struct ChainState
     {
@@ -139,8 +205,11 @@ class SegmentedIq : public IqBase
         int headSegment = 0;
         bool selfTimed = false;   ///< head has issued
         bool suspended = false;
+        bool active = false;      ///< on the activeChains list
         std::uint64_t seqCounter = 0;
-        std::deque<LoggedSignal> log;
+        SignalRing log;
+        std::vector<MemberSub> memberSubs;  ///< resident listeners
+        std::vector<RegIndex> regSubs;      ///< regInfo listeners
     };
 
     /** Dispatch-stage register information table entry (section 3.3). */
@@ -205,7 +274,38 @@ class SegmentedIq : public IqBase
     /** Apply every signal now visible at this entry's segment. */
     void deliverToMembership(ChainMembership &m, int segment, Cycle now);
 
-    void deliverToTable(Cycle now);
+    /** Apply every signal now visible at the table (top segment). */
+    void deliverToRegEntry(RegInfoEntry &e, const ChainState &cs,
+                           Cycle now);
+
+    // --- Incremental-index maintenance (section 11) ----------------------
+    // Subscriber lists, countdown lists and promotion-candidate counts
+    // are redundant views over the authoritative per-entry state; every
+    // mutation site keeps them in sync and the auditor re-derives them
+    // from a full rescan under audit=1.
+
+    /** Register membership `slot` of `inst` on its chain's wire. */
+    void subscribeMember(DynInst *inst, int slot);
+    void unsubscribeMember(DynInst *inst, int slot);
+
+    /** Keep membership `slot` on/off the self-timed countdown list. */
+    void subSyncMemberCd(DynInst *inst, int slot);
+    void removeMemberCd(DynInst *inst, int slot);
+
+    void subscribeReg(RegIndex r);
+    void unsubscribeReg(RegIndex r);
+    /** Keep table entry r on/off the self-timed countdown list. */
+    void syncRegCd(RegIndex r);
+
+    /** Recompute promotion eligibility of a resident instruction. */
+    void refreshElig(DynInst *inst);
+    void leaveElig(DynInst *inst);
+
+    /** Update the near-full (pushdown pressure) bit for segment k. */
+    void onSegSizeChanged(unsigned k);
+
+    /** Drop every index reference as inst leaves the queue. */
+    void onLeaveQueue(const DynInstPtr &inst);
 
     void insertSorted(std::vector<DynInstPtr> &seg, const DynInstPtr &inst);
 
@@ -223,6 +323,34 @@ class SegmentedIq : public IqBase
 
     std::vector<ChainState> chainStates;
     std::deque<std::pair<ChainId, Cycle>> chainDrainQueue;
+
+    // --- Incremental scheduling indices (section 11) ---------------------
+
+    /** Chains with a non-empty signal log (unordered, swap-removed). */
+    std::vector<ChainId> activeChains;
+
+    /** One self-timed countdown reference (membership slot). */
+    struct CdRef
+    {
+        DynInst *inst;
+        int slot;
+    };
+    std::vector<CdRef> memberCountdown;   ///< memberships counting down
+    std::vector<RegIndex> regCountdown;   ///< table entries counting down
+
+    // Back-pointers for O(1) swap-removal from the register-side lists.
+    std::array<int, kNumArchRegs> regCdPos;       ///< pos in regCountdown
+    std::array<int, kNumArchRegs> regSubPos;      ///< pos in chain regSubs
+    std::array<ChainId, kNumArchRegs> regSubChain;  ///< subscribed chain
+
+    std::vector<unsigned> eligCount;  ///< promotion candidates per segment
+    std::uint64_t eligMask = 0;       ///< segments (<64) with candidates
+    std::uint64_t nearFullMask = 0;   ///< segments (<64) w/ pushdown pressure
+    std::size_t totalOcc = 0;         ///< occupancy, O(1)
+
+    // Promotion-pass scratch (reused to keep allocations off the hot
+    // path; only live within one segment's round).
+    std::vector<DynInstPtr> scratchElig, scratchPush;
 
     std::array<RegInfoEntry, kNumArchRegs> regInfo;
     std::deque<Undo> undoLog;

@@ -1,81 +1,5 @@
+// The opcode table and opInfo() moved into opcodes.hh so the lookup
+// inlines at every call site (it sits behind the per-instruction
+// accessors on the simulator's hottest paths).  This translation unit
+// remains so existing build rules keep working.
 #include "opcodes.hh"
-
-#include "common/logging.hh"
-
-namespace sciq {
-
-namespace {
-
-constexpr OpInfo kOpTable[] = {
-    {"add", OpClass::IntAlu, Format::R},
-    {"sub", OpClass::IntAlu, Format::R},
-    {"and", OpClass::IntAlu, Format::R},
-    {"or", OpClass::IntAlu, Format::R},
-    {"xor", OpClass::IntAlu, Format::R},
-    {"sll", OpClass::IntAlu, Format::R},
-    {"srl", OpClass::IntAlu, Format::R},
-    {"sra", OpClass::IntAlu, Format::R},
-    {"slt", OpClass::IntAlu, Format::R},
-    {"sltu", OpClass::IntAlu, Format::R},
-    {"addi", OpClass::IntAlu, Format::I},
-    {"andi", OpClass::IntAlu, Format::I},
-    {"ori", OpClass::IntAlu, Format::I},
-    {"xori", OpClass::IntAlu, Format::I},
-    {"slti", OpClass::IntAlu, Format::I},
-    {"slli", OpClass::IntAlu, Format::I},
-    {"srli", OpClass::IntAlu, Format::I},
-    {"srai", OpClass::IntAlu, Format::I},
-    {"lui", OpClass::IntAlu, Format::J},
-    {"mul", OpClass::IntMul, Format::R},
-    {"mulh", OpClass::IntMul, Format::R},
-    {"div", OpClass::IntDiv, Format::R},
-    {"rem", OpClass::IntDiv, Format::R},
-    {"fadd", OpClass::FpAdd, Format::R},
-    {"fsub", OpClass::FpAdd, Format::R},
-    {"fmul", OpClass::FpMul, Format::R},
-    {"fdiv", OpClass::FpDiv, Format::R},
-    {"fsqrt", OpClass::FpSqrt, Format::I},
-    {"fmin", OpClass::FpAdd, Format::R},
-    {"fmax", OpClass::FpAdd, Format::R},
-    {"fneg", OpClass::FpAdd, Format::I},
-    {"fabs", OpClass::FpAdd, Format::I},
-    {"fmov", OpClass::FpAdd, Format::I},
-    {"fcmpeq", OpClass::FpAdd, Format::R},
-    {"fcmplt", OpClass::FpAdd, Format::R},
-    {"fcmple", OpClass::FpAdd, Format::R},
-    {"fcvtif", OpClass::FpAdd, Format::I},
-    {"fcvtfi", OpClass::FpAdd, Format::I},
-    {"ld", OpClass::MemRead, Format::M},
-    {"lw", OpClass::MemRead, Format::M},
-    {"fld", OpClass::MemRead, Format::M},
-    {"st", OpClass::MemWrite, Format::M},
-    {"sw", OpClass::MemWrite, Format::M},
-    {"fst", OpClass::MemWrite, Format::M},
-    {"beq", OpClass::Branch, Format::B},
-    {"bne", OpClass::Branch, Format::B},
-    {"blt", OpClass::Branch, Format::B},
-    {"bge", OpClass::Branch, Format::B},
-    {"bltu", OpClass::Branch, Format::B},
-    {"bgeu", OpClass::Branch, Format::B},
-    {"j", OpClass::Branch, Format::J},
-    {"jal", OpClass::Branch, Format::J},
-    {"jr", OpClass::Jump, Format::JR},
-    {"jalr", OpClass::Jump, Format::JR},
-    {"nop", OpClass::Nop, Format::N},
-    {"halt", OpClass::Halt, Format::N},
-};
-
-static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) == kNumOpcodes,
-              "opcode table out of sync with Opcode enum");
-
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    auto idx = static_cast<unsigned>(op);
-    SCIQ_ASSERT(idx < kNumOpcodes, "bad opcode %u", idx);
-    return kOpTable[idx];
-}
-
-} // namespace sciq

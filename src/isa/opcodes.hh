@@ -90,12 +90,88 @@ struct OpInfo
     Format format;
 };
 
-/** Lookup table indexed by Opcode. */
-const OpInfo &opInfo(Opcode op);
-
 /** Number of opcodes (for parameterised tests). */
 constexpr unsigned kNumOpcodes =
     static_cast<unsigned>(Opcode::NumOpcodes);
+
+namespace detail {
+
+/**
+ * Static opcode properties, indexed by Opcode.  Lives in the header so
+ * opInfo() inlines to a single table load: every per-instruction query
+ * on the simulator's hot paths (source/destination registers, loads vs
+ * stores, FU class) goes through it.
+ */
+constexpr OpInfo kOpTable[] = {
+    {"add", OpClass::IntAlu, Format::R},
+    {"sub", OpClass::IntAlu, Format::R},
+    {"and", OpClass::IntAlu, Format::R},
+    {"or", OpClass::IntAlu, Format::R},
+    {"xor", OpClass::IntAlu, Format::R},
+    {"sll", OpClass::IntAlu, Format::R},
+    {"srl", OpClass::IntAlu, Format::R},
+    {"sra", OpClass::IntAlu, Format::R},
+    {"slt", OpClass::IntAlu, Format::R},
+    {"sltu", OpClass::IntAlu, Format::R},
+    {"addi", OpClass::IntAlu, Format::I},
+    {"andi", OpClass::IntAlu, Format::I},
+    {"ori", OpClass::IntAlu, Format::I},
+    {"xori", OpClass::IntAlu, Format::I},
+    {"slti", OpClass::IntAlu, Format::I},
+    {"slli", OpClass::IntAlu, Format::I},
+    {"srli", OpClass::IntAlu, Format::I},
+    {"srai", OpClass::IntAlu, Format::I},
+    {"lui", OpClass::IntAlu, Format::J},
+    {"mul", OpClass::IntMul, Format::R},
+    {"mulh", OpClass::IntMul, Format::R},
+    {"div", OpClass::IntDiv, Format::R},
+    {"rem", OpClass::IntDiv, Format::R},
+    {"fadd", OpClass::FpAdd, Format::R},
+    {"fsub", OpClass::FpAdd, Format::R},
+    {"fmul", OpClass::FpMul, Format::R},
+    {"fdiv", OpClass::FpDiv, Format::R},
+    {"fsqrt", OpClass::FpSqrt, Format::I},
+    {"fmin", OpClass::FpAdd, Format::R},
+    {"fmax", OpClass::FpAdd, Format::R},
+    {"fneg", OpClass::FpAdd, Format::I},
+    {"fabs", OpClass::FpAdd, Format::I},
+    {"fmov", OpClass::FpAdd, Format::I},
+    {"fcmpeq", OpClass::FpAdd, Format::R},
+    {"fcmplt", OpClass::FpAdd, Format::R},
+    {"fcmple", OpClass::FpAdd, Format::R},
+    {"fcvtif", OpClass::FpAdd, Format::I},
+    {"fcvtfi", OpClass::FpAdd, Format::I},
+    {"ld", OpClass::MemRead, Format::M},
+    {"lw", OpClass::MemRead, Format::M},
+    {"fld", OpClass::MemRead, Format::M},
+    {"st", OpClass::MemWrite, Format::M},
+    {"sw", OpClass::MemWrite, Format::M},
+    {"fst", OpClass::MemWrite, Format::M},
+    {"beq", OpClass::Branch, Format::B},
+    {"bne", OpClass::Branch, Format::B},
+    {"blt", OpClass::Branch, Format::B},
+    {"bge", OpClass::Branch, Format::B},
+    {"bltu", OpClass::Branch, Format::B},
+    {"bgeu", OpClass::Branch, Format::B},
+    {"j", OpClass::Branch, Format::J},
+    {"jal", OpClass::Branch, Format::J},
+    {"jr", OpClass::Jump, Format::JR},
+    {"jalr", OpClass::Jump, Format::JR},
+    {"nop", OpClass::Nop, Format::N},
+    {"halt", OpClass::Halt, Format::N},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) == kNumOpcodes,
+              "opcode table out of sync with Opcode enum");
+
+} // namespace detail
+
+/** Lookup table indexed by Opcode. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::kOpTable[static_cast<unsigned>(op)];
+}
 
 /** Total architectural registers: 32 integer + 32 floating point. */
 constexpr RegIndex kNumArchRegs = 64;

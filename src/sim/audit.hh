@@ -19,7 +19,13 @@
  *    before;
  *  - the DynInstPool's live-slot count stays within the in-flight
  *    window bound (catches storage leaks such as containers pinning
- *    recycled slots).
+ *    recycled slots);
+ *  - every incremental scheduling index (DESIGN.md section 11) agrees
+ *    with a brute-force rescan of the authoritative state: the O(1)
+ *    occupancy counters, the per-segment promotion-candidate counts
+ *    and activity masks, the per-chain subscriber lists and their
+ *    back-pointers, the self-timed countdown lists, the ideal queue's
+ *    ready list, and the core's writeback-ring population.
  *
  * Violations are accumulated into a `stats::Group` ("audit") so sweeps
  * can assert on them cheaply; with `auditPanic` (key `audit_panic=1`,
@@ -38,6 +44,7 @@
 
 namespace sciq {
 
+class IdealIq;
 class OooCore;
 class SegmentedIq;
 
@@ -75,12 +82,19 @@ class Auditor
     stats::Scalar issueOverWidth;     ///< issued more than issueWidth
     stats::Scalar wireDelivery;       ///< chain-wire signal missed/early
     stats::Scalar poolBound;          ///< DynInstPool live slots leaked
+    stats::Scalar occIndex;           ///< O(1) occupancy counter wrong
+    stats::Scalar promoIndex;         ///< promotion-candidate index wrong
+    stats::Scalar subIndex;           ///< chain subscriber index wrong
+    stats::Scalar countdownIndex;     ///< self-timed countdown list wrong
+    stats::Scalar readyIndex;         ///< ideal ready list wrong
+    stats::Scalar wbRingBound;        ///< writeback ring population wrong
 
   private:
     void violation(stats::Scalar &counter, const char *invariant,
                    Cycle cycle, const std::string &detail);
 
     void auditSegmented(SegmentedIq &iq, Cycle cycle);
+    void auditIdeal(IdealIq &iq, Cycle cycle);
 
     bool panicOnViolation_;
     std::uint64_t total_ = 0;

@@ -1,5 +1,6 @@
 #include "simulator.hh"
 
+#include <chrono>
 #include <iomanip>
 
 #include "common/logging.hh"
@@ -38,7 +39,13 @@ Simulator::run()
         }
     }
 
+    // Time only the cycle-accurate core loop: construction, fast-forward
+    // and golden-model validation are excluded so the number tracks the
+    // tick path the ROADMAP's throughput work targets.
+    const auto host_start = std::chrono::steady_clock::now();
     core_->run(~0ULL, config.maxCycles);
+    const std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
 
     RunResult r;
     r.workload = config.workload;
@@ -53,6 +60,12 @@ Simulator::run()
     r.haltedCleanly = core_->halted();
     if (auditor_)
         r.auditViolations = auditor_->totalViolations();
+
+    r.hostSeconds = host_elapsed.count();
+    if (r.hostSeconds > 0.0) {
+        r.hostKcyclesPerSec = r.cycles / r.hostSeconds / 1e3;
+        r.hostKinstsPerSec = r.insts / r.hostSeconds / 1e3;
+    }
 
     // Misprediction rate per *committed* conditional branch (wrong-path
     // and post-squash refetch predictions would inflate the base).

@@ -60,6 +60,13 @@ struct RunResult
     /** Invariant-auditor violations (0 unless SimConfig::audit). */
     std::uint64_t auditViolations = 0;
 
+    // Host performance of the timed core loop (every sweep doubles as
+    // a perf sample).  Wall-clock, so never part of bit-identity
+    // comparisons (see tests/test_sweep.cc).
+    double hostSeconds = 0.0;
+    double hostKcyclesPerSec = 0.0;
+    double hostKinstsPerSec = 0.0;
+
     bool validated = false;
     bool haltedCleanly = false;
 };

@@ -128,6 +128,9 @@ writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
         jsonField(os, "l1d_delayed_hit_frac", r.l1dDelayedHitFrac);
         jsonField(os, "seg_active_avg", r.segActiveAvg);
         jsonField(os, "seg_cycles_active", r.segCyclesActive);
+        jsonField(os, "host_seconds", r.hostSeconds);
+        jsonField(os, "host_kcycles_per_sec", r.hostKcyclesPerSec);
+        jsonField(os, "host_kinsts_per_sec", r.hostKinstsPerSec);
         os << "    \"audit_violations\": " << r.auditViolations << ",\n";
         os << "    \"validated\": " << (r.validated ? "true" : "false")
            << ",\n";

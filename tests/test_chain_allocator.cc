@@ -45,6 +45,19 @@ TEST(ChainAllocator, GenerationProtectsStaleListeners)
     EXPECT_NE(a.generation(id), gen);
 }
 
+TEST(ChainAllocator, IsLiveTracksCurrentGeneration)
+{
+    ChainAllocator a(2);
+    auto [id, gen] = a.alloc();
+    EXPECT_TRUE(a.isLive(id, gen));
+    a.free(id);
+    EXPECT_FALSE(a.isLive(id, gen));
+    auto [id2, gen2] = a.alloc();
+    EXPECT_EQ(id2, id);
+    EXPECT_TRUE(a.isLive(id2, gen2));
+    EXPECT_FALSE(a.isLive(id, gen));
+}
+
 TEST(ChainAllocator, UnlimitedGrows)
 {
     ChainAllocator a(-1);

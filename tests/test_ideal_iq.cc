@@ -55,7 +55,10 @@ TEST_F(IdealFixture, OnlyReadyInstructionsIssue)
     EXPECT_EQ(rec.issued[0]->seq, 1u);
     EXPECT_EQ(iq.occupancy(), 1u);
 
+    // The owner must report newly-ready registers to the queue, as the
+    // core does after every Scoreboard::setReady (DESIGN.md section 11).
     scoreboard.setReady(intReg(4));
+    iq.onRegReady(intReg(4));
     iq.issueSelect(2, rec.acceptAll());
     EXPECT_EQ(rec.issued.size(), 2u);
     EXPECT_EQ(iq.occupancy(), 0u);

@@ -51,7 +51,12 @@ smallConfigSet()
     return cfgs;
 }
 
-/** Every field of RunResult, bit-for-bit. */
+/**
+ * Every architected field of RunResult, bit-for-bit.  The host-
+ * performance fields (hostSeconds and the derived rates) are wall-clock
+ * measurements and deliberately excluded: two identical simulations
+ * never take identical host time.
+ */
 void
 expectIdentical(const RunResult &a, const RunResult &b, std::size_t i)
 {
@@ -115,6 +120,10 @@ TEST(SweepRunner, PreservesInputOrder)
         EXPECT_EQ(results[i].iqSize, cfgs[i].core.iq.numEntries);
         EXPECT_TRUE(results[i].haltedCleanly);
         EXPECT_TRUE(results[i].validated);
+        // Host-perf sampling rides along with every run.
+        EXPECT_GT(results[i].hostSeconds, 0.0);
+        EXPECT_GT(results[i].hostKcyclesPerSec, 0.0);
+        EXPECT_GT(results[i].hostKinstsPerSec, 0.0);
     }
 }
 

@@ -26,6 +26,12 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
 ./build/tests/test_audit
 
+echo "== scheduling-index differential sweep (audit=1) =="
+./build/tests/test_sched_index
+
+echo "== host-throughput bench (quick) =="
+./build/bench/bench_throughput quick=1 workloads=swim,twolf
+
 echo "== sanitizer smoke ($san) =="
 cmake -B "build-$san" -S . "$san_flag" >/dev/null
 cmake --build "build-$san" -j "$jobs"
