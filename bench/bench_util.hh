@@ -10,6 +10,10 @@
  *   workloads=a,b,c   restrict to a subset of benchmarks
  *   jobs=N       sweep worker threads (default: hardware concurrency)
  *   bench_out=path    also write every result as JSON to `path`
+ *   ff=N         fast-forward N instructions before the timed run
+ *   ckpt_dir=path     persist/reuse warm-up checkpoints in `path`
+ *   ckpt_reuse=0      disable the in-process sweep-level checkpoint
+ *                     cache (each run fast-forwards cold again)
  */
 
 #ifndef SCIQ_BENCH_BENCH_UTIL_HH
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "workload/workloads.hh"
@@ -34,6 +39,9 @@ struct BenchArgs
     bool quick = false;
     unsigned jobs = 0;        ///< 0 = hardware concurrency
     std::string benchOut;     ///< JSON output path ("" = none)
+    std::uint64_t ff = 0;     ///< fast-forward length (0 = none)
+    std::string ckptDir;      ///< on-disk checkpoint cache ("" = none)
+    bool ckptReuse = true;    ///< share warm-ups across the sweep
     std::vector<std::string> workloads;
     ConfigMap raw;
 
@@ -51,6 +59,9 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
     args.quick = args.raw.getBool("quick", false);
     args.jobs = static_cast<unsigned>(args.raw.getInt("jobs", 0));
     args.benchOut = args.raw.getString("bench_out", "");
+    args.ff = static_cast<std::uint64_t>(args.raw.getInt("ff", 0));
+    args.ckptDir = args.raw.getString("ckpt_dir", "");
+    args.ckptReuse = args.raw.getBool("ckpt_reuse", true);
     std::string wls = args.raw.getString("workloads", "");
     if (wls.empty()) {
         args.workloads = std::move(default_wls);
@@ -84,6 +95,8 @@ applyArgs(SimConfig &cfg, const BenchArgs &args)
     // Every bench accepts audit=1 to run under the invariant auditor.
     cfg.audit = args.raw.getBool("audit", false);
     cfg.auditPanic = args.raw.getBool("audit_panic", false);
+    if (args.ff > 0)
+        cfg.fastForward = args.ff;
 }
 
 /**
@@ -110,6 +123,21 @@ class SweepBatch
     void
     run()
     {
+        // One shared checkpoint cache per sweep: each distinct warm-up
+        // (workload x ff length) executes once and every other
+        // configuration restores the snapshot.  ckpt_dir= additionally
+        // persists the blobs so later sweeps skip warm-up entirely.
+        bool anyFf = false;
+        for (const SimConfig &cfg : configs_)
+            anyFf = anyFf || cfg.fastForward > 0;
+        if (anyFf && args_.ckptReuse) {
+            auto cache =
+                std::make_shared<CheckpointCache>(args_.ckptDir);
+            for (SimConfig &cfg : configs_) {
+                if (!cfg.ckptCache && cfg.ckptFile.empty())
+                    cfg.ckptCache = cache;
+            }
+        }
         SweepRunner runner(args_.jobs);
         results_ = runner.run(configs_);
         for (const RunResult &r : results_) {

@@ -26,7 +26,9 @@ main(int argc, char **argv)
             "keys: workload=<name> iq=ideal|segmented|prescheduled|fifo\n"
             "      iq_size=N seg_size=N chains=N|-1 hmp=0/1 lrp=0/1\n"
             "      pushdown=0/1 bypass=0/1 resize=0/1 iters=N ff=N\n"
-            "      seed=N scale=X max_cycles=N validate=0/1 stats=0/1\n";
+            "      seed=N scale=X max_cycles=N validate=0/1 stats=0/1\n"
+            "      ckpt=<file> ckpt_dir=<dir>   (warm-up checkpoints;\n"
+            "      restore the ff= prefix instead of re-executing it)\n";
         return 0;
     }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -68,6 +69,16 @@ class HybridBranchPredictor
      * way predict() did.
      */
     void update(Addr pc, bool taken, HistorySnapshot history_at_predict);
+
+    /**
+     * Serialize the history registers, all three counter tables and the
+     * statistics counters (warm-up trains the tables *and* counts
+     * lookups, so both must round-trip for stat bit-identity).
+     */
+    void save(serial::Writer &w) const;
+
+    /** Restore a snapshot; table geometry must match (serial::Error). */
+    void restore(serial::Reader &r);
 
     stats::Group &statGroup() { return statsGroup; }
 

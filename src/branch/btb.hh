@@ -14,6 +14,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -69,6 +70,43 @@ class Btb
         victim->pc = pc;
         victim->target = target;
         victim->lastUse = ++useClock;
+    }
+
+    /** Serialize the table, LRU clock and statistics counters. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(table.size());
+        for (const Entry &e : table) {
+            w.u8(e.valid ? 1 : 0);
+            w.u64(e.pc);
+            w.u64(e.target);
+            w.u64(e.lastUse);
+        }
+        w.u64(useClock);
+        w.f64(lookups.value());
+        w.f64(hits.value());
+    }
+
+    /** Restore a snapshot; the entry count must match (serial::Error). */
+    void
+    restore(serial::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != table.size()) {
+            throw serial::Error("BTB size mismatch: snapshot " +
+                                std::to_string(n) + ", configured " +
+                                std::to_string(table.size()));
+        }
+        for (Entry &e : table) {
+            e.valid = r.u8() != 0;
+            e.pc = r.u64();
+            e.target = r.u64();
+            e.lastUse = r.u64();
+        }
+        useClock = r.u64();
+        lookups.set(r.f64());
+        hits.set(r.f64());
     }
 
     stats::Group &statGroup() { return statsGroup; }

@@ -16,6 +16,7 @@
 #include "common/intmath.hh"
 #include "common/logging.hh"
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -100,6 +101,37 @@ class HitMissPredictor
         double h = actualHits.value();
         return h > 0 ? hitPredictsCorrect.value() / h
                      : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    /** Serialize the counter table and statistics counters. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(table.size());
+        for (const SatCounter &c : table)
+            w.u8(static_cast<std::uint8_t>(c.read()));
+        w.f64(predictHitCount.value());
+        w.f64(predictMissCount.value());
+        w.f64(hitPredictsCorrect.value());
+        w.f64(actualHits.value());
+    }
+
+    /** Restore a snapshot; table size must match (serial::Error). */
+    void
+    restore(serial::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != table.size()) {
+            throw serial::Error("HMP size mismatch: snapshot " +
+                                std::to_string(n) + ", configured " +
+                                std::to_string(table.size()));
+        }
+        for (SatCounter &c : table)
+            c.set(r.u8());
+        predictHitCount.set(r.f64());
+        predictMissCount.set(r.f64());
+        hitPredictsCorrect.set(r.f64());
+        actualHits.set(r.f64());
     }
 
     stats::Group &statGroup() { return statsGroup; }

@@ -15,6 +15,7 @@
 #include "common/intmath.hh"
 #include "common/logging.hh"
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -55,6 +56,33 @@ class LeftRightPredictor
             table[index(pc)].increment();
         else
             table[index(pc)].decrement();
+    }
+
+    /** Serialize the counter table and statistics counters. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(table.size());
+        for (const SatCounter &c : table)
+            w.u8(static_cast<std::uint8_t>(c.read()));
+        w.f64(predicts.value());
+        w.f64(mispredicts.value());
+    }
+
+    /** Restore a snapshot; table size must match (serial::Error). */
+    void
+    restore(serial::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != table.size()) {
+            throw serial::Error("LRP size mismatch: snapshot " +
+                                std::to_string(n) + ", configured " +
+                                std::to_string(table.size()));
+        }
+        for (SatCounter &c : table)
+            c.set(r.u8());
+        predicts.set(r.f64());
+        mispredicts.set(r.f64());
     }
 
     stats::Group &statGroup() { return statsGroup; }

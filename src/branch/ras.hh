@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sciq {
@@ -56,6 +57,31 @@ class ReturnAddressStack
     {
         tos = snap.tos;
         stack[tos] = snap.topValue;
+    }
+
+    /** Serialize the full stack contents and top-of-stack index. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(stack.size());
+        for (Addr a : stack)
+            w.u64(a);
+        w.u32(tos);
+    }
+
+    /** Restore a full snapshot; the depth must match (serial::Error). */
+    void
+    restore(serial::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        if (n != stack.size()) {
+            throw serial::Error("RAS depth mismatch: snapshot " +
+                                std::to_string(n) + ", configured " +
+                                std::to_string(stack.size()));
+        }
+        for (Addr &a : stack)
+            a = r.u64();
+        tos = r.u32();
     }
 
   private:

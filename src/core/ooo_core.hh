@@ -156,6 +156,7 @@ class OooCore
     MemHierarchy &memHierarchy() { return mem; }
     HybridBranchPredictor &branchPredictor() { return bp; }
     Btb &btb() { return btbUnit; }
+    ReturnAddressStack &returnAddressStack() { return ras; }
     HitMissPredictor &hitMissPredictor() { return hmp; }
     LeftRightPredictor &leftRightPredictor() { return lrp; }
     const CoreParams &coreParams() const { return params; }

@@ -45,6 +45,31 @@ FunctionalCore::run(std::uint64_t max_insts)
     return executed - start;
 }
 
+void
+FunctionalCore::save(serial::Writer &w) const
+{
+    for (std::uint64_t reg : regs)
+        w.u64(reg);
+    w.u64(curPc);
+    w.u8(isHalted ? 1 : 0);
+    w.u64(executed);
+    mem.save(w);
+}
+
+void
+FunctionalCore::restore(serial::Reader &r)
+{
+    for (std::uint64_t &reg : regs)
+        reg = r.u64();
+    curPc = r.u64();
+    isHalted = r.u8() != 0;
+    executed = r.u64();
+    mem.restore(r);
+    prevPc = 0;
+    prevResult = ExecResult{};
+    prevInst = nullptr;
+}
+
 double
 FunctionalCore::fregAsDouble(unsigned n) const
 {

@@ -47,6 +47,24 @@ class FunctionalCore : public ExecContext
     SparseMemory &memory() { return mem; }
     const SparseMemory &memory() const { return mem; }
 
+    /** The owned program copy (checkpointing fingerprints it). */
+    const Program &prog() const { return program; }
+
+    /**
+     * Serialize the architectural state (registers, PC, halt flag,
+     * instruction count and the memory image).  The program itself is
+     * not written: a checkpoint is only valid against the identical
+     * program, which the checkpoint layer verifies by checksum.
+     */
+    void save(serial::Writer &w) const;
+
+    /**
+     * Restore architectural state saved by save().  Last-instruction
+     * introspection (lastPc/lastInst/lastResult) resets to empty; the
+     * core must be at a step boundary, which save() guarantees.
+     */
+    void restore(serial::Reader &r);
+
     const std::array<std::uint64_t, kNumArchRegs> &regFile() const
     {
         return regs;

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/serialize.hh"
 #include "isa/codec.hh"
 #include "isa/sparse_memory.hh"
 
@@ -40,6 +41,28 @@ Program::load(SparseMemory &mem) const
     }
     for (const auto &blob : data)
         mem.writeBlob(blob.addr, blob.bytes.data(), blob.bytes.size());
+}
+
+std::uint64_t
+Program::checksum() const
+{
+    serial::Fnv64 h;
+    h.update(codeBase);
+    h.update(code.size());
+    for (const Instruction &inst : code) {
+        h.update(static_cast<std::uint64_t>(inst.op));
+        h.update(inst.rd);
+        h.update(inst.rs1);
+        h.update(inst.rs2);
+        h.update(static_cast<std::uint64_t>(inst.imm));
+    }
+    h.update(data.size());
+    for (const Blob &blob : data) {
+        h.update(blob.addr);
+        h.update(blob.bytes.size());
+        h.update(blob.bytes.data(), blob.bytes.size());
+    }
+    return h.digest();
 }
 
 } // namespace sciq

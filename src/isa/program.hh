@@ -74,6 +74,13 @@ class Program
     /** Copy all data blobs (and the encoded code image) into memory. */
     void load(SparseMemory &mem) const;
 
+    /**
+     * Content fingerprint over base address, code and data blobs.
+     * Checkpoints embed it so a snapshot can only be restored against
+     * the exact program it was taken from.
+     */
+    std::uint64_t checksum() const;
+
     /** Human-readable name (set by the workload registry). */
     std::string name = "program";
 

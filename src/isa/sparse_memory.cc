@@ -1,5 +1,6 @@
 #include "sparse_memory.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -83,6 +84,35 @@ SparseMemory::equalContents(const SparseMemory &other) const
         return true;
     };
     return covers(*this, other) && covers(other, *this);
+}
+
+void
+SparseMemory::save(serial::Writer &w) const
+{
+    std::vector<Addr> page_nos;
+    page_nos.reserve(pages.size());
+    for (const auto &[page_no, page] : pages)
+        page_nos.push_back(page_no);
+    std::sort(page_nos.begin(), page_nos.end());
+
+    w.u64(page_nos.size());
+    for (Addr page_no : page_nos) {
+        w.u64(page_no);
+        const Page &page = pages.at(page_no);
+        w.bytes(page.data(), kPageSize);
+    }
+}
+
+void
+SparseMemory::restore(serial::Reader &r)
+{
+    pages.clear();
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr page_no = r.u64();
+        Page &page = pages[page_no];
+        r.bytes(page.data(), kPageSize);
+    }
 }
 
 double

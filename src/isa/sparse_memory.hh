@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sciq {
@@ -50,6 +51,15 @@ class SparseMemory
     bool equalContents(const SparseMemory &other) const;
 
     void clear() { pages.clear(); }
+
+    /**
+     * Serialize the allocated pages (sorted by page number, so the
+     * encoding is a deterministic function of the contents).
+     */
+    void save(serial::Writer &w) const;
+
+    /** Replace the contents from a saved image. */
+    void restore(serial::Reader &r);
 
   private:
     using Page = std::array<std::uint8_t, kPageSize>;

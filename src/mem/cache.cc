@@ -75,6 +75,67 @@ Cache::flush()
 }
 
 void
+Cache::save(serial::Writer &w) const
+{
+    if (!mshrFile.empty()) {
+        throw serial::Error("cache '" + params_.name +
+                            "' has in-flight misses; checkpoints must be "
+                            "taken while the hierarchy is quiescent");
+    }
+    w.u64(numSets);
+    w.u32(params_.assoc);
+    w.u32(params_.lineBytes);
+    for (const Line &line : lines) {
+        w.u64(line.tag);
+        w.u8(static_cast<std::uint8_t>((line.valid ? 1 : 0) |
+                                       (line.dirty ? 2 : 0)));
+        w.u64(line.lastUse);
+    }
+    w.u64(nextFillFree);
+    w.f64(accesses.value());
+    w.f64(hits.value());
+    w.f64(misses.value());
+    w.f64(delayedHits.value());
+    w.f64(writebacks.value());
+    w.f64(mshrFullStalls.value());
+}
+
+void
+Cache::restore(serial::Reader &r)
+{
+    if (!mshrFile.empty()) {
+        throw serial::Error("cache '" + params_.name +
+                            "' has in-flight misses; cannot restore");
+    }
+    const std::uint64_t sets = r.u64();
+    const std::uint32_t assoc = r.u32();
+    const std::uint32_t line_bytes = r.u32();
+    if (sets != numSets || assoc != params_.assoc ||
+        line_bytes != params_.lineBytes) {
+        throw serial::Error(
+            "cache '" + params_.name + "' geometry mismatch: snapshot " +
+            std::to_string(sets) + "x" + std::to_string(assoc) + "x" +
+            std::to_string(line_bytes) + ", configured " +
+            std::to_string(numSets) + "x" + std::to_string(params_.assoc) +
+            "x" + std::to_string(params_.lineBytes));
+    }
+    for (Line &line : lines) {
+        line.tag = r.u64();
+        const std::uint8_t flags = r.u8();
+        line.valid = (flags & 1) != 0;
+        line.dirty = (flags & 2) != 0;
+        line.lastUse = r.u64();
+    }
+    nextFillFree = r.u64();
+    accesses.set(r.f64());
+    hits.set(r.f64());
+    misses.set(r.f64());
+    delayedHits.set(r.f64());
+    writebacks.set(r.f64());
+    mshrFullStalls.set(r.f64());
+}
+
+void
 Cache::access(Addr addr, bool is_write, Cycle now, AccessDone done,
               MissNotify on_miss)
 {

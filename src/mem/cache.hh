@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -95,6 +96,21 @@ class Cache : public MemLevel
 
     /** Invalidate everything (used between warmup configurations). */
     void flush();
+
+    /**
+     * Serialize the tag array (tags, valid/dirty bits, LRU state) and
+     * the statistics counters.  Only legal while the cache is quiescent
+     * (no MSHRs in flight): checkpoints are taken after functional
+     * warming, before any timed access.  Throws serial::Error otherwise.
+     */
+    void save(serial::Writer &w) const;
+
+    /**
+     * Restore a tag-array snapshot into this cache.  The geometry
+     * (sets, associativity, line size) must match the snapshot's;
+     * mismatches throw serial::Error.
+     */
+    void restore(serial::Reader &r);
 
     unsigned lineBytes() const { return params_.lineBytes; }
     const CacheParams &params() const { return params_; }

@@ -1,0 +1,381 @@
+#include "checkpoint.hh"
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace sciq {
+
+namespace {
+
+constexpr char kMagic[9] = "SCIQCKPT";  // 8 payload bytes
+
+void
+hashCacheGeometry(serial::Fnv64 &h, const CacheParams &p)
+{
+    h.update(p.sizeBytes);
+    h.update(p.assoc);
+    h.update(p.lineBytes);
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[i] = digits[key & 0xf];
+        key >>= 4;
+    }
+    return s;
+}
+
+/** Trailer = FNV-1a over every byte before it. */
+std::uint64_t
+blobTrailer(const std::string &blob, std::size_t payload_len)
+{
+    return serial::fnv1a(blob.data(), payload_len);
+}
+
+void
+saveFfStats(serial::Writer &w, const FastForwardStats &ff)
+{
+    w.u64(ff.instsSkipped);
+    w.u64(ff.memAccessesWarmed);
+    w.u64(ff.branchesWarmed);
+    w.u8(ff.hitHalt ? 1 : 0);
+}
+
+FastForwardStats
+restoreFfStats(serial::Reader &r)
+{
+    FastForwardStats ff;
+    ff.instsSkipped = r.u64();
+    ff.memAccessesWarmed = r.u64();
+    ff.branchesWarmed = r.u64();
+    ff.hitHalt = r.u8() != 0;
+    return ff;
+}
+
+} // namespace
+
+std::uint64_t
+checkpointKeyHash(const SimConfig &config)
+{
+    serial::Fnv64 h;
+    h.update(kCheckpointVersion);
+    h.update(workloadFingerprint(config.workload, config.wl));
+    h.update(config.fastForward);
+    hashCacheGeometry(h, config.core.mem.l1i);
+    hashCacheGeometry(h, config.core.mem.l1d);
+    hashCacheGeometry(h, config.core.mem.l2);
+    h.update(config.core.bp.globalHistoryBits);
+    h.update(config.core.bp.globalPhtEntries);
+    h.update(config.core.bp.localHistoryRegs);
+    h.update(config.core.bp.localHistoryBits);
+    h.update(config.core.bp.localPhtEntries);
+    h.update(config.core.bp.choicePhtEntries);
+    h.update(config.core.btbEntries);
+    h.update(config.core.btbAssoc);
+    h.update(config.core.rasEntries);
+    h.update(config.core.hmpEntries);
+    h.update(config.core.lrpEntries);
+    h.update(config.core.warmICache ? 1 : 0);
+    return h.digest();
+}
+
+std::string
+saveCheckpoint(const SimConfig &config, const FunctionalCore &golden,
+               OooCore &core, const FastForwardStats &ff)
+{
+    serial::Writer w;
+    w.bytes(kMagic, 8);
+    w.u32(kCheckpointVersion);
+    w.u64(checkpointKeyHash(config));
+    w.str(config.workload);
+    w.u64(config.wl.iterations);
+    w.u64(config.wl.seed);
+    w.f64(config.wl.scale);
+    w.u64(config.fastForward);
+    w.u64(golden.prog().checksum());
+
+    w.tag("FFST");
+    saveFfStats(w, ff);
+    w.tag("FUNC");
+    golden.save(w);
+    w.tag("L1I_");
+    core.memHierarchy().icache().save(w);
+    w.tag("L1D_");
+    core.memHierarchy().dcache().save(w);
+    w.tag("L2__");
+    core.memHierarchy().l2cache().save(w);
+    w.tag("BPRD");
+    core.branchPredictor().save(w);
+    w.tag("BTB_");
+    core.btb().save(w);
+    w.tag("RAS_");
+    core.returnAddressStack().save(w);
+    w.tag("HMP_");
+    core.hitMissPredictor().save(w);
+    w.tag("LRP_");
+    core.leftRightPredictor().save(w);
+    w.tag("END_");
+
+    std::string blob = w.take();
+    const std::uint64_t trailer = blobTrailer(blob, blob.size());
+    serial::Writer t;
+    t.u64(trailer);
+    blob += t.buffer();
+    return blob;
+}
+
+FastForwardStats
+restoreCheckpoint(const std::string &blob, const SimConfig &config,
+                  const Program &program, OooCore &core)
+{
+    if (blob.size() < 8 + 4 + 8 + 8) {
+        throw CheckpointError("checkpoint truncated: " +
+                              std::to_string(blob.size()) +
+                              " bytes is smaller than any valid header");
+    }
+    if (blob.compare(0, 8, kMagic, 8) != 0)
+        throw CheckpointError("not a checkpoint (bad magic)");
+
+    try {
+        serial::Reader r(blob);
+        char magic[8];
+        r.bytes(magic, 8);
+
+        const std::uint32_t version = r.u32();
+        if (version != kCheckpointVersion) {
+            throw CheckpointError(
+                "unsupported checkpoint version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kCheckpointVersion) + ")");
+        }
+
+        // Verify the trailer before trusting any section payload.
+        const std::size_t payload_len = blob.size() - 8;
+        serial::Reader tr(std::string_view(blob).substr(payload_len));
+        if (tr.u64() != blobTrailer(blob, payload_len)) {
+            throw CheckpointError(
+                "checkpoint checksum mismatch (corrupted file)");
+        }
+
+        const std::uint64_t key = r.u64();
+        const std::string wl_name = r.str();
+        const std::uint64_t wl_iters = r.u64();
+        const std::uint64_t wl_seed = r.u64();
+        r.f64();  // wl scale, covered by the key hash
+        const std::uint64_t ff_insts = r.u64();
+        if (key != checkpointKeyHash(config)) {
+            throw CheckpointError(
+                "checkpoint key mismatch: snapshot is of '" + wl_name +
+                "' (iters=" + std::to_string(wl_iters) + ", seed=" +
+                std::to_string(wl_seed) + ", ff=" +
+                std::to_string(ff_insts) +
+                ") under a different workload/memory/branch configuration");
+        }
+        if (r.u64() != program.checksum()) {
+            throw CheckpointError(
+                "checkpoint program checksum mismatch: the workload "
+                "generator produced a different program than the snapshot "
+                "was taken from");
+        }
+
+        r.expectTag("FFST");
+        const FastForwardStats ff = restoreFfStats(r);
+
+        r.expectTag("FUNC");
+        FunctionalCore warm(program);
+        warm.restore(r);
+
+        r.expectTag("L1I_");
+        core.memHierarchy().icache().restore(r);
+        r.expectTag("L1D_");
+        core.memHierarchy().dcache().restore(r);
+        r.expectTag("L2__");
+        core.memHierarchy().l2cache().restore(r);
+        r.expectTag("BPRD");
+        core.branchPredictor().restore(r);
+        r.expectTag("BTB_");
+        core.btb().restore(r);
+        r.expectTag("RAS_");
+        core.returnAddressStack().restore(r);
+        r.expectTag("HMP_");
+        core.hitMissPredictor().restore(r);
+        r.expectTag("LRP_");
+        core.leftRightPredictor().restore(r);
+        r.expectTag("END_");
+        if (r.remaining() != 8) {
+            throw CheckpointError("checkpoint has " +
+                                  std::to_string(r.remaining() - 8) +
+                                  " trailing bytes after END_");
+        }
+
+        // Mirror the cold path exactly: fastForward() only seeds the
+        // timing core when the warm-up did not consume the program.
+        if (!ff.hitHalt)
+            core.seedState(warm.regFile(), warm.memory(), warm.pc());
+        return ff;
+    } catch (const serial::Error &e) {
+        throw CheckpointError(std::string("malformed checkpoint: ") +
+                              e.what());
+    }
+}
+
+void
+writeCheckpointFile(const std::string &path, const std::string &blob)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path target(path);
+    if (target.has_parent_path())
+        fs::create_directories(target.parent_path(), ec);
+
+    // Unique temp name per writer thread, then an atomic rename, so
+    // concurrent publishers of the same key never interleave bytes.
+    const std::size_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp = path + ".tmp." + hexKey(tid);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out || !out.write(blob.data(),
+                               static_cast<std::streamsize>(blob.size()))) {
+            fs::remove(tmp, ec);
+            throw CheckpointError("cannot write checkpoint file '" + tmp +
+                                  "'");
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw CheckpointError("cannot move checkpoint into place at '" +
+                              path + "'");
+    }
+}
+
+std::string
+readCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointError("cannot read checkpoint file '" + path + "'");
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        throw CheckpointError("I/O error reading checkpoint file '" + path +
+                              "'");
+    return blob;
+}
+
+CheckpointCache::CheckpointCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+CheckpointCache::pathFor(std::uint64_t key) const
+{
+    if (dir_.empty())
+        return "";
+    return dir_ + "/ckpt-" + hexKey(key) + ".sciqckpt";
+}
+
+CheckpointCache::Blob
+CheckpointCache::findOrBegin(std::uint64_t key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            break;
+        if (it->second.blob) {
+            ++memoryHits_;
+            return it->second.blob;
+        }
+        // Another thread is producing this key; wait for its verdict.
+        cv_.wait(lock);
+    }
+
+    // Claim production before probing the disk so only one thread pays
+    // the file read (or, on a true miss, the warm-up).
+    entries_[key].producing = true;
+    lock.unlock();
+
+    if (!dir_.empty()) {
+        std::string from_disk;
+        bool found = false;
+        try {
+            from_disk = readCheckpointFile(pathFor(key));
+            found = true;
+        } catch (const CheckpointError &) {
+            // No usable file; fall through as producer.
+        }
+        if (found) {
+            lock.lock();
+            Entry &e = entries_[key];
+            e.blob = std::make_shared<const std::string>(
+                std::move(from_disk));
+            e.producing = false;
+            ++diskHits_;
+            cv_.notify_all();
+            return e.blob;
+        }
+    }
+    return nullptr;
+}
+
+CheckpointCache::Blob
+CheckpointCache::publish(std::uint64_t key, std::string blob)
+{
+    if (!dir_.empty()) {
+        try {
+            writeCheckpointFile(pathFor(key), blob);
+        } catch (const CheckpointError &e) {
+            warn("checkpoint not persisted: %s", e.what());
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[key];
+    e.blob = std::make_shared<const std::string>(std::move(blob));
+    e.producing = false;
+    ++produced_;
+    cv_.notify_all();
+    return e.blob;
+}
+
+void
+CheckpointCache::cancel(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && !it->second.blob)
+        entries_.erase(it);
+    cv_.notify_all();
+}
+
+std::uint64_t
+CheckpointCache::memoryHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return memoryHits_;
+}
+
+std::uint64_t
+CheckpointCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return diskHits_;
+}
+
+std::uint64_t
+CheckpointCache::produced() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return produced_;
+}
+
+} // namespace sciq

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Warm-state checkpoint/restore (paper methodology, DESIGN.md §12).
+ *
+ * The paper fast-forwards 20 billion instructions before every
+ * 100M-instruction sample; at our scale that warm-up prefix is re-run
+ * for every configuration of a sweep even though the produced state —
+ * functional-core architectural state and memory image, cache tag
+ * arrays, branch/BTB/RAS/hit-miss predictor tables — depends only on
+ * (workload, ff length, memory config, branch config), never on the IQ
+ * under test.  This module snapshots that state once into a versioned
+ * binary blob and restores it into fresh timing cores in milliseconds,
+ * with a strict contract: a restored run produces bit-identical
+ * architected statistics to a cold fast-forwarded run.
+ *
+ * Blob layout (all little-endian, serial::Writer encoding):
+ *
+ *   "SCIQCKPT" magic | u32 version | u64 key hash |
+ *   workload name/params | u64 ff insts | u64 program checksum |
+ *   "FFST" FastForwardStats | "FUNC" FunctionalCore |
+ *   "L1I_" "L1D_" "L2__" caches | "BPRD" "BTB_" "RAS_" "HMP_" "LRP_"
+ *   predictors | "END_" | u64 FNV-1a trailer over everything before it.
+ *
+ * The trailer detects corruption/truncation before any section is
+ * parsed; the key hash and program checksum reject checkpoints taken
+ * under a different workload/memory/branch configuration.  All
+ * rejection paths throw CheckpointError with a specific message.
+ */
+
+#ifndef SCIQ_SIM_CHECKPOINT_HH
+#define SCIQ_SIM_CHECKPOINT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "sim/fast_forward.hh"
+#include "sim/sim_config.hh"
+
+namespace sciq {
+
+/** Any reason a checkpoint cannot be written, read or applied. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Format version; bump on any layout change. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * Cache key for a warm-up: hashes exactly the inputs that determine
+ * the saved bits — workload (name + generator params), fast-forward
+ * length, cache geometries, predictor geometries and warmICache.
+ * IQ/FU/width parameters are deliberately excluded: that independence
+ * is what lets a whole sweep share one warm-up per workload.
+ */
+std::uint64_t checkpointKeyHash(const SimConfig &config);
+
+/**
+ * Serialize the warm state produced by fastForward(golden, core, ...).
+ * Must be called before the core's first tick(), while the memory
+ * hierarchy is quiescent.
+ */
+std::string saveCheckpoint(const SimConfig &config,
+                           const FunctionalCore &golden, OooCore &core,
+                           const FastForwardStats &ff);
+
+/**
+ * Validate `blob` against (config, program) and restore it into `core`
+ * exactly as the cold path would: caches and predictor tables are
+ * overwritten, and the core's architectural state is seeded unless the
+ * warm-up hit HALT.  Returns the FastForwardStats recorded at save
+ * time.  Throws CheckpointError on any mismatch or corruption.
+ */
+FastForwardStats restoreCheckpoint(const std::string &blob,
+                                   const SimConfig &config,
+                                   const Program &program, OooCore &core);
+
+/** Atomically (write + rename) persist a blob; CheckpointError on I/O. */
+void writeCheckpointFile(const std::string &path, const std::string &blob);
+
+/** Read a whole checkpoint file; CheckpointError if unreadable. */
+std::string readCheckpointFile(const std::string &path);
+
+/**
+ * Sweep-level checkpoint reuse: a thread-safe blob cache keyed by
+ * checkpointKeyHash, optionally backed by a directory of
+ * `ckpt-<key>.sciqckpt` files.
+ *
+ * Producer election makes concurrent sweeps do each distinct warm-up
+ * exactly once: the first thread to ask for a missing key becomes its
+ * producer (findOrBegin returns nullptr) while later askers block until
+ * publish()/cancel().  Results stay bit-identical regardless of which
+ * job ends up producing, so the election order is free to race.
+ */
+class CheckpointCache
+{
+  public:
+    using Blob = std::shared_ptr<const std::string>;
+
+    /** @param dir backing directory; empty = in-memory only. */
+    explicit CheckpointCache(std::string dir = "");
+
+    /**
+     * Return the blob for `key`, blocking while another thread
+     * produces it.  Returns nullptr to exactly one caller per missing
+     * key; that caller must publish() or cancel() the key.
+     */
+    Blob findOrBegin(std::uint64_t key);
+
+    /** Store a produced blob (and write it to the backing dir). */
+    Blob publish(std::uint64_t key, std::string blob);
+
+    /** Give up producing `key` (e.g. the warm-up threw). */
+    void cancel(std::uint64_t key);
+
+    /** Backing file path for a key ("" when in-memory only). */
+    std::string pathFor(std::uint64_t key) const;
+
+    const std::string &dir() const { return dir_; }
+
+    // Reuse accounting (monotonic; read after a sweep completes).
+    std::uint64_t memoryHits() const;
+    std::uint64_t diskHits() const;
+    std::uint64_t produced() const;
+
+  private:
+    struct Entry
+    {
+        bool producing = false;
+        Blob blob;
+    };
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::uint64_t memoryHits_ = 0;
+    std::uint64_t diskHits_ = 0;
+    std::uint64_t produced_ = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_CHECKPOINT_HH

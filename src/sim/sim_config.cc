@@ -57,6 +57,8 @@ SimConfig::apply(const ConfigMap &cfg)
         "audit_inject_overpromote", core.iq.auditInjectOverPromote);
     fastForward = static_cast<std::uint64_t>(
         cfg.getInt("ff", static_cast<std::int64_t>(fastForward)));
+    ckptFile = cfg.getString("ckpt", ckptFile);
+    ckptDir = cfg.getString("ckpt_dir", ckptDir);
 }
 
 void

@@ -7,6 +7,7 @@
 #ifndef SCIQ_SIM_SIM_CONFIG_HH
 #define SCIQ_SIM_SIM_CONFIG_HH
 
+#include <memory>
 #include <ostream>
 #include <string>
 
@@ -15,6 +16,8 @@
 #include "workload/workloads.hh"
 
 namespace sciq {
+
+class CheckpointCache;
 
 struct SimConfig
 {
@@ -46,6 +49,28 @@ struct SimConfig
      * timed run (the paper's checkpoint methodology at our scale).
      */
     std::uint64_t fastForward = 0;
+
+    /**
+     * Explicit checkpoint file (key: `ckpt=`): restore the warm-up
+     * from this file if it exists, otherwise fast-forward cold and
+     * save it there.  Requires fastForward > 0.
+     */
+    std::string ckptFile;
+
+    /**
+     * Checkpoint cache directory (key: `ckpt_dir=`): warm-ups are
+     * restored from / persisted to `<dir>/ckpt-<key>.sciqckpt`, keyed
+     * by checkpointKeyHash().  Requires fastForward > 0.
+     */
+    std::string ckptDir;
+
+    /**
+     * Shared in-process checkpoint cache (programmatic; SweepBatch
+     * installs one per sweep so each distinct warm-up runs once and
+     * every other configuration restores it).  Takes precedence over
+     * ckptDir: a cache constructed with a directory covers both.
+     */
+    std::shared_ptr<CheckpointCache> ckptCache;
 
     /**
      * Apply key=value overrides, e.g.

@@ -7,6 +7,7 @@
 #include "iq/segmented_iq.hh"
 #include "isa/functional_core.hh"
 #include "sim/audit.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fast_forward.hh"
 
 namespace sciq {
@@ -24,20 +25,98 @@ Simulator::Simulator(const SimConfig &cfg) : config(cfg)
 
 Simulator::~Simulator() = default;
 
-RunResult
-Simulator::run()
+std::uint64_t
+Simulator::warmUp(bool &restored)
 {
-    std::uint64_t skipped = 0;
-    if (config.fastForward > 0) {
+    restored = false;
+
+    auto coldFf = [&]() -> FastForwardStats {
         FunctionalCore warm(*program_);
         FastForwardStats ff =
             fastForward(warm, *core_, config.fastForward);
-        skipped = ff.instsSkipped;
         if (ff.hitHalt) {
             warn("fast-forward of %llu insts consumed the whole program",
                  static_cast<unsigned long long>(config.fastForward));
         }
+        return ff;
+    };
+
+    auto coldFfAndBlob = [&](std::string &blob) -> FastForwardStats {
+        FunctionalCore warm(*program_);
+        FastForwardStats ff =
+            fastForward(warm, *core_, config.fastForward);
+        if (ff.hitHalt) {
+            warn("fast-forward of %llu insts consumed the whole program",
+                 static_cast<unsigned long long>(config.fastForward));
+        }
+        blob = saveCheckpoint(config, warm, *core_, ff);
+        return ff;
+    };
+
+    // Explicit single-file mode: restore if present, else create.
+    if (!config.ckptFile.empty()) {
+        std::string blob;
+        try {
+            blob = readCheckpointFile(config.ckptFile);
+        } catch (const CheckpointError &) {
+            // Not there yet: fast-forward cold and save it.
+            FastForwardStats ff = coldFfAndBlob(blob);
+            writeCheckpointFile(config.ckptFile, blob);
+            return ff.instsSkipped;
+        }
+        const FastForwardStats ff =
+            restoreCheckpoint(blob, config, *program_, *core_);
+        restored = true;
+        return ff.instsSkipped;
     }
+
+    // Cache mode: a shared in-process cache (sweep-level reuse) or a
+    // run-local one over ckpt_dir (cross-process reuse).
+    std::shared_ptr<CheckpointCache> cache = config.ckptCache;
+    if (!cache && !config.ckptDir.empty())
+        cache = std::make_shared<CheckpointCache>(config.ckptDir);
+    if (!cache)
+        return coldFf().instsSkipped;
+
+    const std::uint64_t key = checkpointKeyHash(config);
+    CheckpointCache::Blob blob = cache->findOrBegin(key);
+    if (blob) {
+        try {
+            const FastForwardStats ff =
+                restoreCheckpoint(*blob, config, *program_, *core_);
+            restored = true;
+            return ff.instsSkipped;
+        } catch (const CheckpointError &e) {
+            // A stale or damaged entry (e.g. hand-edited file): warm
+            // up cold and replace it so later runs restore cleanly.
+            warn("ignoring unusable checkpoint for %s: %s",
+                 config.workload.c_str(), e.what());
+            std::string fresh;
+            FastForwardStats ff = coldFfAndBlob(fresh);
+            cache->publish(key, std::move(fresh));
+            return ff.instsSkipped;
+        }
+    }
+
+    // This run was elected producer for the key.
+    try {
+        std::string fresh;
+        FastForwardStats ff = coldFfAndBlob(fresh);
+        cache->publish(key, std::move(fresh));
+        return ff.instsSkipped;
+    } catch (...) {
+        cache->cancel(key);
+        throw;
+    }
+}
+
+RunResult
+Simulator::run()
+{
+    std::uint64_t skipped = 0;
+    bool ckptRestored = false;
+    if (config.fastForward > 0)
+        skipped = warmUp(ckptRestored);
 
     // Time only the cycle-accurate core loop: construction, fast-forward
     // and golden-model validation are excluded so the number tracks the
@@ -58,6 +137,7 @@ Simulator::run()
     r.insts = core_->committedCount();
     r.ipc = core_->ipc();
     r.haltedCleanly = core_->halted();
+    r.ckptRestored = ckptRestored;
     if (auditor_)
         r.auditViolations = auditor_->totalViolations();
 

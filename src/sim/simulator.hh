@@ -60,6 +60,15 @@ struct RunResult
     /** Invariant-auditor violations (0 unless SimConfig::audit). */
     std::uint64_t auditViolations = 0;
 
+    /**
+     * The warm-up prefix was restored from a checkpoint instead of
+     * being re-executed.  Informational only: restored and cold runs
+     * produce bit-identical architected stats, but which sweep point
+     * happens to produce a shared warm-up is scheduling-dependent, so
+     * this flag is excluded from determinism comparisons.
+     */
+    bool ckptRestored = false;
+
     // Host performance of the timed core loop (every sweep doubles as
     // a perf sample).  Wall-clock, so never part of bit-identity
     // comparisons (see tests/test_sweep.cc).
@@ -87,6 +96,13 @@ class Simulator
     Auditor *auditor() { return auditor_.get(); }
 
   private:
+    /**
+     * Perform the configured fast-forward, through the checkpoint
+     * machinery when enabled.  Returns instructions skipped; sets
+     * `restored` when the state came from a checkpoint.
+     */
+    std::uint64_t warmUp(bool &restored);
+
     SimConfig config;
     std::unique_ptr<Program> program_;
     std::unique_ptr<OooCore> core_;

@@ -132,6 +132,8 @@ writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
         jsonField(os, "host_kcycles_per_sec", r.hostKcyclesPerSec);
         jsonField(os, "host_kinsts_per_sec", r.hostKinstsPerSec);
         os << "    \"audit_violations\": " << r.auditViolations << ",\n";
+        os << "    \"ckpt_restored\": "
+           << (r.ckptRestored ? "true" : "false") << ",\n";
         os << "    \"validated\": " << (r.validated ? "true" : "false")
            << ",\n";
         os << "    \"halted_cleanly\": "

@@ -1,8 +1,10 @@
 #include "workloads.hh"
 
+#include <bit>
 #include <map>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace sciq {
 
@@ -50,6 +52,17 @@ buildWorkload(const std::string &name, const WorkloadParams &params)
     if (it == builders().end())
         fatal("unknown workload '%s'", name.c_str());
     return it->second(params);
+}
+
+std::uint64_t
+workloadFingerprint(const std::string &name, const WorkloadParams &params)
+{
+    serial::Fnv64 h;
+    h.update(name);
+    h.update(params.iterations);
+    h.update(params.seed);
+    h.update(std::bit_cast<std::uint64_t>(params.scale));
+    return h.digest();
 }
 
 } // namespace sciq

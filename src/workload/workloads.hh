@@ -51,6 +51,14 @@ const std::vector<std::string> &fpWorkloadNames();
 Program buildWorkload(const std::string &name,
                       const WorkloadParams &params = {});
 
+/**
+ * Stable fingerprint of (name, params) — everything the workload
+ * generator consumes, so equal fingerprints mean buildWorkload()
+ * produces identical programs.  Part of the checkpoint cache key.
+ */
+std::uint64_t workloadFingerprint(const std::string &name,
+                                  const WorkloadParams &params);
+
 } // namespace sciq
 
 #endif // SCIQ_WORKLOAD_WORKLOADS_HH

@@ -1,22 +1,42 @@
 #!/bin/sh
 # Full pre-merge check: tier-1 tests, the invariant-audit sweep, and one
-# sanitizer configuration.  Run from the repository root:
+# or all sanitizer configurations.  Run from the repository root:
 #
-#   tools/check.sh [ubsan|asan|tsan]
+#   tools/check.sh [ubsan|asan|tsan|all]
 #
 # The optional argument picks the sanitizer config (default: ubsan).
+# `all` runs every sanitizer sequentially in its own build tree, which
+# is what CI's sanitizer job invokes.
 set -eu
 
 san="${1:-ubsan}"
 case "$san" in
-  ubsan) san_flag=-DSCIQ_UBSAN=ON ;;
-  asan)  san_flag=-DSCIQ_ASAN=ON ;;
-  tsan)  san_flag=-DSCIQ_TSAN=ON ;;
-  *) echo "unknown sanitizer '$san' (want ubsan, asan or tsan)" >&2
+  ubsan|asan|tsan|all) ;;
+  *) echo "unknown sanitizer '$san' (want ubsan, asan, tsan or all)" >&2
      exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+# One sanitizer configuration: configure + build under build-<name>,
+# then run the fast sanitize_smoke test subset.  TSAN additionally runs
+# the full parallel-sweep suite: determinism across worker counts is
+# exactly what a data race would break.
+run_sanitizer() {
+  name="$1"
+  flag="$2"
+  echo "== sanitizer smoke ($name) =="
+  cmake -B "build-$name" -S . "$flag" >/dev/null
+  cmake --build "build-$name" -j "$jobs"
+  ctest --test-dir "build-$name" --output-on-failure -j "$jobs" \
+        -L sanitize_smoke
+  if [ "$name" = tsan ]; then
+    echo "== tsan: parallel sweep + checkpoint reuse =="
+    "./build-$name/tests/test_sweep"
+    "./build-$name/tests/test_checkpoint" \
+        --gtest_filter='CheckpointCacheTest.*:CheckpointEndToEnd.*'
+  fi
+}
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -32,10 +52,25 @@ echo "== scheduling-index differential sweep (audit=1) =="
 echo "== host-throughput bench (quick) =="
 ./build/bench/bench_throughput quick=1 workloads=swim,twolf
 
-echo "== sanitizer smoke ($san) =="
-cmake -B "build-$san" -S . "$san_flag" >/dev/null
-cmake --build "build-$san" -j "$jobs"
-ctest --test-dir "build-$san" --output-on-failure -j "$jobs" \
-      -L sanitize_smoke
+if [ "$san" = all ]; then
+  run_sanitizer ubsan -DSCIQ_UBSAN=ON
+  run_sanitizer asan -DSCIQ_ASAN=ON
+  run_sanitizer tsan -DSCIQ_TSAN=ON
+else
+  case "$san" in
+    ubsan) run_sanitizer ubsan -DSCIQ_UBSAN=ON ;;
+    asan)  run_sanitizer asan -DSCIQ_ASAN=ON ;;
+    tsan)  run_sanitizer tsan -DSCIQ_TSAN=ON ;;
+  esac
+fi
+
+# Lint the shell tooling when shellcheck is available (CI always has
+# it; skip with a notice on bare development machines).
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck tools/*.sh =="
+  shellcheck tools/*.sh
+else
+  echo "== shellcheck not installed; skipping shell lint =="
+fi
 
 echo "== all checks passed =="
