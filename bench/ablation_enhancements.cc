@@ -20,7 +20,7 @@ using namespace sciq::bench;
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = parseArgs(argc, argv, workloadNames());
+    BenchArgs args = parseArgs(argc, argv, workloadNames(), {"iq_size"});
     const unsigned kIqSize = static_cast<unsigned>(
         args.raw.getInt("iq_size", 512));
 

@@ -18,8 +18,9 @@ using namespace sciq::bench;
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = parseArgs(argc, argv, {"swim", "mgrid", "gcc",
-                                            "equake"});
+    BenchArgs args = parseArgs(argc, argv,
+                               {"swim", "mgrid", "gcc", "equake"},
+                               {"iq_size"});
     const unsigned kIqSize = static_cast<unsigned>(
         args.raw.getInt("iq_size", 512));
     const std::vector<unsigned> seg_sizes = {8, 16, 32, 64, 128};

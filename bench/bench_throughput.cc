@@ -102,7 +102,9 @@ writeTrajectory(const std::string &path,
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = parseArgs(argc, argv, workloadNames());
+    BenchArgs args = parseArgs(argc, argv, workloadNames(),
+                               {"repeats", "baseline_kcps",
+                                "baseline_label", "trajectory_out"});
     // Timing fidelity: serial by default (jobs=1), unlike the sweep
     // benches that default to hardware concurrency.
     if (args.raw.getInt("jobs", 0) == 0)

@@ -14,6 +14,16 @@
  *   ckpt_dir=path     persist/reuse warm-up checkpoints in `path`
  *   ckpt_reuse=0      disable the in-process sweep-level checkpoint
  *                     cache (each run fast-forwards cold again)
+ *   journal=path      append-only JSONL result journal; restarting the
+ *                     bench re-runs only unfinished/failed jobs
+ *   retries=N    extra attempts for transient job errors (default 2)
+ *   artifact_dir=path failure artifacts (pipeline dumps) land here
+ *   watchdog_cycles=N no-commit deadlock watchdog window (0 = off)
+ *   deadline_sec=S    per-job wall-clock deadline (0 = none)
+ *
+ * Unknown keys are rejected with a "did you mean" suggestion so a
+ * typo'd override fails loudly instead of silently measuring the
+ * wrong configuration.
  */
 
 #ifndef SCIQ_BENCH_BENCH_UTIL_HH
@@ -42,6 +52,9 @@ struct BenchArgs
     std::uint64_t ff = 0;     ///< fast-forward length (0 = none)
     std::string ckptDir;      ///< on-disk checkpoint cache ("" = none)
     bool ckptReuse = true;    ///< share warm-ups across the sweep
+    std::string journal;      ///< resumable result journal ("" = off)
+    unsigned retries = 2;     ///< transient-error retry budget
+    std::string artifactDir;  ///< failure artifacts ("" = env/off)
     std::vector<std::string> workloads;
     ConfigMap raw;
 
@@ -49,11 +62,43 @@ struct BenchArgs
     std::vector<RunResult> collected;
 };
 
+/**
+ * Parse bench command-line arguments.  `extra_known` lists the keys a
+ * particular bench reads beyond the shared set (e.g. iq_size); any
+ * other key aborts with a suggestion.  Negative counts are rejected
+ * up front so they cannot wrap around in the unsigned config fields.
+ */
 inline BenchArgs
-parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
+parseArgs(int argc, char **argv, std::vector<std::string> default_wls,
+          std::vector<std::string> extra_known = {})
 {
     BenchArgs args;
     args.raw = ConfigMap::fromArgs(argc, argv);
+
+    std::vector<std::string> known = {
+        "iters",       "quick",       "workloads",       "jobs",
+        "bench_out",   "ff",          "ckpt_dir",        "ckpt_reuse",
+        "audit",       "audit_panic", "journal",         "retries",
+        "artifact_dir", "watchdog_cycles", "deadline_sec",
+    };
+    known.insert(known.end(), extra_known.begin(), extra_known.end());
+    const std::string complaint = args.raw.unknownKeyMessage(known);
+    if (!complaint.empty()) {
+        std::fprintf(stderr, "ERROR: %s\n", complaint.c_str());
+        std::exit(2);
+    }
+    for (const char *key : {"iters", "jobs", "ff", "retries",
+                            "watchdog_cycles"}) {
+        if (args.raw.getInt(key, 0) < 0) {
+            std::fprintf(stderr, "ERROR: %s= must be >= 0\n", key);
+            std::exit(2);
+        }
+    }
+    if (args.raw.getDouble("deadline_sec", 0.0) < 0.0) {
+        std::fprintf(stderr, "ERROR: deadline_sec= must be >= 0\n");
+        std::exit(2);
+    }
+
     args.iters =
         static_cast<std::uint64_t>(args.raw.getInt("iters", 0));
     args.quick = args.raw.getBool("quick", false);
@@ -62,6 +107,9 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls)
     args.ff = static_cast<std::uint64_t>(args.raw.getInt("ff", 0));
     args.ckptDir = args.raw.getString("ckpt_dir", "");
     args.ckptReuse = args.raw.getBool("ckpt_reuse", true);
+    args.journal = args.raw.getString("journal", "");
+    args.retries = static_cast<unsigned>(args.raw.getInt("retries", 2));
+    args.artifactDir = args.raw.getString("artifact_dir", "");
     std::string wls = args.raw.getString("workloads", "");
     if (wls.empty()) {
         args.workloads = std::move(default_wls);
@@ -97,6 +145,11 @@ applyArgs(SimConfig &cfg, const BenchArgs &args)
     cfg.auditPanic = args.raw.getBool("audit_panic", false);
     if (args.ff > 0)
         cfg.fastForward = args.ff;
+    if (args.raw.has("watchdog_cycles")) {
+        cfg.core.watchdogCycles = static_cast<Cycle>(
+            args.raw.getInt("watchdog_cycles", 0));
+    }
+    cfg.deadlineSec = args.raw.getDouble("deadline_sec", 0.0);
 }
 
 /**
@@ -139,9 +192,20 @@ class SweepBatch
             }
         }
         SweepRunner runner(args_.jobs);
-        results_ = runner.run(configs_);
+        SweepRunner::Options options;
+        options.journal = args_.journal;
+        options.maxRetries = args_.retries;
+        options.artifactDir = args_.artifactDir;
+        results_ = runner.run(configs_, options);
         for (const RunResult &r : results_) {
-            if (!r.haltedCleanly) {
+            if (!r.outcome.ok()) {
+                std::fprintf(
+                    stderr, "WARNING: %s/%s %s: [%s] %s\n",
+                    r.workload.c_str(), r.iqKind.c_str(),
+                    jobStatusName(r.outcome.status),
+                    errorCodeName(r.outcome.code),
+                    r.outcome.message.c_str());
+            } else if (!r.haltedCleanly) {
                 std::fprintf(
                     stderr,
                     "WARNING: %s/%s did not halt within the cycle cap\n",

@@ -27,7 +27,8 @@ main(int argc, char **argv)
     // behavior in this portion of the study is uninteresting").
     BenchArgs args = parseArgs(argc, argv,
                                {"mgrid", "vortex", "twolf", "applu",
-                                "ammp", "swim", "equake"});
+                                "ammp", "swim", "equake"},
+                               {"iq_size"});
 
     const unsigned kIqSize = static_cast<unsigned>(
         args.raw.getInt("iq_size", 512));

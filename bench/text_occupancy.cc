@@ -17,8 +17,9 @@ using namespace sciq::bench;
 int
 main(int argc, char **argv)
 {
-    BenchArgs args =
-        parseArgs(argc, argv, {"mgrid", "vortex", "twolf", "swim"});
+    BenchArgs args = parseArgs(argc, argv,
+                               {"mgrid", "vortex", "twolf", "swim"},
+                               {"iq_size"});
     const unsigned kIqSize = static_cast<unsigned>(
         args.raw.getInt("iq_size", 512));
 

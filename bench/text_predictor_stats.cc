@@ -63,7 +63,7 @@ cell(double v)
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = parseArgs(argc, argv, workloadNames());
+    BenchArgs args = parseArgs(argc, argv, workloadNames(), {"iq_size"});
     const unsigned kIqSize = static_cast<unsigned>(
         args.raw.getInt("iq_size", 512));
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <numeric>
 
 #include "logging.hh"
 
@@ -90,6 +91,56 @@ ConfigMap::getBool(const std::string &key, bool def) const
         return false;
     fatal("config key '%s': '%s' is not a boolean", key.c_str(),
           it->second.c_str());
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Classic two-row Wagner-Fischer; option names are short, so the
+    // quadratic cost is irrelevant.
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    std::iota(prev.begin(), prev.end(), std::size_t{0});
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+closestKey(const std::string &key, const std::vector<std::string> &known)
+{
+    const std::size_t cutoff = std::max<std::size_t>(2, key.size() / 3);
+    std::string best;
+    std::size_t bestDist = cutoff + 1;
+    for (const std::string &candidate : known) {
+        const std::size_t d = editDistance(key, candidate);
+        if (d < bestDist) {
+            bestDist = d;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+std::string
+ConfigMap::unknownKeyMessage(const std::vector<std::string> &known) const
+{
+    for (const auto &[key, value] : values) {
+        if (std::find(known.begin(), known.end(), key) != known.end())
+            continue;
+        std::string msg = "unknown option '" + key + "'";
+        const std::string suggestion = closestKey(key, known);
+        if (!suggestion.empty())
+            msg += " (did you mean '" + suggestion + "'?)";
+        return msg;
+    }
+    return "";
 }
 
 } // namespace sciq

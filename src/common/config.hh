@@ -42,10 +42,29 @@ class ConfigMap
         return values;
     }
 
+    /**
+     * Check every present key against a list of known option names.
+     * Returns "" when all keys are known; otherwise a human-readable
+     * complaint for the first unknown key, with a "did you mean"
+     * suggestion when a known key is close enough (editDistance).
+     */
+    std::string unknownKeyMessage(
+        const std::vector<std::string> &known) const;
+
   private:
     std::map<std::string, std::string> values;
     std::vector<std::string> args;
 };
+
+/** Levenshtein edit distance between two option names. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The known key closest to `key` in edit distance, or "" when nothing
+ * is plausibly a typo (distance > max(2, |key|/3)).
+ */
+std::string closestKey(const std::string &key,
+                       const std::vector<std::string> &known);
 
 } // namespace sciq
 

@@ -1,0 +1,43 @@
+#include "errors.hh"
+
+#include <array>
+#include <utility>
+
+namespace sciq {
+
+namespace {
+
+constexpr std::array<std::pair<ErrorCode, const char *>, 8> kCodeNames{{
+    {ErrorCode::None, "none"},
+    {ErrorCode::Config, "config"},
+    {ErrorCode::Workload, "workload"},
+    {ErrorCode::Checkpoint, "checkpoint"},
+    {ErrorCode::Deadlock, "deadlock"},
+    {ErrorCode::Invariant, "invariant"},
+    {ErrorCode::Resource, "resource"},
+    {ErrorCode::Internal, "internal"},
+}};
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    for (const auto &[c, name] : kCodeNames) {
+        if (c == code)
+            return name;
+    }
+    return "internal";
+}
+
+ErrorCode
+errorCodeFromName(const std::string &name)
+{
+    for (const auto &[c, n] : kCodeNames) {
+        if (name == n)
+            return c;
+    }
+    return ErrorCode::Internal;
+}
+
+} // namespace sciq

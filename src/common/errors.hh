@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Structured simulation-error taxonomy (DESIGN.md §13).
+ *
+ * Every failure a sweep can encounter is classified by an ErrorCode and
+ * carried by a SimError subclass, so the sweep runner can contain it,
+ * decide whether a retry is worthwhile (transient I/O flakes are; a bad
+ * configuration never is), and surface the failure in machine-readable
+ * results instead of tearing down the whole batch.
+ *
+ * The split of responsibilities with logging.hh: panic()/PanicError is
+ * the low-level "the simulator itself is broken" escape hatch used by
+ * SCIQ_ASSERT; SimError is the *classified* layer the fault-containment
+ * machinery speaks.  The sweep runner maps stray PanicError/FatalError
+ * into the taxonomy (invariant/config) at its catch boundary.
+ */
+
+#ifndef SCIQ_COMMON_ERRORS_HH
+#define SCIQ_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace sciq {
+
+/** What went wrong, at the granularity recovery policy cares about. */
+enum class ErrorCode
+{
+    None,        ///< no error (JobOutcome of a successful run)
+    Config,      ///< bad user configuration (unknown key, bad range)
+    Workload,    ///< workload construction failed (unknown name, ...)
+    Checkpoint,  ///< checkpoint blob/file rejected or unwritable
+    Deadlock,    ///< watchdog: no forward progress / deadline exceeded
+    Invariant,   ///< internal invariant violated (auditor panic path)
+    Resource,    ///< host resource exhausted (memory, disk)
+    Internal,    ///< unclassified exception escaping a run
+};
+
+/** Stable lower-case name for JSON/journal output. */
+const char *errorCodeName(ErrorCode code);
+
+/** Parse errorCodeName output back; ErrorCode::Internal if unknown. */
+ErrorCode errorCodeFromName(const std::string &name);
+
+/**
+ * Base class of every classified simulation error.
+ *
+ * @param context  Captured diagnostic state (e.g. the watchdog's
+ *                 pipeline dump) - kept out of what() so log lines stay
+ *                 one line; artifact writers persist it separately.
+ * @param transient  True when a bounded retry has a chance of
+ *                 succeeding (disk I/O flakes); policy, not mechanism:
+ *                 the sweep runner is the only consumer.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorCode code, const std::string &msg,
+             std::string context = "", bool transient = false)
+        : std::runtime_error(msg), code_(code),
+          context_(std::move(context)), transient_(transient)
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+    bool transient() const { return transient_; }
+    const std::string &context() const { return context_; }
+
+    /** The failing job's sweep key, annotated by the sweep runner. */
+    const std::string &sweepKey() const { return sweepKey_; }
+    void setSweepKey(std::string key) { sweepKey_ = std::move(key); }
+
+  private:
+    ErrorCode code_;
+    std::string context_;
+    bool transient_;
+    std::string sweepKey_;
+};
+
+/** Bad user configuration: unknown key, out-of-range value, ... */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : SimError(ErrorCode::Config, msg)
+    {
+    }
+};
+
+/** Workload construction failed (unknown name, bad generator params). */
+class WorkloadError : public SimError
+{
+  public:
+    explicit WorkloadError(const std::string &msg)
+        : SimError(ErrorCode::Workload, msg)
+    {
+    }
+};
+
+/**
+ * Any reason a checkpoint cannot be written, read or applied.  I/O and
+ * data-corruption rejections are transient (a retry re-reads the disk
+ * or regenerates the blob); semantic mismatches (version, key hash,
+ * wrong program) are not - retrying cannot change them.
+ */
+class CheckpointError : public SimError
+{
+  public:
+    explicit CheckpointError(const std::string &msg, bool transient = false)
+        : SimError(ErrorCode::Checkpoint, msg, "", transient)
+    {
+    }
+};
+
+/**
+ * The watchdog aborted a run: no instruction committed for the
+ * configured window (wedged scheduler), or the wall-clock deadline
+ * expired (livelock / runaway configuration).  Carries the pipeline
+ * state dump captured at abort time.
+ */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(const std::string &msg, std::string state_dump,
+                  bool wall_clock = false)
+        : SimError(ErrorCode::Deadlock, msg, std::move(state_dump)),
+          wallClock_(wall_clock)
+    {
+    }
+
+    /** True when the wall-clock deadline (not the commit watchdog) fired. */
+    bool isTimeout() const { return wallClock_; }
+
+  private:
+    bool wallClock_;
+};
+
+/**
+ * An internal invariant was violated with audit_panic=1: the auditor's
+ * panic path, carrying the offending structure's dump as context.
+ */
+class InvariantError : public SimError
+{
+  public:
+    InvariantError(const std::string &msg, std::string state_dump = "")
+        : SimError(ErrorCode::Invariant, msg, std::move(state_dump))
+    {
+    }
+};
+
+/** Host resource exhaustion (memory, disk space). */
+class ResourceError : public SimError
+{
+  public:
+    explicit ResourceError(const std::string &msg, bool transient = true)
+        : SimError(ErrorCode::Resource, msg, "", transient)
+    {
+    }
+};
+
+} // namespace sciq
+
+#endif // SCIQ_COMMON_ERRORS_HH

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 #include "isa/disassembler.hh"
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "iq/fifo_iq.hh"
 #include "iq/ideal_iq.hh"
@@ -531,6 +533,12 @@ OooCore::doSquash()
 void
 OooCore::commitStage()
 {
+    // Injected fault: a commit stage that silently stops retiring - the
+    // failure mode a wedged scheduler presents - so the watchdog's
+    // detection path can be exercised deterministically.
+    if (params.faultCommitStallAt && curCycle >= params.faultCommitStallAt)
+        return;
+
     for (unsigned n = 0; n < params.commitWidth; ++n) {
         if (rob.empty())
             break;
@@ -592,6 +600,7 @@ OooCore::commitStage()
         inst->committed = true;
         rob.popFront();
         committedInsts.inc();
+        lastCommitCycle = curCycle;
         if (observer)
             observer->onCommit(*inst, curCycle);
 
@@ -679,6 +688,15 @@ OooCore::debugDump(std::ostream &os) const
     }
 }
 
+void
+OooCore::dumpPipelineState(std::ostream &os) const
+{
+    debugDump(os);
+    os << "lsq=" << lsq->size() << " busy=" << (lsq->busy() ? 1 : 0)
+       << " storeQueueSpec=" << storeQueueSpec.size() << "\n";
+    iq->dumpState(os);
+}
+
 std::uint64_t
 OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
 {
@@ -688,6 +706,17 @@ OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
     while (!haltCommitted && committedCount() - start < max_insts &&
            curCycle < cycle_limit) {
         tick();
+        if (params.watchdogCycles &&
+            curCycle - lastCommitCycle >= params.watchdogCycles) {
+            std::ostringstream dump;
+            dumpPipelineState(dump);
+            throw DeadlockError(
+                "watchdog: no instruction committed for " +
+                    std::to_string(curCycle - lastCommitCycle) +
+                    " cycles (cycle " + std::to_string(curCycle) +
+                    ", committed " + std::to_string(committedCount()) + ")",
+                dump.str());
+        }
     }
     return committedCount() - start;
 }

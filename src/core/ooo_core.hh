@@ -82,6 +82,22 @@ struct CoreParams
     bool modelWrongPath = true;
 
     /**
+     * Deadlock watchdog: abort run() with a DeadlockError (carrying a
+     * pipeline state dump) if no instruction commits for this many
+     * consecutive cycles.  0 disables.  The default window is far above
+     * any legitimate stall (a full-ROB chain of L2 misses resolves in
+     * thousands of cycles, not a million) so real runs never trip it.
+     */
+    Cycle watchdogCycles = 1'000'000;
+
+    /**
+     * Test-only fault: starting at this cycle the commit stage retires
+     * nothing, forever.  0 disables.  Proves the watchdog detection
+     * path fires (DESIGN.md §13).
+     */
+    Cycle faultCommitStallAt = 0;
+
+    /**
      * Pre-install the program's code lines in the L1I (and the L2),
      * modelling measurement from a warm checkpoint as the paper does.
      */
@@ -130,6 +146,12 @@ class OooCore
 
     /** Diagnostic snapshot of pipeline state (stall debugging). */
     void debugDump(std::ostream &os) const;
+
+    /**
+     * debugDump plus LSQ occupancy and the IQ design's internal state -
+     * the artifact a DeadlockError carries (DESIGN.md §13).
+     */
+    void dumpPipelineState(std::ostream &os) const;
 
     /**
      * Seed architectural state before the first cycle - used by the
@@ -286,6 +308,7 @@ class OooCore
     unsigned inFlightExec = 0;
 
     Cycle curCycle = 0;
+    Cycle lastCommitCycle = 0;  ///< watchdog: last cycle that retired
     SeqNum nextSeq = 1;
     bool haltCommitted = false;
     unsigned issuedThisCycleCount = 0;

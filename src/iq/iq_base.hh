@@ -10,6 +10,7 @@
 
 #include <array>
 #include <functional>
+#include <iosfwd>
 
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
@@ -132,6 +133,14 @@ class IqBase
 
     virtual std::size_t occupancy() const = 0;
     virtual bool empty() const { return occupancy() == 0; }
+
+    /**
+     * Append a human-readable dump of internal scheduler state to `os`
+     * (the watchdog embeds it in DeadlockError diagnostics).  The base
+     * implementation prints nothing; designs with interesting state
+     * (per-segment chains) override.
+     */
+    virtual void dumpState(std::ostream &) const {}
 
     /** Extra dispatch pipeline stages this design needs (paper: 1). */
     virtual unsigned extraDispatchCycles() const { return 0; }

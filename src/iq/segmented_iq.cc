@@ -760,6 +760,20 @@ SegmentedIq::dumpSegment(std::ostream &os, unsigned k) const
 }
 
 void
+SegmentedIq::dumpState(std::ostream &os) const
+{
+    os << "segmented iq: occ=" << totalOcc << "/" << params.numEntries
+       << " chains=" << chains.inUse() << "(peak " << chains.peak() << ")"
+       << " activeSegments=" << activeSegments << "/" << segments.size()
+       << " deadlockCycles="
+       << static_cast<std::uint64_t>(deadlockCycles.value())
+       << " deadlockRecoveries="
+       << static_cast<std::uint64_t>(deadlockRecoveries.value()) << "\n";
+    for (unsigned k = 0; k < segments.size(); ++k)
+        dumpSegment(os, k);
+}
+
+void
 SegmentedIq::tick(Cycle cycle, bool core_busy)
 {
     const unsigned n = static_cast<unsigned>(segments.size());

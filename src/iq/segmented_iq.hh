@@ -106,6 +106,9 @@ class SegmentedIq : public IqBase
     /** Pipe-trace-style dump of one segment's entries (audit panics). */
     void dumpSegment(std::ostream &os, unsigned k) const;
 
+    /** Every segment plus chain-allocator state (watchdog dumps). */
+    void dumpState(std::ostream &os) const override;
+
     // --- Statistics (Table 2, Figure 2 and section 6 text) ---------------
     stats::Scalar chainsCreated;
     stats::Scalar headsFromLoads;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "core/ooo_core.hh"
 #include "iq/ideal_iq.hh"
@@ -65,9 +66,10 @@ Auditor::violation(stats::Scalar &counter, const char *invariant,
     counter.inc();
     ++total_;
     if (panicOnViolation_) {
-        panic("audit: invariant '%s' violated at cycle %llu\n%s",
-              invariant, static_cast<unsigned long long>(cycle),
-              detail.c_str());
+        throw InvariantError("audit: invariant '" + std::string(invariant) +
+                                 "' violated at cycle " +
+                                 std::to_string(cycle),
+                             detail);
     }
     if (total_ <= kMaxWarnings) {
         warn("audit: invariant '%s' violated at cycle %llu\n%s",

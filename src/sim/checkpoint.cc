@@ -140,8 +140,9 @@ restoreCheckpoint(const std::string &blob, const SimConfig &config,
 {
     if (blob.size() < 8 + 4 + 8 + 8) {
         throw CheckpointError("checkpoint truncated: " +
-                              std::to_string(blob.size()) +
-                              " bytes is smaller than any valid header");
+                                  std::to_string(blob.size()) +
+                                  " bytes is smaller than any valid header",
+                              /*transient=*/true);
     }
     if (blob.compare(0, 8, kMagic, 8) != 0)
         throw CheckpointError("not a checkpoint (bad magic)");
@@ -164,7 +165,8 @@ restoreCheckpoint(const std::string &blob, const SimConfig &config,
         serial::Reader tr(std::string_view(blob).substr(payload_len));
         if (tr.u64() != blobTrailer(blob, payload_len)) {
             throw CheckpointError(
-                "checkpoint checksum mismatch (corrupted file)");
+                "checkpoint checksum mismatch (corrupted file)",
+                /*transient=*/true);
         }
 
         const std::uint64_t key = r.u64();
@@ -225,7 +227,8 @@ restoreCheckpoint(const std::string &blob, const SimConfig &config,
         return ff;
     } catch (const serial::Error &e) {
         throw CheckpointError(std::string("malformed checkpoint: ") +
-                              e.what());
+                                  e.what(),
+                              /*transient=*/true);
     }
 }
 
@@ -249,14 +252,14 @@ writeCheckpointFile(const std::string &path, const std::string &blob)
                                static_cast<std::streamsize>(blob.size()))) {
             fs::remove(tmp, ec);
             throw CheckpointError("cannot write checkpoint file '" + tmp +
-                                  "'");
+                                      "'", /*transient=*/true);
         }
     }
     fs::rename(tmp, target, ec);
     if (ec) {
         fs::remove(tmp, ec);
         throw CheckpointError("cannot move checkpoint into place at '" +
-                              path + "'");
+                                  path + "'", /*transient=*/true);
     }
 }
 
@@ -270,7 +273,7 @@ readCheckpointFile(const std::string &path)
                      std::istreambuf_iterator<char>());
     if (!in.good() && !in.eof())
         throw CheckpointError("I/O error reading checkpoint file '" + path +
-                              "'");
+                                  "'", /*transient=*/true);
     return blob;
 }
 

@@ -34,21 +34,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
+#include "common/errors.hh"
 #include "sim/fast_forward.hh"
 #include "sim/sim_config.hh"
 
 namespace sciq {
 
-/** Any reason a checkpoint cannot be written, read or applied. */
-class CheckpointError : public std::runtime_error
-{
-  public:
-    using std::runtime_error::runtime_error;
-};
+// CheckpointError lives in common/errors.hh as part of the structured
+// error taxonomy (DESIGN.md §13); re-exported here for its users.
 
 /** Format version; bump on any layout change. */
 constexpr std::uint32_t kCheckpointVersion = 1;

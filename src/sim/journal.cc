@@ -1,0 +1,226 @@
+#include "journal.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/errors.hh"
+#include "sim/run_result_fields.hh"
+
+namespace sciq {
+
+std::string
+sweepKey(const SimConfig &config)
+{
+    const CoreParams &c = config.core;
+    const IqParams &iq = c.iq;
+    std::ostringstream os;
+    os << "workload=" << config.workload << " iters=" << config.wl.iterations
+       << " seed=" << config.wl.seed << " scale=" << config.wl.scale
+       << " iq=" << iqKindName(c.iqKind) << " iq_size=" << iq.numEntries;
+    switch (c.iqKind) {
+      case IqKind::Segmented:
+        os << " seg_size=" << iq.segmentSize << " chains=" << iq.maxChains
+           << " hmp=" << iq.useHmp << " lrp=" << iq.useLrp
+           << " pushdown=" << iq.enablePushdown
+           << " bypass=" << iq.enableBypass << " resize=" << iq.dynamicResize;
+        break;
+      case IqKind::Prescheduled:
+        os << " line_width=" << iq.preschedLineWidth
+           << " issue_buffer=" << iq.issueBufferSize;
+        break;
+      case IqKind::Fifo:
+        os << " fifos=" << iq.numFifos << " depth=" << iq.fifoDepth;
+        break;
+      case IqKind::Ideal:
+        break;
+    }
+    os << " ff=" << config.fastForward << " max_cycles=" << config.maxCycles;
+    return os.str();
+}
+
+namespace {
+
+/** Compact writer over the shared field list. */
+struct CompactWriter
+{
+    std::ostream &os;
+    bool first = true;
+
+    void
+    sep(const char *key)
+    {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << key << "\":";
+    }
+
+
+    void str(const char *key, const std::string &v)
+    {
+        sep(key);
+        json::writeString(os, v);
+    }
+    void uns(const char *key, unsigned v) { sep(key); os << v; }
+    void i(const char *key, int v) { sep(key); os << v; }
+    void u64(const char *key, std::uint64_t v) { sep(key); os << v; }
+    void num(const char *key, double v) { sep(key); json::writeNumber(os, v); }
+    void b(const char *key, bool v) { sep(key); os << (v ? "true" : "false"); }
+};
+
+/** Parser counterpart: pulls each field out of a json object. */
+struct FieldReader
+{
+    const json::Value &obj;
+
+    void
+    str(const char *key, std::string &v)
+    {
+        if (obj.contains(key))
+            v = obj.at(key).asString();
+    }
+    void
+    uns(const char *key, unsigned &v)
+    {
+        if (obj.contains(key))
+            v = static_cast<unsigned>(obj.at(key).asNumber());
+    }
+    void
+    i(const char *key, int &v)
+    {
+        if (obj.contains(key))
+            v = static_cast<int>(obj.at(key).asNumber());
+    }
+    void
+    u64(const char *key, std::uint64_t &v)
+    {
+        if (obj.contains(key))
+            v = static_cast<std::uint64_t>(obj.at(key).asNumber());
+    }
+    void
+    num(const char *key, double &v)
+    {
+        if (!obj.contains(key))
+            return;
+        // `null` is the tree-wide encoding of an undefined rate
+        // (json::writeNumber); read it back as a quiet NaN.
+        const json::Value &f = obj.at(key);
+        v = f.isNull() ? std::nan("") : f.asNumber();
+    }
+    void
+    b(const char *key, bool &v)
+    {
+        if (obj.contains(key))
+            v = obj.at(key).asBool();
+    }
+};
+
+} // namespace
+
+void
+writeResultCompactJson(std::ostream &os, const RunResult &r)
+{
+    os << "{";
+    CompactWriter w{os};
+    visitRunResultFields(w, r);
+    w.sep("outcome");
+    json::writeString(os, jobStatusName(r.outcome.status));
+    w.sep("error_code");
+    json::writeString(os, errorCodeName(r.outcome.code));
+    w.sep("error_msg");
+    json::writeString(os, r.outcome.message);
+    w.sep("attempts");
+    os << r.outcome.attempts;
+    os << "}";
+}
+
+RunResult
+resultFromJson(const json::Value &obj)
+{
+    RunResult r;
+    FieldReader reader{obj};
+    visitRunResultFields(reader, r);
+    if (obj.contains("outcome"))
+        r.outcome.status = jobStatusFromName(obj.at("outcome").asString());
+    if (obj.contains("error_code"))
+        r.outcome.code = errorCodeFromName(obj.at("error_code").asString());
+    if (obj.contains("error_msg"))
+        r.outcome.message = obj.at("error_msg").asString();
+    if (obj.contains("attempts")) {
+        r.outcome.attempts =
+            static_cast<unsigned>(obj.at("attempts").asNumber());
+    }
+    return r;
+}
+
+std::vector<JournalEntry>
+loadJournal(const std::string &path)
+{
+    std::vector<JournalEntry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JournalEntry entry;
+        try {
+            const json::Value v = json::parse(line);
+            entry.index = static_cast<std::size_t>(v.at("index").asNumber());
+            entry.key = v.at("key").asString();
+            entry.result = resultFromJson(v.at("result"));
+        } catch (const std::exception &) {
+            // A killed writer leaves at most one truncated tail line;
+            // anything unparseable is simply not a finished job.
+            continue;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+ResultJournal::ResultJournal(const std::string &path)
+    : path_(path)
+{
+    // A writer killed mid-record leaves a torn tail line with no
+    // newline; appending straight after it would corrupt the first new
+    // record too.  Start on a fresh line instead.
+    bool needNewline = false;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            needNewline = in.get() != '\n';
+        }
+    }
+    out_.open(path, std::ios::app);
+    if (!out_) {
+        throw ResourceError("cannot open result journal '" + path +
+                            "' for append");
+    }
+    if (needNewline)
+        out_ << '\n';
+}
+
+void
+ResultJournal::record(std::size_t index, const std::string &key,
+                      const RunResult &result)
+{
+    std::ostringstream line;
+    line << "{\"index\":" << index << ",\"key\":";
+    json::writeString(line, key);
+    line << ",\"result\":";
+    writeResultCompactJson(line, result);
+    line << "}";
+
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << line.str() << '\n';
+    out_.flush();
+    if (!out_) {
+        throw ResourceError("write to result journal '" + path_ +
+                            "' failed");
+    }
+}
+
+} // namespace sciq

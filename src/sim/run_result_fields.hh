@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Single source of truth for RunResult's serialized fields.
+ *
+ * Three consumers must agree on the exact field list and names: the
+ * pretty array writer in sweep.cc (`bench_out=` files), the compact
+ * journal writer in journal.cc (JSONL), and the journal parser that
+ * reconstructs a RunResult on resume.  A drift between them would make
+ * resumed sweeps silently non-identical to uninterrupted ones, so all
+ * three iterate this one visitor.
+ *
+ * The visitor receives typed callbacks; RunResult's constness follows
+ * the template argument, so the same function body serves writers
+ * (const RunResult &) and the parser (RunResult &).
+ */
+
+#ifndef SCIQ_SIM_RUN_RESULT_FIELDS_HH
+#define SCIQ_SIM_RUN_RESULT_FIELDS_HH
+
+#include "sim/simulator.hh"
+
+namespace sciq {
+
+template <typename V, typename R>
+void
+visitRunResultFields(V &&v, R &r)
+{
+    v.str("workload", r.workload);
+    v.str("iq_kind", r.iqKind);
+    v.uns("iq_size", r.iqSize);
+    v.i("chains", r.chains);
+    v.u64("cycles", r.cycles);
+    v.u64("insts", r.insts);
+    v.num("ipc", r.ipc);
+    v.num("avg_chains", r.avgChains);
+    v.num("peak_chains", r.peakChains);
+    v.num("hmp_accuracy", r.hmpAccuracy);
+    v.num("hmp_coverage", r.hmpCoverage);
+    v.num("lrp_mispredict_rate", r.lrpMispredictRate);
+    v.num("branch_mispredict_rate", r.branchMispredictRate);
+    v.num("iq_occupancy_avg", r.iqOccupancyAvg);
+    v.num("seg0_ready_avg", r.seg0ReadyAvg);
+    v.num("seg0_occupancy_avg", r.seg0OccupancyAvg);
+    v.num("deadlock_cycle_frac", r.deadlockCycleFrac);
+    v.num("two_outstanding_frac", r.twoOutstandingFrac);
+    v.num("heads_from_loads_frac", r.headsFromLoadsFrac);
+    v.num("l1d_miss_rate", r.l1dMissRate);
+    v.num("l1d_delayed_hit_frac", r.l1dDelayedHitFrac);
+    v.num("seg_active_avg", r.segActiveAvg);
+    v.num("seg_cycles_active", r.segCyclesActive);
+    v.num("host_seconds", r.hostSeconds);
+    v.num("host_kcycles_per_sec", r.hostKcyclesPerSec);
+    v.num("host_kinsts_per_sec", r.hostKinstsPerSec);
+    v.u64("audit_violations", r.auditViolations);
+    v.b("ckpt_restored", r.ckptRestored);
+    v.b("validated", r.validated);
+    v.b("halted_cleanly", r.haltedCleanly);
+    // JobOutcome (DESIGN.md §13): serialized explicitly by each
+    // consumer because status/code are enums with string encodings.
+}
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_RUN_RESULT_FIELDS_HH

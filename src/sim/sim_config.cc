@@ -1,5 +1,8 @@
 #include "sim_config.hh"
 
+#include "sim/fault_injector.hh"
+
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace sciq {
@@ -18,7 +21,7 @@ SimConfig::apply(const ConfigMap &cfg)
         else if (kind == "fifo")
             core.iqKind = IqKind::Fifo;
         else
-            fatal("unknown iq kind '%s'", kind.c_str());
+            throw ConfigError("unknown iq kind '" + kind + "'");
     }
     core.iq.numEntries = static_cast<unsigned>(
         cfg.getInt("iq_size", core.iq.numEntries));
@@ -59,6 +62,27 @@ SimConfig::apply(const ConfigMap &cfg)
         cfg.getInt("ff", static_cast<std::int64_t>(fastForward)));
     ckptFile = cfg.getString("ckpt", ckptFile);
     ckptDir = cfg.getString("ckpt_dir", ckptDir);
+
+    core.watchdogCycles = static_cast<Cycle>(cfg.getInt(
+        "watchdog_cycles", static_cast<std::int64_t>(core.watchdogCycles)));
+    deadlineSec = cfg.getDouble("deadline_sec", deadlineSec);
+
+    // Fault-injection keys (DESIGN.md §13).  `fault_commit_stall` and
+    // `fault_overpromote` configure faults that live inside the core;
+    // the blob/disk faults build a FaultInjector on demand.
+    core.faultCommitStallAt = static_cast<Cycle>(cfg.getInt(
+        "fault_commit_stall",
+        static_cast<std::int64_t>(core.faultCommitStallAt)));
+    core.iq.auditInjectOverPromote = cfg.getBool(
+        "fault_overpromote", core.iq.auditInjectOverPromote);
+    if (cfg.has("fault_ckpt_corrupt") || cfg.has("fault_disk_fail")) {
+        if (!faults) {
+            faults = std::make_shared<FaultInjector>(static_cast<
+                std::uint64_t>(cfg.getInt("fault_seed", 1)));
+        }
+        faults->corruptCkptReads = cfg.getInt("fault_ckpt_corrupt", 0);
+        faults->failDiskWrites = cfg.getInt("fault_disk_fail", 0);
+    }
 }
 
 void

@@ -18,6 +18,7 @@
 namespace sciq {
 
 class CheckpointCache;
+class FaultInjector;
 
 struct SimConfig
 {
@@ -27,6 +28,15 @@ struct SimConfig
 
     /** Safety cap so misconfigured runs terminate. */
     Cycle maxCycles = 20'000'000;
+
+    /**
+     * Wall-clock deadline for the timed run (key: `deadline_sec=`);
+     * 0 disables.  Exceeding it throws a DeadlockError flagged as a
+     * timeout, which the sweep runner records as JobOutcome::Timeout.
+     * Implemented by chunking the core's run loop, which is
+     * tick-for-tick identical to an unchunked run.
+     */
+    double deadlineSec = 0.0;
 
     /** Compare committed state against the functional simulator. */
     bool validate = true;
@@ -71,6 +81,13 @@ struct SimConfig
      * ckptDir: a cache constructed with a directory covers both.
      */
     std::shared_ptr<CheckpointCache> ckptCache;
+
+    /**
+     * Optional fault injector (keys: `fault_seed=`, `fault_ckpt_corrupt=`,
+     * `fault_disk_fail=`; see fault_injector.hh).  Shared across a
+     * job's retries so fault budgets span them.
+     */
+    std::shared_ptr<FaultInjector> faults;
 
     /**
      * Apply key=value overrides, e.g.

@@ -1,7 +1,9 @@
 #include "simulator.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "iq/segmented_iq.hh"
@@ -9,8 +11,30 @@
 #include "sim/audit.hh"
 #include "sim/checkpoint.hh"
 #include "sim/fast_forward.hh"
+#include "sim/fault_injector.hh"
 
 namespace sciq {
+
+const char *
+jobStatusName(JobOutcome::Status status)
+{
+    switch (status) {
+      case JobOutcome::Status::Ok: return "ok";
+      case JobOutcome::Status::Failed: return "failed";
+      case JobOutcome::Status::Timeout: return "timeout";
+    }
+    return "failed";
+}
+
+JobOutcome::Status
+jobStatusFromName(const std::string &name)
+{
+    if (name == "ok")
+        return JobOutcome::Status::Ok;
+    if (name == "timeout")
+        return JobOutcome::Status::Timeout;
+    return JobOutcome::Status::Failed;
+}
 
 Simulator::Simulator(const SimConfig &cfg) : config(cfg)
 {
@@ -61,9 +85,17 @@ Simulator::warmUp(bool &restored)
         } catch (const CheckpointError &) {
             // Not there yet: fast-forward cold and save it.
             FastForwardStats ff = coldFfAndBlob(blob);
+            if (config.faults && config.faults->takeDiskWriteFault()) {
+                throw CheckpointError(
+                    "injected disk-write failure for '" + config.ckptFile +
+                        "'",
+                    /*transient=*/true);
+            }
             writeCheckpointFile(config.ckptFile, blob);
             return ff.instsSkipped;
         }
+        if (config.faults && config.faults->takeCorruptRead())
+            config.faults->corrupt(blob);
         const FastForwardStats ff =
             restoreCheckpoint(blob, config, *program_, *core_);
         restored = true;
@@ -81,9 +113,16 @@ Simulator::warmUp(bool &restored)
     const std::uint64_t key = checkpointKeyHash(config);
     CheckpointCache::Blob blob = cache->findOrBegin(key);
     if (blob) {
+        std::string damaged;
+        const std::string *bytes = blob.get();
+        if (config.faults && config.faults->takeCorruptRead()) {
+            damaged = *blob;
+            config.faults->corrupt(damaged);
+            bytes = &damaged;
+        }
         try {
             const FastForwardStats ff =
-                restoreCheckpoint(*blob, config, *program_, *core_);
+                restoreCheckpoint(*bytes, config, *program_, *core_);
             restored = true;
             return ff.instsSkipped;
         } catch (const CheckpointError &e) {
@@ -102,6 +141,11 @@ Simulator::warmUp(bool &restored)
     try {
         std::string fresh;
         FastForwardStats ff = coldFfAndBlob(fresh);
+        if (config.faults && config.faults->takeDiskWriteFault()) {
+            throw CheckpointError("injected disk-write failure publishing "
+                                  "checkpoint",
+                                  /*transient=*/true);
+        }
         cache->publish(key, std::move(fresh));
         return ff.instsSkipped;
     } catch (...) {
@@ -122,7 +166,32 @@ Simulator::run()
     // and golden-model validation are excluded so the number tracks the
     // tick path the ROADMAP's throughput work targets.
     const auto host_start = std::chrono::steady_clock::now();
-    core_->run(~0ULL, config.maxCycles);
+    if (config.deadlineSec > 0.0) {
+        // Chunk the core loop so the deadline is polled off the hot
+        // path; the chunked run is tick-for-tick identical.
+        const auto deadline =
+            host_start + std::chrono::duration<double>(config.deadlineSec);
+        constexpr Cycle kChunk = 1u << 16;
+        Cycle remaining = config.maxCycles;
+        while (!core_->halted() && remaining > 0) {
+            const Cycle step = std::min<Cycle>(kChunk, remaining);
+            core_->run(~0ULL, step);
+            remaining -= step;
+            if (std::chrono::steady_clock::now() >= deadline &&
+                !core_->halted() && remaining > 0) {
+                std::ostringstream dump;
+                core_->dumpPipelineState(dump);
+                throw DeadlockError(
+                    "wall-clock deadline of " +
+                        std::to_string(config.deadlineSec) +
+                        "s exceeded at cycle " +
+                        std::to_string(core_->cycles()),
+                    dump.str(), /*wall_clock=*/true);
+            }
+        }
+    } else {
+        core_->run(~0ULL, config.maxCycles);
+    }
     const std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;
 

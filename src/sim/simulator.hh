@@ -13,11 +13,38 @@
 #include <ostream>
 #include <string>
 
+#include "common/errors.hh"
 #include "sim/sim_config.hh"
 
 namespace sciq {
 
 class Auditor;
+
+/**
+ * How a sweep job ended (DESIGN.md §13).  A default-constructed
+ * outcome means Ok so results produced outside the sweep runner
+ * (direct runSim calls) stay valid.
+ */
+struct JobOutcome
+{
+    enum class Status
+    {
+        Ok,      ///< run completed; stats fields are meaningful
+        Failed,  ///< an error was contained; see code/message
+        Timeout, ///< wall-clock deadline exceeded (DeadlockError timeout)
+    };
+
+    Status status = Status::Ok;
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+    unsigned attempts = 1;  ///< 1 = succeeded/failed first try
+
+    bool ok() const { return status == Status::Ok; }
+    bool retried() const { return attempts > 1; }
+};
+
+const char *jobStatusName(JobOutcome::Status status);
+JobOutcome::Status jobStatusFromName(const std::string &name);
 
 /** Everything the benchmark harnesses report, in one POD. */
 struct RunResult
@@ -78,6 +105,14 @@ struct RunResult
 
     bool validated = false;
     bool haltedCleanly = false;
+
+    /**
+     * Fault containment: how the sweep job that produced this result
+     * ended.  On Failed/Timeout the identity fields (workload, IQ
+     * kind/size/chains) are filled from the config and every stat is
+     * zero - the job appears in tables with its error, never vanishes.
+     */
+    JobOutcome outcome;
 };
 
 class Simulator

@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/journal.hh"
+#include "sim/run_result_fields.hh"
 
 namespace sciq {
 
@@ -20,44 +28,224 @@ SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
     }
 }
 
+namespace {
+
+/** The in-flight exception, classified through the taxonomy. */
+struct Classified
+{
+    ErrorCode code = ErrorCode::Internal;
+    bool transient = false;
+    bool timeout = false;
+    std::string message;
+    std::string context;  ///< captured state dump, if the error had one
+};
+
+Classified
+classify(std::exception_ptr ep)
+{
+    Classified c;
+    try {
+        std::rethrow_exception(ep);
+    } catch (const DeadlockError &e) {
+        c.code = e.code();
+        c.timeout = e.isTimeout();
+        c.message = e.what();
+        c.context = e.context();
+    } catch (const SimError &e) {
+        c.code = e.code();
+        c.transient = e.transient();
+        c.message = e.what();
+        c.context = e.context();
+    } catch (const std::bad_alloc &) {
+        c.code = ErrorCode::Resource;
+        c.message = "out of memory";
+    } catch (const PanicError &e) {
+        // Unclassified panic (SCIQ_ASSERT): an internal invariant.
+        c.code = ErrorCode::Invariant;
+        c.message = e.what();
+    } catch (const FatalError &e) {
+        c.code = ErrorCode::Config;
+        c.message = e.what();
+    } catch (const std::exception &e) {
+        c.message = e.what();
+    } catch (...) {
+        c.message = "unknown exception";
+    }
+    return c;
+}
+
+/** A Failed/Timeout row: config identity, zero stats, the outcome. */
+RunResult
+failedResult(const SimConfig &config, const Classified &c, unsigned attempts)
+{
+    RunResult r;
+    r.workload = config.workload;
+    r.iqKind = iqKindName(config.core.iqKind);
+    r.iqSize = config.core.iq.numEntries;
+    r.chains = config.core.iqKind == IqKind::Segmented
+                   ? config.core.iq.maxChains
+                   : -1;
+    r.outcome.status = c.timeout ? JobOutcome::Status::Timeout
+                                 : JobOutcome::Status::Failed;
+    r.outcome.code = c.code;
+    r.outcome.message = c.message;
+    r.outcome.attempts = attempts;
+    return r;
+}
+
+/**
+ * Persist a failure's captured context (e.g. the watchdog's pipeline
+ * dump) under the artifact directory.  Best-effort: artifact I/O
+ * trouble must never turn a contained failure into a fatal one.
+ */
+void
+writeArtifact(const std::string &dir, std::size_t index,
+              const Classified &c, const std::string &key)
+{
+    if (dir.empty() || c.context.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/job" + std::to_string(index) + "-" +
+                             errorCodeName(c.code) + ".dump";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write failure artifact '%s'", path.c_str());
+        return;
+    }
+    out << "sweep key: " << key << "\nerror: " << c.message << "\n\n"
+        << c.context;
+    inform("wrote failure artifact %s", path.c_str());
+}
+
+/**
+ * Run one job with bounded retry-with-backoff for transient errors.
+ * Never throws: every exception ends up in the returned outcome.
+ */
+RunResult
+executeJob(const SimConfig &config, const std::string &key,
+           std::size_t index, const SweepRunner::Options &options)
+{
+    for (unsigned attempt = 1;; ++attempt) {
+        std::exception_ptr ep;
+        try {
+            RunResult r = runSim(config);
+            r.outcome.attempts = attempt;
+            return r;
+        } catch (...) {
+            ep = std::current_exception();
+        }
+        Classified c = classify(ep);
+        if (c.transient && attempt <= options.maxRetries) {
+            warn("job %zu (%s): transient %s error, retrying "
+                 "(attempt %u/%u): %s",
+                 index, key.c_str(), errorCodeName(c.code), attempt,
+                 options.maxRetries + 1, c.message.c_str());
+            if (options.backoffMs) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    options.backoffMs << (attempt - 1)));
+            }
+            continue;
+        }
+        warn("job %zu (%s) %s: [%s] %s", index, key.c_str(),
+             c.timeout ? "timed out" : "failed", errorCodeName(c.code),
+             c.message.c_str());
+        writeArtifact(options.artifactDir, index, c, key);
+        return failedResult(config, c, attempt);
+    }
+}
+
+} // namespace
+
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SimConfig> &configs,
                  const Progress &progress) const
 {
+    Options options;
+    options.progress = progress;
+    return run(configs, options);
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SimConfig> &configs,
+                 const Options &options_in) const
+{
+    Options options = options_in;
+    if (options.artifactDir.empty()) {
+        if (const char *env = std::getenv("SCIQ_ARTIFACT_DIR"))
+            options.artifactDir = env;
+    }
+
     const std::size_t total = configs.size();
     std::vector<RunResult> results(total);
+    std::vector<std::string> keys(total);
+    for (std::size_t i = 0; i < total; ++i)
+        keys[i] = sweepKey(configs[i]);
+
+    // Resume: reuse journaled-ok entries whose identity still matches;
+    // failed/timeout/missing/mismatched jobs run again.  Later journal
+    // lines supersede earlier ones with the same index.
+    std::vector<char> have(total, 0);
+    std::unique_ptr<ResultJournal> journal;
+    if (!options.journal.empty()) {
+        for (JournalEntry &entry : loadJournal(options.journal)) {
+            if (entry.index >= total || keys[entry.index] != entry.key)
+                continue;
+            if (entry.result.outcome.ok()) {
+                results[entry.index] = std::move(entry.result);
+                have[entry.index] = 1;
+            } else {
+                have[entry.index] = 0;
+            }
+        }
+        journal = std::make_unique<ResultJournal>(options.journal);
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        if (!have[i])
+            pending.push_back(i);
+    }
+
+    std::atomic<std::size_t> done{total - pending.size()};
+    std::mutex progressMutex;
+
+    auto runOne = [&](std::size_t i) {
+        RunResult r = executeJob(configs[i], keys[i], i, options);
+        if (journal)
+            journal->record(i, keys[i], r);
+        results[i] = std::move(r);
+        const std::size_t n = done.fetch_add(1) + 1;
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            options.progress(n, total, results[i]);
+        }
+    };
 
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, total));
+        std::min<std::size_t>(jobs_, pending.size()));
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < total; ++i) {
-            results[i] = runSim(configs[i]);
-            if (progress)
-                progress(i + 1, total, results[i]);
-        }
+        for (std::size_t i : pending)
+            runOne(i);
         return results;
     }
 
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex progressMutex;
     std::vector<std::exception_ptr> errors(workers);
 
     auto worker = [&](unsigned id) {
+        // executeJob never throws; anything caught here is harness
+        // trouble (e.g. journal I/O), reported after the other workers
+        // have drained the queue so no completed result is lost.
         try {
             for (;;) {
-                const std::size_t i =
+                const std::size_t slot =
                     next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= total)
+                if (slot >= pending.size())
                     return;
-                results[i] = runSim(configs[i]);
-                const std::size_t n =
-                    done.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (progress) {
-                    std::lock_guard<std::mutex> lock(progressMutex);
-                    progress(n, total, results[i]);
-                }
+                runOne(pending[slot]);
             }
         } catch (...) {
             errors[id] = std::current_exception();
@@ -80,18 +268,42 @@ SweepRunner::run(const std::vector<SimConfig> &configs,
 
 namespace {
 
-/**
- * One numeric field.  json::writeNumber emits `null` for nan/inf
- * (e.g. hmp_accuracy on a run with no HMP-eligible loads), keeping
- * the output strictly RFC 8259 parseable.
- */
-void
-jsonField(std::ostream &os, const char *key, double v, bool last = false)
+/** Pretty writer over the shared field list (4-space indent). */
+struct PrettyWriter
 {
-    os << "    \"" << key << "\": ";
-    json::writeNumber(os, v);
-    os << (last ? "\n" : ",\n");
-}
+    std::ostream &os;
+
+    void
+    str(const char *key, const std::string &v)
+    {
+        os << "    \"" << key << "\": ";
+        json::writeString(os, v);
+        os << ",\n";
+    }
+    void uns(const char *key, unsigned v) { line(key) << v << ",\n"; }
+    void i(const char *key, int v) { line(key) << v << ",\n"; }
+    void u64(const char *key, std::uint64_t v) { line(key) << v << ",\n"; }
+    void
+    num(const char *key, double v)
+    {
+        // json::writeNumber emits `null` for nan/inf (e.g. hmp_accuracy
+        // on a run with no HMP-eligible loads), keeping the output
+        // strictly RFC 8259 parseable.
+        line(key);
+        json::writeNumber(os, v);
+        os << ",\n";
+    }
+    void
+    b(const char *key, bool v)
+    {
+        line(key) << (v ? "true" : "false") << ",\n";
+    }
+
+    std::ostream &line(const char *key)
+    {
+        return os << "    \"" << key << "\": ";
+    }
+};
 
 } // namespace
 
@@ -102,42 +314,18 @@ writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &r = results[i];
         os << "  {\n";
-        os << "    \"workload\": ";
-        json::writeString(os, r.workload);
-        os << ",\n    \"iq_kind\": ";
-        json::writeString(os, r.iqKind);
+        PrettyWriter w{os};
+        visitRunResultFields(w, r);
+        w.line("outcome");
+        json::writeString(os, jobStatusName(r.outcome.status));
         os << ",\n";
-        os << "    \"iq_size\": " << r.iqSize << ",\n";
-        os << "    \"chains\": " << r.chains << ",\n";
-        os << "    \"cycles\": " << r.cycles << ",\n";
-        os << "    \"insts\": " << r.insts << ",\n";
-        jsonField(os, "ipc", r.ipc);
-        jsonField(os, "avg_chains", r.avgChains);
-        jsonField(os, "peak_chains", r.peakChains);
-        jsonField(os, "hmp_accuracy", r.hmpAccuracy);
-        jsonField(os, "hmp_coverage", r.hmpCoverage);
-        jsonField(os, "lrp_mispredict_rate", r.lrpMispredictRate);
-        jsonField(os, "branch_mispredict_rate", r.branchMispredictRate);
-        jsonField(os, "iq_occupancy_avg", r.iqOccupancyAvg);
-        jsonField(os, "seg0_ready_avg", r.seg0ReadyAvg);
-        jsonField(os, "seg0_occupancy_avg", r.seg0OccupancyAvg);
-        jsonField(os, "deadlock_cycle_frac", r.deadlockCycleFrac);
-        jsonField(os, "two_outstanding_frac", r.twoOutstandingFrac);
-        jsonField(os, "heads_from_loads_frac", r.headsFromLoadsFrac);
-        jsonField(os, "l1d_miss_rate", r.l1dMissRate);
-        jsonField(os, "l1d_delayed_hit_frac", r.l1dDelayedHitFrac);
-        jsonField(os, "seg_active_avg", r.segActiveAvg);
-        jsonField(os, "seg_cycles_active", r.segCyclesActive);
-        jsonField(os, "host_seconds", r.hostSeconds);
-        jsonField(os, "host_kcycles_per_sec", r.hostKcyclesPerSec);
-        jsonField(os, "host_kinsts_per_sec", r.hostKinstsPerSec);
-        os << "    \"audit_violations\": " << r.auditViolations << ",\n";
-        os << "    \"ckpt_restored\": "
-           << (r.ckptRestored ? "true" : "false") << ",\n";
-        os << "    \"validated\": " << (r.validated ? "true" : "false")
-           << ",\n";
-        os << "    \"halted_cleanly\": "
-           << (r.haltedCleanly ? "true" : "false") << "\n";
+        w.line("error_code");
+        json::writeString(os, errorCodeName(r.outcome.code));
+        os << ",\n";
+        w.line("error_msg");
+        json::writeString(os, r.outcome.message);
+        os << ",\n";
+        w.line("attempts") << r.outcome.attempts << "\n";
         os << "  }" << (i + 1 == results.size() ? "\n" : ",\n");
     }
     os << "]\n";

@@ -3,6 +3,7 @@
 #include <bit>
 #include <map>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 
@@ -50,7 +51,7 @@ buildWorkload(const std::string &name, const WorkloadParams &params)
 {
     auto it = builders().find(name);
     if (it == builders().end())
-        fatal("unknown workload '%s'", name.c_str());
+        throw WorkloadError("unknown workload '" + name + "'");
     return it->second(params);
 }
 

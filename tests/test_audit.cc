@@ -11,6 +11,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "sim/audit.hh"
 #include "sim/simulator.hh"
@@ -112,7 +113,14 @@ TEST(AuditNegative, PanicModeThrowsOnFirstViolation)
     cfg.core.iq.auditInjectOverPromote = true;
 
     Simulator sim(cfg);
-    EXPECT_THROW(sim.run(), PanicError);
+    try {
+        sim.run();
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Invariant);
+        EXPECT_NE(std::string(e.what()).find("promotions"), std::string::npos);
+        EXPECT_FALSE(e.context().empty()) << "panic path must capture a dump";
+    }
 }
 
 } // namespace

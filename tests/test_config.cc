@@ -77,3 +77,45 @@ TEST(ConfigMap, LastSetWins)
     cfg.set("k", "2");
     EXPECT_EQ(cfg.getInt("k", 0), 2);
 }
+
+TEST(EditDistance, ClassicCases)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("", "jobs"), 4u);
+    EXPECT_EQ(editDistance("jobs", ""), 4u);
+    EXPECT_EQ(editDistance("jobs", "jobs"), 0u);
+    EXPECT_EQ(editDistance("jbos", "jobs"), 2u);   // transposition = 2 edits
+    EXPECT_EQ(editDistance("iter", "iters"), 1u);  // insertion
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+}
+
+TEST(ClosestKey, SuggestsNearMissesOnly)
+{
+    const std::vector<std::string> known = {"iters", "jobs", "bench_out",
+                                            "workloads"};
+    EXPECT_EQ(closestKey("iter", known), "iters");
+    EXPECT_EQ(closestKey("job", known), "jobs");
+    EXPECT_EQ(closestKey("bench_oot", known), "bench_out");
+    // Nothing plausibly a typo: no suggestion.
+    EXPECT_EQ(closestKey("zzzzzzzz", known), "");
+}
+
+TEST(ConfigMap, UnknownKeyMessage)
+{
+    const std::vector<std::string> known = {"iters", "jobs", "journal"};
+
+    ConfigMap ok;
+    ok.set("iters", "100");
+    ok.set("jobs", "4");
+    EXPECT_EQ(ok.unknownKeyMessage(known), "");
+
+    ConfigMap typo;
+    typo.set("jurnal", "x.jsonl");
+    EXPECT_EQ(typo.unknownKeyMessage(known),
+              "unknown option 'jurnal' (did you mean 'journal'?)");
+
+    ConfigMap noSuggestion;
+    noSuggestion.set("frobnicate_all", "1");
+    EXPECT_EQ(noSuggestion.unknownKeyMessage(known),
+              "unknown option 'frobnicate_all'");
+}

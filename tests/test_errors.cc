@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The structured error taxonomy (DESIGN.md §13): code/name mapping,
+ * the SimError field contract, and the classification each subclass
+ * carries (code, transient flag, context).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/errors.hh"
+
+using namespace sciq;
+
+namespace {
+
+TEST(ErrorCodes, NamesRoundTrip)
+{
+    for (ErrorCode code : {ErrorCode::None, ErrorCode::Config,
+                           ErrorCode::Workload, ErrorCode::Checkpoint,
+                           ErrorCode::Deadlock, ErrorCode::Invariant,
+                           ErrorCode::Resource, ErrorCode::Internal}) {
+        EXPECT_EQ(errorCodeFromName(errorCodeName(code)), code);
+    }
+}
+
+TEST(ErrorCodes, NamesAreStableJsonTokens)
+{
+    // The names are persisted in journals and bench JSON; renaming one
+    // is a format break, so pin them.
+    EXPECT_STREQ(errorCodeName(ErrorCode::None), "none");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Config), "config");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Workload), "workload");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Checkpoint), "checkpoint");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Deadlock), "deadlock");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Invariant), "invariant");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Resource), "resource");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(ErrorCodes, UnknownNameMapsToInternal)
+{
+    EXPECT_EQ(errorCodeFromName("quantum-flux"), ErrorCode::Internal);
+    EXPECT_EQ(errorCodeFromName(""), ErrorCode::Internal);
+}
+
+TEST(SimErrorBase, CarriesCodeContextAndSweepKey)
+{
+    SimError e(ErrorCode::Deadlock, "stuck", "rob dump here", false);
+    EXPECT_EQ(e.code(), ErrorCode::Deadlock);
+    EXPECT_STREQ(e.what(), "stuck");
+    EXPECT_EQ(e.context(), "rob dump here");
+    EXPECT_FALSE(e.transient());
+    EXPECT_TRUE(e.sweepKey().empty());
+
+    e.setSweepKey("workload=swim iq=segmented");
+    EXPECT_EQ(e.sweepKey(), "workload=swim iq=segmented");
+}
+
+TEST(SimErrorBase, IsCatchableAsStdException)
+{
+    try {
+        throw WorkloadError("unknown workload 'zork'");
+    } catch (const std::exception &e) {
+        EXPECT_NE(std::string(e.what()).find("zork"), std::string::npos);
+    }
+}
+
+TEST(SimErrorSubclasses, CodesAndTransience)
+{
+    EXPECT_EQ(ConfigError("x").code(), ErrorCode::Config);
+    EXPECT_FALSE(ConfigError("x").transient());
+
+    EXPECT_EQ(WorkloadError("x").code(), ErrorCode::Workload);
+    EXPECT_FALSE(WorkloadError("x").transient());
+
+    // Checkpoint errors pick their transience per throw site: I/O and
+    // corruption are retryable, semantic mismatches are not.
+    EXPECT_EQ(CheckpointError("x").code(), ErrorCode::Checkpoint);
+    EXPECT_FALSE(CheckpointError("x").transient());
+    EXPECT_TRUE(CheckpointError("x", /*transient=*/true).transient());
+
+    EXPECT_EQ(ResourceError("x").code(), ErrorCode::Resource);
+    EXPECT_TRUE(ResourceError("x").transient());
+
+    EXPECT_EQ(InvariantError("x").code(), ErrorCode::Invariant);
+    EXPECT_EQ(InvariantError("x", "dump").context(), "dump");
+}
+
+TEST(SimErrorSubclasses, DeadlockDistinguishesWatchdogFromTimeout)
+{
+    DeadlockError wedged("no commit for 1000000 cycles", "pipeline dump");
+    EXPECT_EQ(wedged.code(), ErrorCode::Deadlock);
+    EXPECT_FALSE(wedged.isTimeout());
+    EXPECT_EQ(wedged.context(), "pipeline dump");
+
+    DeadlockError slow("deadline exceeded", "dump", /*wall_clock=*/true);
+    EXPECT_TRUE(slow.isTimeout());
+}
+
+TEST(SimErrorSubclasses, CatchableAsSimError)
+{
+    // The sweep runner's single catch site depends on every subclass
+    // reaching a `const SimError &` handler with its classification.
+    try {
+        throw DeadlockError("msg", "dump");
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Deadlock);
+        EXPECT_EQ(e.context(), "dump");
+    }
+}
+
+} // namespace

@@ -94,6 +94,29 @@ segmentedChecks()
     return checks;
 }
 
+/** Wakeup-array statistics specific to the prescheduled IQ (section 2). */
+const std::vector<StatCheck> &
+prescheduledChecks()
+{
+    static const std::vector<StatCheck> checks = {
+        {"iq.array_stall_cycles", true},
+        {"iq.issue_buffer_occ", false},
+    };
+    return checks;
+}
+
+/** Steering statistics specific to the dependence-FIFO IQ (section 2). */
+const std::vector<StatCheck> &
+fifoChecks()
+{
+    static const std::vector<StatCheck> checks = {
+        {"iq.steered_behind_producer", true},
+        {"iq.steered_to_empty", true},
+        {"iq.no_empty_fifo_stalls", true},
+    };
+    return checks;
+}
+
 /** Descend a dotted path through nested JSON objects. */
 const json::Value *
 navigate(const json::Value &root, const std::string &path)
@@ -179,9 +202,15 @@ goldenPath(const std::string &workload)
 SimConfig
 goldenConfig(const std::string &workload, const std::string &kind)
 {
-    SimConfig cfg = kind == "segmented"
-        ? makeSegmentedConfig(128, 64, true, true, workload)
-        : makeIdealConfig(128, workload);
+    SimConfig cfg = [&] {
+        if (kind == "segmented")
+            return makeSegmentedConfig(128, 64, true, true, workload);
+        if (kind == "prescheduled")
+            return makePrescheduledConfig(128, workload);
+        if (kind == "fifo")
+            return makeFifoConfig(16, 8, workload);
+        return makeIdealConfig(128, workload);
+    }();
     cfg.wl.iterations = 300;
     cfg.audit = true;
     return cfg;
@@ -212,12 +241,17 @@ TEST_P(GoldenStats, MatchesCommittedSnapshot)
         runAndDump(goldenConfig(workload, "segmented"));
     const std::string ideal_tree =
         runAndDump(goldenConfig(workload, "ideal"));
+    const std::string presched_tree =
+        runAndDump(goldenConfig(workload, "prescheduled"));
+    const std::string fifo_tree =
+        runAndDump(goldenConfig(workload, "fifo"));
 
     if (g_update_golden) {
         std::ofstream out(goldenPath(workload));
         ASSERT_TRUE(out) << "cannot write " << goldenPath(workload);
         out << "{\n\"segmented\": " << seg_tree << ",\n\"ideal\": "
-            << ideal_tree << "\n}\n";
+            << ideal_tree << ",\n\"prescheduled\": " << presched_tree
+            << ",\n\"fifo\": " << fifo_tree << "\n}\n";
         return;
     }
 
@@ -230,13 +264,17 @@ TEST_P(GoldenStats, MatchesCommittedSnapshot)
     }
 
     std::string diffs;
-    const unsigned seg_bad = compareTrees(
+    unsigned bad = compareTrees(
         golden.at("segmented"), json::parse(seg_tree),
         {&commonChecks(), &segmentedChecks()}, diffs);
-    const unsigned ideal_bad = compareTrees(
-        golden.at("ideal"), json::parse(ideal_tree), {&commonChecks()},
-        diffs);
-    EXPECT_EQ(seg_bad + ideal_bad, 0u)
+    bad += compareTrees(golden.at("ideal"), json::parse(ideal_tree),
+                        {&commonChecks()}, diffs);
+    bad += compareTrees(golden.at("prescheduled"),
+                        json::parse(presched_tree),
+                        {&commonChecks(), &prescheduledChecks()}, diffs);
+    bad += compareTrees(golden.at("fifo"), json::parse(fifo_tree),
+                        {&commonChecks(), &fifoChecks()}, diffs);
+    EXPECT_EQ(bad, 0u)
         << "stat drift vs " << goldenPath(workload) << ":\n" << diffs
         << "(if intentional, regenerate with --update-golden)";
 }

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/errors.hh"
 #include "sim/simulator.hh"
 
 using namespace sciq;
@@ -55,12 +56,12 @@ TEST(SimConfig, ApplyOverrides)
     EXPECT_EQ(cfg.maxCycles, 5000u);
 }
 
-TEST(SimConfig, BadIqKindFatal)
+TEST(SimConfig, BadIqKindThrowsConfigError)
 {
     SimConfig cfg;
     ConfigMap m;
     m.set("iq", "quantum");
-    EXPECT_THROW(cfg.apply(m), FatalError);
+    EXPECT_THROW(cfg.apply(m), ConfigError);
 }
 
 TEST(SimConfig, PrintParametersMentionsTable1)

@@ -1,7 +1,7 @@
 /**
  * @file
  * SweepRunner: deterministic result ordering under parallel execution,
- * worker-count handling, error propagation, and the JSON emitter.
+ * worker-count handling, fault containment, and the JSON emitter.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +11,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/errors.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
@@ -164,12 +165,83 @@ TEST(SweepRunner, ProgressCallbackSeesEveryRun)
     EXPECT_EQ(calls, cfgs.size());
 }
 
-TEST(SweepRunner, WorkerExceptionsPropagate)
+/**
+ * Regression for the lost-results bug: the old runner rethrew the first
+ * worker exception and discarded every completed job's result.  Now the
+ * failing job is contained into its outcome and the other N-1 results
+ * must survive, bit-identical to a clean run of those same configs.
+ */
+TEST(SweepFaultContainment, FailedJobContainedOthersBitIdentical)
 {
     std::vector<SimConfig> cfgs = smallConfigSet();
     cfgs[2].workload = "no-such-workload";
-    EXPECT_THROW(SweepRunner(4).run(cfgs), FatalError);
-    EXPECT_THROW(SweepRunner(1).run(cfgs), FatalError);
+
+    std::vector<SimConfig> good = cfgs;
+    good.erase(good.begin() + 2);
+    const std::vector<RunResult> clean = SweepRunner(1).run(good);
+
+    for (unsigned jobs : {1u, 4u}) {
+        std::vector<RunResult> results = SweepRunner(jobs).run(cfgs);
+        ASSERT_EQ(results.size(), cfgs.size());
+
+        const RunResult &bad = results[2];
+        EXPECT_EQ(bad.outcome.status, JobOutcome::Status::Failed);
+        EXPECT_EQ(bad.outcome.code, ErrorCode::Workload);
+        EXPECT_NE(bad.outcome.message.find("no-such-workload"),
+                  std::string::npos);
+        // Non-transient errors must not burn retries.
+        EXPECT_EQ(bad.outcome.attempts, 1u);
+        // Identity fields survive so the row never vanishes from tables.
+        EXPECT_EQ(bad.workload, "no-such-workload");
+        EXPECT_EQ(bad.iqKind, "ideal");
+
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i == 2)
+                continue;
+            EXPECT_TRUE(results[i].outcome.ok()) << "config " << i;
+            expectIdentical(clean[j], results[i], i);
+            ++j;
+        }
+    }
+}
+
+TEST(SweepFaultContainment, FailedJobSurfacesInJson)
+{
+    std::vector<SimConfig> cfgs = smallConfigSet();
+    cfgs.resize(2);
+    cfgs[1].workload = "no-such-workload";
+
+    std::vector<RunResult> results = SweepRunner(1).run(cfgs);
+    std::ostringstream os;
+    writeResultsJson(os, results);
+
+    json::Value v = json::parse(os.str());
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.at(std::size_t{0}).at("outcome").asString(), "ok");
+    EXPECT_EQ(v.at(std::size_t{0}).at("error_code").asString(), "none");
+    EXPECT_EQ(v.at(std::size_t{1}).at("outcome").asString(), "failed");
+    EXPECT_EQ(v.at(std::size_t{1}).at("error_code").asString(), "workload");
+    EXPECT_NE(v.at(std::size_t{1}).at("error_msg").asString().find(
+                  "no-such-workload"),
+              std::string::npos);
+}
+
+TEST(SweepFaultContainment, ProgressReportsContainedFailures)
+{
+    std::vector<SimConfig> cfgs = smallConfigSet();
+    cfgs[1].workload = "no-such-workload";
+    std::size_t calls = 0, failures = 0;
+    SweepRunner::Options options;
+    options.progress = [&](std::size_t, std::size_t,
+                           const RunResult &r) {
+        ++calls;
+        if (!r.outcome.ok())
+            ++failures;
+    };
+    SweepRunner(2).run(cfgs, options);
+    EXPECT_EQ(calls, cfgs.size());
+    EXPECT_EQ(failures, 1u);
 }
 
 TEST(SweepJson, EmitsEveryResultWithFields)

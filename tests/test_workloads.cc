@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/errors.hh"
 #include "isa/functional_core.hh"
 #include "sim/simulator.hh"
 #include "workload/workloads.hh"
@@ -77,7 +78,7 @@ TEST(WorkloadRegistry, NamesAndLookup)
 {
     EXPECT_EQ(workloadNames().size(), 8u);
     EXPECT_EQ(fpWorkloadNames().size(), 5u);
-    EXPECT_THROW(buildWorkload("nonesuch"), FatalError);
+    EXPECT_THROW(buildWorkload("nonesuch"), WorkloadError);
 }
 
 // --- Characterisation: each kernel must show the property that drives

@@ -2,17 +2,20 @@
 # Full pre-merge check: tier-1 tests, the invariant-audit sweep, and one
 # or all sanitizer configurations.  Run from the repository root:
 #
-#   tools/check.sh [ubsan|asan|tsan|all]
+#   tools/check.sh [ubsan|asan|tsan|all|faults]
 #
 # The optional argument picks the sanitizer config (default: ubsan).
 # `all` runs every sanitizer sequentially in its own build tree, which
-# is what CI's sanitizer job invokes.
+# is what CI's sanitizer job invokes.  `faults` instead runs only the
+# fault-containment suite (error taxonomy, watchdog, fault injection,
+# journal resume) against the tier-1 build — the fast loop when
+# iterating on DESIGN.md §13 machinery.
 set -eu
 
 san="${1:-ubsan}"
 case "$san" in
-  ubsan|asan|tsan|all) ;;
-  *) echo "unknown sanitizer '$san' (want ubsan, asan, tsan or all)" >&2
+  ubsan|asan|tsan|all|faults) ;;
+  *) echo "unknown mode '$san' (want ubsan, asan, tsan, all or faults)" >&2
      exit 2 ;;
 esac
 
@@ -41,6 +44,17 @@ run_sanitizer() {
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
+
+if [ "$san" = faults ]; then
+  echo "== fault-containment suite (taxonomy, watchdog, injection, journal) =="
+  ./build/tests/test_errors
+  ./build/tests/test_faults
+  ./build/tests/test_journal
+  ./build/tests/test_sweep
+  echo "== all checks passed =="
+  exit 0
+fi
+
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
