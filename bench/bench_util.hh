@@ -11,6 +11,9 @@
  *   jobs=N       sweep worker threads (default: hardware concurrency)
  *   bench_out=path    also write every result as JSON to `path`
  *   ff=N         fast-forward N instructions before the timed run
+ *                (count keys accept k/m/g suffixes, e.g. ff=300m)
+ *   bb_cache=0   use the step()-based reference interpreter for the
+ *                functional paths (default: basic-block cache)
  *   ckpt_dir=path     persist/reuse warm-up checkpoints in `path`
  *   ckpt_reuse=0      disable the in-process sweep-level checkpoint
  *                     cache (each run fast-forwards cold again)
@@ -79,7 +82,7 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls,
         "iters",       "quick",       "workloads",       "jobs",
         "bench_out",   "ff",          "ckpt_dir",        "ckpt_reuse",
         "audit",       "audit_panic", "journal",         "retries",
-        "artifact_dir", "watchdog_cycles", "deadline_sec",
+        "artifact_dir", "watchdog_cycles", "deadline_sec", "bb_cache",
     };
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     const std::string complaint = args.raw.unknownKeyMessage(known);
@@ -89,7 +92,7 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls,
     }
     for (const char *key : {"iters", "jobs", "ff", "retries",
                             "watchdog_cycles"}) {
-        if (args.raw.getInt(key, 0) < 0) {
+        if (args.raw.getCount(key, 0) < 0) {
             std::fprintf(stderr, "ERROR: %s= must be >= 0\n", key);
             std::exit(2);
         }
@@ -100,11 +103,11 @@ parseArgs(int argc, char **argv, std::vector<std::string> default_wls,
     }
 
     args.iters =
-        static_cast<std::uint64_t>(args.raw.getInt("iters", 0));
+        static_cast<std::uint64_t>(args.raw.getCount("iters", 0));
     args.quick = args.raw.getBool("quick", false);
     args.jobs = static_cast<unsigned>(args.raw.getInt("jobs", 0));
     args.benchOut = args.raw.getString("bench_out", "");
-    args.ff = static_cast<std::uint64_t>(args.raw.getInt("ff", 0));
+    args.ff = static_cast<std::uint64_t>(args.raw.getCount("ff", 0));
     args.ckptDir = args.raw.getString("ckpt_dir", "");
     args.ckptReuse = args.raw.getBool("ckpt_reuse", true);
     args.journal = args.raw.getString("journal", "");
@@ -145,9 +148,10 @@ applyArgs(SimConfig &cfg, const BenchArgs &args)
     cfg.auditPanic = args.raw.getBool("audit_panic", false);
     if (args.ff > 0)
         cfg.fastForward = args.ff;
+    cfg.bbCache = args.raw.getBool("bb_cache", true);
     if (args.raw.has("watchdog_cycles")) {
         cfg.core.watchdogCycles = static_cast<Cycle>(
-            args.raw.getInt("watchdog_cycles", 0));
+            args.raw.getCount("watchdog_cycles", 0));
     }
     cfg.deadlineSec = args.raw.getDouble("deadline_sec", 0.0);
 }

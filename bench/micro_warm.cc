@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Warming-throughput micro-benchmark for the basic-block cache
+ * (DESIGN.md §14, BENCH_PR6.json).
+ *
+ * For every workload it measures functional-warming throughput
+ * (fastForward with cache/predictor training) and pure functional
+ * execution throughput (FunctionalCore::run, no training), each with
+ * the step()-based cold-decode interpreter (bb_cache=0) and with the
+ * basic-block cache (bb_cache=1), best-of `repeats` timed runs.
+ *
+ * Arguments:
+ *   warm_insts=N  instructions per timed run (default 2m; quick: 400k;
+ *                 accepts k/m/g suffixes)
+ *   repeats=N     timed repetitions, best-of (default 3; quick: 2)
+ *   workloads=a,b,c   subset (default: all eight)
+ *   quick=1       shrink for a smoke pass
+ *   json_out=path machine-readable results (BENCH_PR6.json source)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
+#include "core/ooo_core.hh"
+#include "isa/functional_core.hh"
+#include "sim/fast_forward.hh"
+
+using namespace sciq;
+using namespace sciq::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkloadNumbers
+{
+    std::string workload;
+    std::uint64_t warmInsts = 0;
+    double warmStepIps = 0.0;  ///< fastForward, bb_cache=0
+    double warmBbIps = 0.0;    ///< fastForward, bb_cache=1
+    double runStepIps = 0.0;   ///< pure run(), bb_cache=0
+    double runBbIps = 0.0;     ///< pure run(), bb_cache=1
+    std::uint64_t bbBlocks = 0;
+    std::uint64_t bbOpsCached = 0;
+    std::uint64_t bbTraceHits = 0;
+    std::uint64_t bbSuccHits = 0;
+
+    double warmSpeedup() const
+    {
+        return warmStepIps > 0 ? warmBbIps / warmStepIps : 0.0;
+    }
+    double runSpeedup() const
+    {
+        return runStepIps > 0 ? runBbIps / runStepIps : 0.0;
+    }
+};
+
+double
+seconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Iteration count that keeps the program running past `insts`
+ * instructions, calibrated from one cold run with small iterations.
+ */
+std::uint64_t
+calibrateIters(const std::string &workload, std::uint64_t insts)
+{
+    WorkloadParams wl;
+    wl.iterations = 200;
+    Program prog = buildWorkload(workload, wl);
+    FunctionalCore probe(prog);
+    probe.run();
+    const double perIter =
+        static_cast<double>(probe.instCount()) / 200.0;
+    // 1.5x margin so the timed region never includes the HALT ramp.
+    const auto iters = static_cast<std::uint64_t>(
+        1.5 * static_cast<double>(insts) / perIter) + 1;
+    return std::max<std::uint64_t>(iters, 200);
+}
+
+CoreParams
+coreParams()
+{
+    SimConfig cfg = makeSegmentedConfig(128, 64, true, true, "swim");
+    return cfg.core;
+}
+
+WorkloadNumbers
+measure(const std::string &workload, std::uint64_t insts, unsigned repeats)
+{
+    WorkloadNumbers n;
+    n.workload = workload;
+    n.warmInsts = insts;
+
+    WorkloadParams wl;
+    wl.iterations = calibrateIters(workload, insts);
+    const Program prog = buildWorkload(workload, wl);
+    const CoreParams params = coreParams();
+
+    for (bool bb : {false, true}) {
+        double &warmIps = bb ? n.warmBbIps : n.warmStepIps;
+        double &runIps = bb ? n.runBbIps : n.runStepIps;
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            {
+                // Functional warming: trains a fresh OooCore's caches
+                // and predictors, exactly the sweep warm-up path.
+                FunctionalCore warm(prog, bb);
+                OooCore core(prog, params);
+                const auto t0 = Clock::now();
+                FastForwardStats ff = fastForward(warm, core, insts);
+                const double dt = seconds(t0);
+                if (dt > 0) {
+                    warmIps = std::max(
+                        warmIps,
+                        static_cast<double>(ff.instsSkipped) / dt);
+                }
+                if (bb && warm.blockCache()) {
+                    const BbCache &c = *warm.blockCache();
+                    n.bbBlocks = c.blocksDiscovered();
+                    n.bbOpsCached = c.opsCached();
+                    n.bbTraceHits = c.traceHits();
+                    n.bbSuccHits = c.succHits();
+                }
+            }
+            {
+                // Pure functional execution, no training: the upper
+                // bound the warming path is converging towards.
+                FunctionalCore fc(prog, bb);
+                const auto t0 = Clock::now();
+                const std::uint64_t ran = fc.run(insts);
+                const double dt = seconds(t0);
+                if (dt > 0) {
+                    runIps = std::max(
+                        runIps, static_cast<double>(ran) / dt);
+                }
+            }
+        }
+    }
+    return n;
+}
+
+void
+writeJson(const std::string &path, std::uint64_t insts, unsigned repeats,
+          const std::vector<WorkloadNumbers> &rows)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
+        return;
+    }
+    os << "{\n  \"bench\": \"micro_warm\",\n"
+       << "  \"warm_insts\": " << insts << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
+       << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const WorkloadNumbers &n = rows[i];
+        os << "    {\"workload\": \"" << n.workload << "\""
+           << ", \"warm_step_insts_per_sec\": ";
+        json::writeNumber(os, n.warmStepIps);
+        os << ", \"warm_bbcache_insts_per_sec\": ";
+        json::writeNumber(os, n.warmBbIps);
+        os << ", \"warm_speedup\": ";
+        json::writeNumber(os, n.warmSpeedup());
+        os << ", \"run_step_insts_per_sec\": ";
+        json::writeNumber(os, n.runStepIps);
+        os << ", \"run_bbcache_insts_per_sec\": ";
+        json::writeNumber(os, n.runBbIps);
+        os << ", \"run_speedup\": ";
+        json::writeNumber(os, n.runSpeedup());
+        os << ", \"bb_blocks\": " << n.bbBlocks
+           << ", \"bb_ops_cached\": " << n.bbOpsCached
+           << ", \"bb_trace_hits\": " << n.bbTraceHits
+           << ", \"bb_succ_hits\": " << n.bbSuccHits << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::fprintf(stderr, "wrote %zu workloads to %s\n", rows.size(),
+                 path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, workloadNames(),
+                               {"warm_insts", "repeats", "json_out"});
+    const std::uint64_t insts = static_cast<std::uint64_t>(
+        args.raw.getCount("warm_insts", args.quick ? 400'000 : 2'000'000));
+    const unsigned repeats = static_cast<unsigned>(
+        args.raw.getInt("repeats", args.quick ? 2 : 3));
+    const std::string jsonOut = args.raw.getString("json_out", "");
+
+    std::printf("warming-throughput micro-bench: %llu insts/run, "
+                "best of %u\n\n",
+                static_cast<unsigned long long>(insts), repeats);
+    std::printf("%-10s %12s %12s %8s %12s %12s %8s\n", "workload",
+                "warm step/s", "warm bb/s", "speedup", "run step/s",
+                "run bb/s", "speedup");
+    hr('-', 80);
+
+    std::vector<WorkloadNumbers> rows;
+    for (const std::string &wl : args.workloads) {
+        WorkloadNumbers n = measure(wl, insts, repeats);
+        std::printf("%-10s %12.3e %12.3e %7.2fx %12.3e %12.3e %7.2fx\n",
+                    n.workload.c_str(), n.warmStepIps, n.warmBbIps,
+                    n.warmSpeedup(), n.runStepIps, n.runBbIps,
+                    n.runSpeedup());
+        rows.push_back(std::move(n));
+    }
+
+    double worst = 0.0, best = 0.0;
+    unsigned atLeast5x = 0;
+    for (const WorkloadNumbers &n : rows) {
+        const double s = n.warmSpeedup();
+        worst = worst == 0.0 ? s : std::min(worst, s);
+        best = std::max(best, s);
+        if (s >= 5.0)
+            ++atLeast5x;
+    }
+    hr('-', 80);
+    std::printf("warming speedup: worst %.2fx, best %.2fx, "
+                ">=5x on %u/%zu workloads\n",
+                worst, best, atLeast5x, rows.size());
+
+    if (!jsonOut.empty())
+        writeJson(jsonOut, insts, repeats, rows);
+    return 0;
+}

@@ -28,7 +28,11 @@ main(int argc, char **argv)
             "      pushdown=0/1 bypass=0/1 resize=0/1 iters=N ff=N\n"
             "      seed=N scale=X max_cycles=N validate=0/1 stats=0/1\n"
             "      ckpt=<file> ckpt_dir=<dir>   (warm-up checkpoints;\n"
-            "      restore the ff= prefix instead of re-executing it)\n";
+            "      restore the ff= prefix instead of re-executing it)\n"
+            "      bb_cache=0/1 (default 1: basic-block cache for the\n"
+            "      functional paths; 0 = step()-based reference)\n"
+            "count-valued keys (ff, iters, max_cycles, ...) accept\n"
+            "decimal k/m/g suffixes, e.g. ff=300m\n";
         return 0;
     }
 
@@ -51,6 +55,7 @@ main(int argc, char **argv)
     if (args.getBool("stats", false)) {
         std::cout << "\n==== full statistics ====\n";
         sim.core().statGroup().dump(std::cout);
+        sim.warmStatGroup().dump(std::cout);
     }
     return r.haltedCleanly && (!cfg.validate || r.validated) ? 0 : 1;
 }

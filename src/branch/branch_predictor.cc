@@ -108,6 +108,49 @@ HybridBranchPredictor::update(Addr pc, bool taken,
                            ((1u << params.localHistoryBits) - 1);
 }
 
+void
+HybridBranchPredictor::warmTrain(Addr pc, bool taken)
+{
+    lookups.inc();
+    condPredicts.inc();
+
+    const std::uint32_t hist = globalHistory;
+    SatCounter &gctr = globalPht[globalIndex(hist)];
+    const bool global_pred = gctr.isSet();
+
+    const std::size_t lreg = localRegIndex(pc);
+    const std::uint32_t lmask = (1u << params.localHistoryBits) - 1;
+    const std::uint32_t lhist = localHistories[lreg] & lmask;
+    SatCounter &lctr = localPht[lhist & (params.localPhtEntries - 1)];
+    const bool local_pred = lctr.isSet();
+
+    SatCounter &cctr = choicePht[choiceIndex(hist)];
+    const bool use_global = cctr.isSet();
+    if (use_global)
+        choiceGlobal.inc();
+    const bool pred = use_global ? global_pred : local_pred;
+
+    // predict()'s speculative shift: the *prediction* enters the
+    // global history (update() never rewrites it).
+    globalHistory = ((hist << 1) | (pred ? 1 : 0)) & historyMask;
+
+    if (global_pred != local_pred) {
+        if (global_pred == taken)
+            cctr.increment();
+        else
+            cctr.decrement();
+    }
+    if (taken) {
+        gctr.increment();
+        lctr.increment();
+    } else {
+        gctr.decrement();
+        lctr.decrement();
+    }
+    localHistories[lreg] = ((localHistories[lreg] << 1) | (taken ? 1 : 0)) &
+                           lmask;
+}
+
 namespace {
 
 void

@@ -71,6 +71,16 @@ class HybridBranchPredictor
     void update(Addr pc, bool taken, HistorySnapshot history_at_predict);
 
     /**
+     * Functional-warming fast path: bit-identical to
+     *   snap = snapshot(); predict(pc); update(pc, taken, snap);
+     * (tables, histories and statistics counters all included) but
+     * reads each table once instead of twice.  The predicted — not the
+     * actual — outcome shifts into the speculative global history,
+     * exactly as the sequence above leaves it.
+     */
+    void warmTrain(Addr pc, bool taken);
+
+    /**
      * Serialize the history registers, all three counter tables and the
      * statistics counters (warm-up trains the tables *and* counts
      * lookups, so both must round-trip for stat bit-identity).

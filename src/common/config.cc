@@ -1,7 +1,9 @@
 #include "config.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 
 #include "logging.hh"
@@ -61,6 +63,39 @@ ConfigMap::getInt(const std::string &key, std::int64_t def) const
         fatal("config key '%s': '%s' is not an integer", key.c_str(),
               it->second.c_str());
     return v;
+}
+
+std::int64_t
+ConfigMap::getCount(const std::string &key, std::int64_t def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    const std::string &raw = it->second;
+
+    long double mult = 0;
+    switch (raw.empty() ? '\0' : raw.back()) {
+      case 'k': case 'K': mult = 1e3L; break;
+      case 'm': case 'M': mult = 1e6L; break;
+      case 'g': case 'G': mult = 1e9L; break;
+      default: return getInt(key, def);  // plain integer, hex included
+    }
+
+    const std::string body = raw.substr(0, raw.size() - 1);
+    char *end = nullptr;
+    const long double v = std::strtold(body.c_str(), &end);
+    if (body.empty() || end == body.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a count (expected e.g. "
+              "300m, 1.5g)", key.c_str(), raw.c_str());
+    const long double scaled = v * mult;
+    if (scaled < 0 || scaled != std::floor(scaled))
+        fatal("config key '%s': '%s' does not scale to a non-negative "
+              "integer", key.c_str(), raw.c_str());
+    if (scaled > static_cast<long double>(
+            std::numeric_limits<std::int64_t>::max()))
+        fatal("config key '%s': '%s' overflows a 64-bit count",
+              key.c_str(), raw.c_str());
+    return static_cast<std::int64_t>(scaled);
 }
 
 double

@@ -33,6 +33,16 @@ class ConfigMap
     std::string getString(const std::string &key,
                           const std::string &def = "") const;
     std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    /**
+     * Like getInt but accepting a decimal k/m/g suffix (case
+     * insensitive, powers of ten: k=1e3, m=1e6, g=1e9), so counts can
+     * be written `ff=300m` or `max_cycles=2g`.  The base may be
+     * fractional when suffixed (`iters=1.5m` = 1'500'000) but the
+     * scaled value must be a non-negative integer that fits in
+     * int64_t; anything else is fatal.
+     */
+    std::int64_t getCount(const std::string &key, std::int64_t def) const;
     double getDouble(const std::string &key, double def) const;
     bool getBool(const std::string &key, bool def) const;
 

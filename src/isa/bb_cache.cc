@@ -1,0 +1,40 @@
+#include "bb_cache.hh"
+
+namespace sciq {
+
+BasicBlock *
+BbCache::discover(Addr pc)
+{
+    const Instruction *first = program.fetch(pc);
+    if (first == nullptr)
+        return nullptr;
+
+    auto bb = std::make_unique<BasicBlock>();
+    bb->startPc = pc;
+
+    Addr cur = pc;
+    const Instruction *inst = first;
+    while (true) {
+        const std::uint8_t flags = classify(*inst);
+        bb->ops.push_back({*inst, inst, flags});
+        if ((flags & (kBbControl | kBbHalt)) != 0 ||
+            bb->ops.size() >= kMaxBlockOps) {
+            break;
+        }
+        cur += kInstBytes;
+        inst = program.fetch(cur);
+        // Straight-line code running off the program image: end the
+        // block here; the replay loop re-enters lookup() at `cur`,
+        // fails, and reproduces the step()-path panic exactly.
+        if (inst == nullptr)
+            break;
+    }
+
+    ++blocksDiscovered_;
+    opsCached_ += bb->ops.size();
+    BasicBlock *raw = bb.get();
+    blocks.emplace(pc, std::move(bb));
+    return raw;
+}
+
+} // namespace sciq

@@ -6,10 +6,12 @@
 
 namespace sciq {
 
-FunctionalCore::FunctionalCore(const Program &prog)
+FunctionalCore::FunctionalCore(const Program &prog, bool bb_cache)
     : program(prog), curPc(prog.entry())
 {
     prog.load(mem);
+    if (bb_cache)
+        bbCache = std::make_unique<BbCache>(program);
 }
 
 bool
@@ -39,6 +41,10 @@ FunctionalCore::step()
 std::uint64_t
 FunctionalCore::run(std::uint64_t max_insts)
 {
+    if (bbCache) {
+        return runBlocks(max_insts,
+                         [](const BbOp &, Addr, const ExecResult &) {});
+    }
     const std::uint64_t start = executed;
     while (!isHalted && executed - start < max_insts)
         step();

@@ -45,6 +45,35 @@ class SparseMemory
     std::size_t numPages() const { return pages.size(); }
 
     /**
+     * Host pointer to the page holding `addr`, or nullptr when the
+     * page is untouched.  Never allocates: a read of an absent page
+     * must stay invisible to numPages() and to the serialized image
+     * (checkpoint blobs encode exactly the allocated pages).
+     * The pointer stays valid until clear()/restore(): unordered_map
+     * never moves mapped values on insertion.
+     */
+    std::uint8_t *
+    pageData(Addr addr)
+    {
+        auto it = pages.find(addr >> kPageShift);
+        return it == pages.end() ? nullptr : it->second.data();
+    }
+
+    const std::uint8_t *
+    pageData(Addr addr) const
+    {
+        auto it = pages.find(addr >> kPageShift);
+        return it == pages.end() ? nullptr : it->second.data();
+    }
+
+    /** Host pointer to the page holding `addr`, zero-filled on demand. */
+    std::uint8_t *
+    pageDataForWrite(Addr addr)
+    {
+        return getPage(addr).data();
+    }
+
+    /**
      * Content equality: untouched pages compare equal to all-zero
      * pages, so two memories match iff every byte matches.
      */

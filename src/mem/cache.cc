@@ -15,7 +15,9 @@ Cache::Cache(const CacheParams &params, MemLevel &below_, EventQueue &ev)
                 "cache size not divisible by line*assoc");
     numSets = params_.sizeBytes / (params_.lineBytes * params_.assoc);
     SCIQ_ASSERT(isPowerOf2(numSets), "set count must be a power of two");
+    lineShift = floorLog2(params_.lineBytes);
     lines.assign(numSets * params_.assoc, Line{});
+    warmMemoClear();
 
     statsGroup.addScalar("accesses", &accesses, "CPU-side accesses");
     statsGroup.addScalar("hits", &hits, "accesses that hit");
@@ -26,12 +28,6 @@ Cache::Cache(const CacheParams &params, MemLevel &below_, EventQueue &ev)
                          "dirty lines written back");
     statsGroup.addScalar("mshr_full_stalls", &mshrFullStalls,
                          "cycles a miss waited for a free MSHR");
-}
-
-std::size_t
-Cache::setIndex(Addr line_addr) const
-{
-    return (line_addr / params_.lineBytes) & (numSets - 1);
 }
 
 Cache::Line *
@@ -63,8 +59,57 @@ void
 Cache::warmInsert(Addr addr)
 {
     const Addr la = lineAddrOf(addr);
-    if (!lookup(la))
-        installLine(la, false, 0);
+    if (warmMemoHas(la))
+        return;  // proven resident; a repeat insert is a no-op
+    (void)warmTouch(la);
+}
+
+bool
+Cache::warmAccess(Addr addr)
+{
+    const Addr la = lineAddrOf(addr);
+    if (warmMemoHas(la))
+        return true;  // proven resident since the last install
+    return warmTouch(la);
+}
+
+bool
+Cache::warmTouch(Addr la)
+{
+    // One pass over the set computes residency AND the would-be victim
+    // (first invalid way, else the first least-recently-used way —
+    // installLine's exact selection order), so a warm miss costs one
+    // scan instead of lookup() + installLine()'s two.
+    const std::size_t set = setIndex(la);
+    Line *firstInvalid = nullptr;
+    Line *lru = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines[set * params_.assoc + w];
+        if (!line.valid) {
+            if (!firstInvalid)
+                firstInvalid = &line;
+            continue;
+        }
+        if (line.tag == la) {
+            warmMemoAdd(la);
+            return true;
+        }
+        if (!lru || line.lastUse < lru->lastUse)
+            lru = &line;
+    }
+
+    Line *victim = firstInvalid ? firstInvalid : lru;
+    if (victim->valid && victim->dirty) {
+        writebacks.inc();
+        below.request(victim->tag, true, 0, [](Cycle) {});
+    }
+    warmMemoClear();  // the eviction may remove a memoized line
+    victim->valid = true;
+    victim->tag = la;
+    victim->dirty = false;
+    victim->lastUse = 0;
+    warmMemoAdd(la);
+    return false;
 }
 
 void
@@ -72,6 +117,7 @@ Cache::flush()
 {
     for (auto &line : lines)
         line = Line{};
+    warmMemoClear();
 }
 
 void
@@ -126,6 +172,7 @@ Cache::restore(serial::Reader &r)
         line.dirty = (flags & 2) != 0;
         line.lastUse = r.u64();
     }
+    warmMemoClear();
     nextFillFree = r.u64();
     accesses.set(r.f64());
     hits.set(r.f64());
@@ -260,6 +307,9 @@ Cache::handleFill(Addr line_addr, Cycle when)
 void
 Cache::installLine(Addr line_addr, bool dirty, Cycle now)
 {
+    // The install may evict the memoized warm line; re-proven by the
+    // next warmAccess/warmInsert.
+    warmMemoClear();
     std::size_t set = setIndex(line_addr);
     Line *victim = nullptr;
     for (unsigned w = 0; w < params_.assoc; ++w) {

@@ -11,6 +11,7 @@
 #ifndef SCIQ_MEM_CACHE_HH
 #define SCIQ_MEM_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -94,6 +95,14 @@ class Cache : public MemLevel
      */
     void warmInsert(Addr addr);
 
+    /**
+     * Fused isResident() + warmInsert(): returns the pre-insert
+     * residency and installs the line if it was absent, with a single
+     * set scan.  State-identical to the two separate calls; this is
+     * the functional-warming hot path.
+     */
+    bool warmAccess(Addr addr);
+
     /** Invalidate everything (used between warmup configurations). */
     void flush();
 
@@ -146,9 +155,23 @@ class Cache : public MemLevel
         return addr & ~static_cast<Addr>(params_.lineBytes - 1);
     }
 
-    std::size_t setIndex(Addr line_addr) const;
+    std::size_t
+    setIndex(Addr line_addr) const
+    {
+        // lineBytes and numSets are asserted powers of two, so the
+        // index is a shift+mask (a runtime division here dominated the
+        // functional-warming profile).
+        return (line_addr >> lineShift) & (numSets - 1);
+    }
 
     Line *lookup(Addr line_addr);
+
+    /**
+     * Warm-path residency probe + install in a single set scan;
+     * state-identical to `if (!lookup(la)) installLine(la, false, 0)`
+     * plus setting the warm memo.  Returns pre-insert residency.
+     */
+    bool warmTouch(Addr line_addr);
 
     /** Allocate/merge an MSHR; may defer if all MSHRs are busy. */
     void startMiss(Addr line_addr, bool is_write, Cycle now,
@@ -166,7 +189,42 @@ class Cache : public MemLevel
     stats::Group statsGroup;
 
     std::size_t numSets;
+    unsigned lineShift = 0;   ///< log2(lineBytes)
     std::vector<Line> lines;  // numSets * assoc, set-major
+
+    /**
+     * Warm-path memo: these lines are known resident, so a repeated
+     * warmAccess/warmInsert is a few compares instead of a set scan.
+     * Sound because installs are the only line mutation during
+     * functional warming: any installLine (the install may evict a
+     * memoized line), flush() or restore() invalidates the whole memo.
+     * Pure acceleration state — never serialized, never consulted by
+     * the timed path.  Which lines happen to be memoized affects speed
+     * only, never state: a memo hit returns exactly what the set scan
+     * would.
+     */
+    static constexpr std::size_t kWarmMemoSlots = 4;
+    static constexpr Addr kNoWarmLine = ~0ULL;
+    std::array<Addr, kWarmMemoSlots> warmLines;
+    std::size_t warmMemoNext = 0;
+
+    bool
+    warmMemoHas(Addr la) const
+    {
+        for (Addr w : warmLines)
+            if (w == la)
+                return true;
+        return false;
+    }
+
+    void
+    warmMemoAdd(Addr la)
+    {
+        warmLines[warmMemoNext] = la;
+        warmMemoNext = (warmMemoNext + 1) % kWarmMemoSlots;
+    }
+
+    void warmMemoClear() { warmLines.fill(kNoWarmLine); }
 
     std::unordered_map<Addr, Mshr> mshrFile;
 

@@ -51,6 +51,12 @@ visitRunResultFields(V &&v, R &r)
     v.num("host_seconds", r.hostSeconds);
     v.num("host_kcycles_per_sec", r.hostKcyclesPerSec);
     v.num("host_kinsts_per_sec", r.hostKinstsPerSec);
+    v.num("warm_seconds", r.warmSeconds);
+    v.num("warm_insts_per_sec", r.warmInstsPerSec);
+    v.u64("bbcache_blocks", r.bbBlocks);
+    v.u64("bbcache_ops_cached", r.bbOpsCached);
+    v.u64("bbcache_trace_hits", r.bbTraceHits);
+    v.u64("bbcache_succ_hits", r.bbSuccHits);
     v.u64("audit_violations", r.auditViolations);
     v.b("ckpt_restored", r.ckptRestored);
     v.b("validated", r.validated);

@@ -47,23 +47,24 @@ SimConfig::apply(const ConfigMap &cfg)
 
     workload = cfg.getString("workload", workload);
     wl.iterations = static_cast<std::uint64_t>(
-        cfg.getInt("iters", static_cast<std::int64_t>(wl.iterations)));
+        cfg.getCount("iters", static_cast<std::int64_t>(wl.iterations)));
     wl.seed = static_cast<std::uint64_t>(
         cfg.getInt("seed", static_cast<std::int64_t>(wl.seed)));
     wl.scale = cfg.getDouble("scale", wl.scale);
     maxCycles = static_cast<Cycle>(
-        cfg.getInt("max_cycles", static_cast<std::int64_t>(maxCycles)));
+        cfg.getCount("max_cycles", static_cast<std::int64_t>(maxCycles)));
     validate = cfg.getBool("validate", validate);
     audit = cfg.getBool("audit", audit);
     auditPanic = cfg.getBool("audit_panic", auditPanic);
     core.iq.auditInjectOverPromote = cfg.getBool(
         "audit_inject_overpromote", core.iq.auditInjectOverPromote);
     fastForward = static_cast<std::uint64_t>(
-        cfg.getInt("ff", static_cast<std::int64_t>(fastForward)));
+        cfg.getCount("ff", static_cast<std::int64_t>(fastForward)));
+    bbCache = cfg.getBool("bb_cache", bbCache);
     ckptFile = cfg.getString("ckpt", ckptFile);
     ckptDir = cfg.getString("ckpt_dir", ckptDir);
 
-    core.watchdogCycles = static_cast<Cycle>(cfg.getInt(
+    core.watchdogCycles = static_cast<Cycle>(cfg.getCount(
         "watchdog_cycles", static_cast<std::int64_t>(core.watchdogCycles)));
     deadlineSec = cfg.getDouble("deadline_sec", deadlineSec);
 

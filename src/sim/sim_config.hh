@@ -57,8 +57,18 @@ struct SimConfig
     /**
      * Skip this many instructions with functional warming before the
      * timed run (the paper's checkpoint methodology at our scale).
+     * Count-valued keys accept k/m/g suffixes, so `ff=300m` works.
      */
     std::uint64_t fastForward = 0;
+
+    /**
+     * Use the basic-block cache for the functional paths (warming and
+     * validation golden runs); `bb_cache=0` selects the step()-based
+     * reference interpreter.  Results are bit-identical either way —
+     * this is pure acceleration, kept switchable as a differential
+     * check.
+     */
+    bool bbCache = true;
 
     /**
      * Explicit checkpoint file (key: `ckpt=`): restore the warm-up

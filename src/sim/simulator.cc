@@ -45,9 +45,38 @@ Simulator::Simulator(const SimConfig &cfg) : config(cfg)
         auditor_ = std::make_unique<Auditor>(config.auditPanic);
         auditor_->attach(*core_);
     }
+
+    warmStats_.addScalar("seconds", &warmSecondsStat_,
+                         "wall-clock seconds in functional warming");
+    warmStats_.addScalar("insts_per_sec", &warmIpsStat_,
+                         "functional-warming throughput");
+    bbStats_.addScalar("blocks", &bbBlocksStat_,
+                       "basic blocks discovered");
+    bbStats_.addScalar("ops_cached", &bbOpsStat_,
+                       "micro-ops across cached blocks");
+    bbStats_.addScalar("trace_hits", &bbTraceHitsStat_,
+                       "block lookups served from the cache");
+    bbStats_.addScalar("succ_hits", &bbSuccHitsStat_,
+                       "successor inline-cache hits");
+    warmStats_.addChild(&bbStats_);
 }
 
 Simulator::~Simulator() = default;
+
+void
+Simulator::noteWarm(double seconds, std::uint64_t insts,
+                    const FunctionalCore &warm)
+{
+    warmSecondsStat_.set(seconds);
+    if (seconds > 0.0)
+        warmIpsStat_.set(static_cast<double>(insts) / seconds);
+    if (const BbCache *bb = warm.blockCache()) {
+        bbBlocksStat_.set(static_cast<double>(bb->blocksDiscovered()));
+        bbOpsStat_.set(static_cast<double>(bb->opsCached()));
+        bbTraceHitsStat_.set(static_cast<double>(bb->traceHits()));
+        bbSuccHitsStat_.set(static_cast<double>(bb->succHits()));
+    }
+}
 
 std::uint64_t
 Simulator::warmUp(bool &restored)
@@ -55,9 +84,13 @@ Simulator::warmUp(bool &restored)
     restored = false;
 
     auto coldFf = [&]() -> FastForwardStats {
-        FunctionalCore warm(*program_);
+        FunctionalCore warm(*program_, config.bbCache);
+        const auto t0 = std::chrono::steady_clock::now();
         FastForwardStats ff =
             fastForward(warm, *core_, config.fastForward);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        noteWarm(dt.count(), ff.instsSkipped, warm);
         if (ff.hitHalt) {
             warn("fast-forward of %llu insts consumed the whole program",
                  static_cast<unsigned long long>(config.fastForward));
@@ -66,9 +99,13 @@ Simulator::warmUp(bool &restored)
     };
 
     auto coldFfAndBlob = [&](std::string &blob) -> FastForwardStats {
-        FunctionalCore warm(*program_);
+        FunctionalCore warm(*program_, config.bbCache);
+        const auto t0 = std::chrono::steady_clock::now();
         FastForwardStats ff =
             fastForward(warm, *core_, config.fastForward);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        noteWarm(dt.count(), ff.instsSkipped, warm);
         if (ff.hitHalt) {
             warn("fast-forward of %llu insts consumed the whole program",
                  static_cast<unsigned long long>(config.fastForward));
@@ -216,6 +253,13 @@ Simulator::run()
         r.hostKinstsPerSec = r.insts / r.hostSeconds / 1e3;
     }
 
+    r.warmSeconds = warmSecondsStat_.value();
+    r.warmInstsPerSec = warmIpsStat_.value();
+    r.bbBlocks = static_cast<std::uint64_t>(bbBlocksStat_.value());
+    r.bbOpsCached = static_cast<std::uint64_t>(bbOpsStat_.value());
+    r.bbTraceHits = static_cast<std::uint64_t>(bbTraceHitsStat_.value());
+    r.bbSuccHits = static_cast<std::uint64_t>(bbSuccHitsStat_.value());
+
     // Misprediction rate per *committed* conditional branch (wrong-path
     // and post-squash refetch predictions would inflate the base).
     auto &bp = core_->branchPredictor();
@@ -270,7 +314,7 @@ Simulator::run()
         // The golden model executes the skipped prefix plus exactly as
         // many instructions as the pipeline committed; state must then
         // agree bit for bit.
-        FunctionalCore golden(*program_);
+        FunctionalCore golden(*program_, config.bbCache);
         golden.run(skipped + r.insts);
         bool regs_ok = true;
         for (RegIndex reg = 1; reg < kNumArchRegs; ++reg) {

@@ -14,11 +14,13 @@
 #include <string>
 
 #include "common/errors.hh"
+#include "common/stats.hh"
 #include "sim/sim_config.hh"
 
 namespace sciq {
 
 class Auditor;
+class FunctionalCore;
 
 /**
  * How a sweep job ended (DESIGN.md §13).  A default-constructed
@@ -103,6 +105,18 @@ struct RunResult
     double hostKcyclesPerSec = 0.0;
     double hostKinstsPerSec = 0.0;
 
+    // Functional-warming performance and block-cache observability.
+    // Non-zero only when this run executed the warm-up itself (a
+    // checkpoint restore skips it), so like hostSeconds these are
+    // wall-clock/scheduling-dependent and excluded from bit-identity
+    // comparisons.
+    double warmSeconds = 0.0;
+    double warmInstsPerSec = 0.0;
+    std::uint64_t bbBlocks = 0;     ///< basic blocks discovered
+    std::uint64_t bbOpsCached = 0;  ///< micro-ops across those blocks
+    std::uint64_t bbTraceHits = 0;  ///< block lookups served from cache
+    std::uint64_t bbSuccHits = 0;   ///< successor inline-cache hits
+
     bool validated = false;
     bool haltedCleanly = false;
 
@@ -130,6 +144,14 @@ class Simulator
     /** The attached invariant auditor, or null when audit is off. */
     Auditor *auditor() { return auditor_.get(); }
 
+    /**
+     * Warm-up observability: `warm.seconds`, `warm.insts_per_sec` and
+     * the `warm.bbcache.*` counters.  Deliberately NOT a child of the
+     * core's stat group — wall-clock values would break the restored
+     * ≡ cold byte-identity of that tree (tests/test_checkpoint.cc).
+     */
+    stats::Group &warmStatGroup() { return warmStats_; }
+
   private:
     /**
      * Perform the configured fast-forward, through the checkpoint
@@ -138,10 +160,23 @@ class Simulator
      */
     std::uint64_t warmUp(bool &restored);
 
+    /** Record warming wall-clock and block-cache counters. */
+    void noteWarm(double seconds, std::uint64_t insts,
+                  const FunctionalCore &warm);
+
     SimConfig config;
     std::unique_ptr<Program> program_;
     std::unique_ptr<OooCore> core_;
     std::unique_ptr<Auditor> auditor_;
+
+    stats::Group warmStats_{"warm"};
+    stats::Group bbStats_{"bbcache"};
+    stats::Scalar warmSecondsStat_;
+    stats::Scalar warmIpsStat_;
+    stats::Scalar bbBlocksStat_;
+    stats::Scalar bbOpsStat_;
+    stats::Scalar bbTraceHitsStat_;
+    stats::Scalar bbSuccHitsStat_;
 };
 
 /** Convenience: configure, run, and return the result. */

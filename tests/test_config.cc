@@ -119,3 +119,40 @@ TEST(ConfigMap, UnknownKeyMessage)
     EXPECT_EQ(noSuggestion.unknownKeyMessage(known),
               "unknown option 'frobnicate_all'");
 }
+
+TEST(ConfigMap, CountSuffixes)
+{
+    ConfigMap cfg;
+    cfg.set("a", "300k");
+    cfg.set("b", "2m");
+    cfg.set("c", "2M");
+    cfg.set("d", "1g");
+    cfg.set("e", "1.5m");
+    cfg.set("f", "0k");
+    EXPECT_EQ(cfg.getCount("a", 0), 300'000);
+    EXPECT_EQ(cfg.getCount("b", 0), 2'000'000);
+    EXPECT_EQ(cfg.getCount("c", 0), 2'000'000);
+    EXPECT_EQ(cfg.getCount("d", 0), 1'000'000'000);
+    EXPECT_EQ(cfg.getCount("e", 0), 1'500'000);
+    EXPECT_EQ(cfg.getCount("f", 1), 0);
+}
+
+TEST(ConfigMap, CountWithoutSuffixMatchesGetInt)
+{
+    ConfigMap cfg;
+    cfg.set("plain", "12345");
+    cfg.set("hex", "0x100");
+    EXPECT_EQ(cfg.getCount("plain", 0), 12345);
+    EXPECT_EQ(cfg.getCount("hex", 0), 256);
+    EXPECT_EQ(cfg.getCount("absent", 77), 77);
+}
+
+TEST(ConfigMap, CountRejectsMalformed)
+{
+    ConfigMap cfg;
+    for (const char *bad :
+         {"12q", "k", "-2k", "1.5k5", "0.0001k", "99999999999g"}) {
+        cfg.set("v", bad);
+        EXPECT_THROW(cfg.getCount("v", 0), FatalError) << bad;
+    }
+}

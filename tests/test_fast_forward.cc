@@ -88,6 +88,29 @@ TEST(FastForward, ConfigKey)
     EXPECT_EQ(cfg.fastForward, 12345u);
 }
 
+TEST(FastForward, ConfigKeyCountSuffix)
+{
+    SimConfig cfg;
+    ConfigMap m;
+    m.set("ff", "300m");
+    m.set("iters", "2k");
+    m.set("max_cycles", "1m");
+    cfg.apply(m);
+    EXPECT_EQ(cfg.fastForward, 300'000'000u);
+    EXPECT_EQ(cfg.wl.iterations, 2'000u);
+    EXPECT_EQ(cfg.maxCycles, 1'000'000u);
+}
+
+TEST(FastForward, BbCacheConfigKey)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(cfg.bbCache);
+    ConfigMap m;
+    m.set("bb_cache", "0");
+    cfg.apply(m);
+    EXPECT_FALSE(cfg.bbCache);
+}
+
 TEST(FastForward, SeedStateAfterStartPanics)
 {
     Program prog = buildWorkload("gcc", {.iterations = 50});

@@ -66,6 +66,10 @@ echo "== scheduling-index differential sweep (audit=1) =="
 echo "== host-throughput bench (quick) =="
 ./build/bench/bench_throughput quick=1 workloads=swim,twolf
 
+echo "== bb-cache differential + warming bench (quick) =="
+./build/tests/test_bb_cache
+./build/bench/micro_warm quick=1 workloads=swim,twolf
+
 if [ "$san" = all ]; then
   run_sanitizer ubsan -DSCIQ_UBSAN=ON
   run_sanitizer asan -DSCIQ_ASAN=ON
