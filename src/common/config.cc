@@ -82,9 +82,23 @@ ConfigMap::getCount(const std::string &key, std::int64_t def) const
     }
 
     const std::string body = raw.substr(0, raw.size() - 1);
+    // Restrict the suffixed body to plain decimal: strtold alone would
+    // also accept hex floats ("0x10k"), "inf" and "nan", which are
+    // never intended counts and the hex case silently parses to a
+    // wildly different value than the 0x prefix suggests.
+    bool decimal = !body.empty();
+    bool seen_digit = false;
+    for (std::size_t i = 0; i < body.size() && decimal; ++i) {
+        const char ch = body[i];
+        if (ch >= '0' && ch <= '9')
+            seen_digit = true;
+        else if (!((ch == '+' || ch == '-') && i == 0) && ch != '.')
+            decimal = false;
+    }
     char *end = nullptr;
-    const long double v = std::strtold(body.c_str(), &end);
-    if (body.empty() || end == body.c_str() || *end != '\0')
+    const long double v =
+        decimal && seen_digit ? std::strtold(body.c_str(), &end) : 0;
+    if (!decimal || !seen_digit || end == body.c_str() || *end != '\0')
         fatal("config key '%s': '%s' is not a count (expected e.g. "
               "300m, 1.5g)", key.c_str(), raw.c_str());
     const long double scaled = v * mult;

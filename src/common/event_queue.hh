@@ -43,8 +43,11 @@ class EventQueue
     runUntil(Cycle upto)
     {
         while (!heap.empty() && heap.top().when <= upto) {
-            // Copy out before pop: the callback may schedule new events.
-            Event ev = heap.top();
+            // Move out before pop: the callback may schedule new
+            // events.  Moving from the top is safe — the comparator
+            // only reads the scalar (when, tieBreaker) fields, which
+            // the move leaves intact.
+            Event ev = std::move(const_cast<Event &>(heap.top()));
             heap.pop();
             now = ev.when;
             ev.cb();

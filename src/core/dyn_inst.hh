@@ -26,6 +26,14 @@ struct FetchCheckpoint
 {
     std::array<std::uint64_t, kNumArchRegs> regs;
     ReturnAddressStack::Snapshot ras;
+
+    /**
+     * Shared-fetch-stream resume point: the stream index of the first
+     * instruction after this control inst on the correct path.  Only
+     * meaningful when the core is fed by a SharedFetchStream
+     * (core/fetch_stream.hh); a squash restores the stream cursor here.
+     */
+    std::size_t streamNext = 0;
 };
 
 /**
@@ -120,6 +128,8 @@ class DynInst
     Cycle completeCycle = 0;
 
     int lsqIndex = -1;
+    std::int8_t lsqCls = -1;      ///< cached LSQ conflict class (-1 = stale)
+    SeqNum lsqBlockSeq = 0;       ///< older store the cached class depends on
     bool addrReady = false;       ///< address generation finished
     bool memAccessDone = false;   ///< load data returned
     bool memAccessSent = false;

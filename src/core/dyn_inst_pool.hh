@@ -67,6 +67,24 @@ class DynInstPool
         return DynInstPtr(inst);
     }
 
+    /**
+     * Hand out a recycled fetch checkpoint, or null when none is
+     * banked.  Checkpoints are salvaged from dying instructions in
+     * recycle(), so the steady-state control-inst fetch path reuses
+     * the ~0.5 KiB register-snapshot allocation instead of paying
+     * new/delete per branch.  Every field is overwritten by the
+     * caller, so no clearing is needed here.
+     */
+    std::unique_ptr<FetchCheckpoint>
+    takeCheckpoint()
+    {
+        if (ckptFree_.empty())
+            return nullptr;
+        auto ckpt = std::move(ckptFree_.back());
+        ckptFree_.pop_back();
+        return ckpt;
+    }
+
     std::size_t liveCount() const { return live_; }
     std::size_t slabCount() const { return slabs_.size(); }
     std::uint64_t slotsAllocated() const { return allocated_; }
@@ -79,6 +97,8 @@ class DynInstPool
     void
     recycle(DynInst *inst)
     {
+        if (inst->checkpoint && ckptFree_.size() < kCkptFreeCap)
+            ckptFree_.push_back(std::move(inst->checkpoint));
         inst->~DynInst();
         free_.push_back(inst);
         SCIQ_ASSERT(live_ > 0, "DynInstPool recycle underflow");
@@ -97,10 +117,15 @@ class DynInstPool
         return base + (nextInSlab_++) * sizeof(DynInst);
     }
 
+    /** Bound on banked checkpoints: more in-flight control insts than
+     *  this implies an ROB far larger than any swept configuration. */
+    static constexpr std::size_t kCkptFreeCap = 512;
+
     std::size_t slabInsts_;
     std::size_t nextInSlab_ = 0;
     std::vector<std::unique_ptr<std::byte[]>> slabs_;
     std::vector<void *> free_;
+    std::vector<std::unique_ptr<FetchCheckpoint>> ckptFree_;
     std::size_t live_ = 0;
     std::uint64_t allocated_ = 0;
     std::uint64_t reused_ = 0;

@@ -1,0 +1,65 @@
+#include "fetch_stream.hh"
+
+#include "isa/exec_impl.hh"
+
+namespace sciq {
+
+SharedFetchStream::SharedFetchStream(
+    const Program &program,
+    const std::array<std::uint64_t, kNumArchRegs> &regs,
+    const SparseMemory &memory, Addr start_pc)
+    : program_(program), mem_(memory), regs_(regs), pc_(start_pc),
+      bb_(program_)
+{
+}
+
+bool
+SharedFetchStream::produceOne()
+{
+    if (ended_)
+        return false;
+
+    if (curBb_ == nullptr || opIdx_ >= curBb_->ops.size()) {
+        curBb_ = bb_.lookup(pc_);
+        opIdx_ = 0;
+        if (curBb_ == nullptr) {
+            // The correct path left the program image: stop producing;
+            // consumers fall back to local oracle execution (which
+            // raises the same fetch-invalid condition the reference
+            // core would).
+            ended_ = true;
+            return false;
+        }
+    }
+
+    const BbOp &op = curBb_->ops[opIdx_];
+    ProducerContext xc{regs_, mem_};
+    const ExecResult res = executeImpl(op.inst, pc_, xc);
+
+    FetchStreamEntry e;
+    e.inst = op.inst;
+    e.pc = pc_;
+    e.nextPc = res.nextPc;
+    e.effAddr = res.effAddr;
+    e.memValue = res.memValue;
+    e.dstValue = xc.wroteValue;
+    e.dstReg = xc.wroteReg;
+    e.taken = res.taken;
+    e.halted = res.halted;
+    entries_.push_back(e);
+
+    pc_ = res.nextPc;
+    if (res.halted) {
+        ended_ = true;
+        return true;
+    }
+
+    ++opIdx_;
+    if (opIdx_ >= curBb_->ops.size()) {
+        curBb_ = bb_.successor(curBb_, res.nextPc, res.taken);
+        opIdx_ = 0;
+    }
+    return true;
+}
+
+} // namespace sciq

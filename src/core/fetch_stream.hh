@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared correct-path fetch stream for batched lockstep simulation
+ * (DESIGN.md §15).
+ *
+ * Oracle-at-fetch execution means every correct-path instruction's
+ * oracle outcome (next PC, effective address, memory value, written
+ * register) is a pure function of the workload and the warm-up state —
+ * it does not depend on the IQ geometry, predictor contents or cache
+ * configuration of the core consuming it.  This class materialises
+ * that sequence once: a demand-grown trace of decoded instructions
+ * plus their oracle results, produced by replaying the program
+ * functionally through the PR 6 basic-block cache.
+ *
+ * K cores running the same workload each hold a cursor into the stream
+ * and replace their correct-path fetch-stage oracle execution with a
+ * table read; wrong-path fetch (which genuinely diverges per core with
+ * its private branch predictor) still executes locally on the core's
+ * speculative state.  Consumed entries below every cursor's possible
+ * resume point are trimmed so memory stays bounded by pipeline skew,
+ * not run length.
+ *
+ * Single-threaded: one lockstep batch (and therefore one stream) is
+ * driven by one worker thread.
+ */
+
+#ifndef SCIQ_CORE_FETCH_STREAM_HH
+#define SCIQ_CORE_FETCH_STREAM_HH
+
+#include <array>
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/bb_cache.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+#include "isa/sparse_memory.hh"
+
+namespace sciq {
+
+/** One correct-path instruction with its oracle-execution outcome. */
+struct FetchStreamEntry
+{
+    Instruction inst;         ///< decoded static instruction (by value)
+    Addr pc = 0;
+    Addr nextPc = 0;          ///< architected successor
+    Addr effAddr = 0;         ///< memory ops: effective address
+    std::uint64_t memValue = 0;  ///< load result / store data
+    std::uint64_t dstValue = 0;  ///< value written to dstReg
+    RegIndex dstReg = kInvalidReg;  ///< register written (invalid = none)
+    bool taken = false;
+    bool halted = false;
+};
+
+class SharedFetchStream
+{
+  public:
+    /**
+     * Start producing from the given architectural state — the state
+     * every consumer core was seeded with (entry state, or the shared
+     * post-warm-up checkpoint state).
+     */
+    SharedFetchStream(const Program &program,
+                      const std::array<std::uint64_t, kNumArchRegs> &regs,
+                      const SparseMemory &memory, Addr start_pc);
+
+    /**
+     * The entry at absolute stream index `idx`, growing the stream on
+     * demand.  Returns nullptr once the correct path has ended (HALT
+     * executed, or fetch left the program image) before `idx`; callers
+     * fall back to local execution.  `idx` must be >= base().
+     */
+    const FetchStreamEntry *
+    entry(std::size_t idx)
+    {
+        SCIQ_ASSERT(idx >= base_, "fetch stream entry %zu below base %zu",
+                    idx, base_);
+        while (idx - base_ >= entries_.size()) {
+            if (!produceOne())
+                return nullptr;
+        }
+        return &entries_[idx - base_];
+    }
+
+    /**
+     * Release entries below `floor`.  Safe floor: the minimum number of
+     * committed-since-seed instructions across the attached cores — a
+     * committed instruction's stream slot can never be re-read (squash
+     * resume points are always younger than the commit point).
+     */
+    void
+    trim(std::size_t floor)
+    {
+        while (base_ < floor && !entries_.empty()) {
+            entries_.pop_front();
+            ++base_;
+        }
+    }
+
+    /** Absolute index of the oldest retained entry. */
+    std::size_t base() const { return base_; }
+
+    /** Total entries produced so far (absolute index of the next one). */
+    std::size_t produced() const { return base_ + entries_.size(); }
+
+  private:
+    /** Execute one correct-path instruction; false when the path ends. */
+    bool produceOne();
+
+    /**
+     * Direct execution context over the producer's architectural state,
+     * recording which register the instruction wrote.  Stores write the
+     * producer's memory immediately — in program order this is exactly
+     * the store-queue-over-committed-memory view the core's fetch-time
+     * oracle uses.
+     */
+    struct ProducerContext
+    {
+        std::array<std::uint64_t, kNumArchRegs> &regs;
+        SparseMemory &mem;
+        RegIndex wroteReg = kInvalidReg;
+        std::uint64_t wroteValue = 0;
+
+        std::uint64_t readReg(RegIndex r) { return regs[r]; }
+        void
+        writeReg(RegIndex r, std::uint64_t v)
+        {
+            regs[r] = v;
+            wroteReg = r;
+            wroteValue = v;
+        }
+        std::uint64_t readMem(Addr addr, unsigned size)
+        {
+            return mem.read(addr, size);
+        }
+        void writeMem(Addr addr, unsigned size, std::uint64_t v)
+        {
+            mem.write(addr, size, v);
+        }
+    };
+
+    /** Owned copy so callers may pass temporaries safely. */
+    Program program_;
+    SparseMemory mem_;
+    std::array<std::uint64_t, kNumArchRegs> regs_;
+    Addr pc_;
+    bool ended_ = false;
+
+    BbCache bb_;
+    BasicBlock *curBb_ = nullptr;
+    std::size_t opIdx_ = 0;
+
+    std::deque<FetchStreamEntry> entries_;
+    std::size_t base_ = 0;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_CORE_FETCH_STREAM_HH

@@ -6,6 +6,20 @@
 
 namespace sciq {
 
+namespace {
+
+/** Insert into an age-ordered list (usually at the tail). */
+void
+insertByAge(std::vector<DynInstPtr> &list, const DynInstPtr &inst)
+{
+    auto it = list.end();
+    while (it != list.begin() && (*(it - 1))->seq > inst->seq)
+        --it;
+    list.insert(it, inst);
+}
+
+} // namespace
+
 Lsq::Lsq(unsigned capacity, Cache &dcache_, FuPool &fu_,
          const Scoreboard &scoreboard_, Callbacks callbacks)
     : entries(capacity), dcache(dcache_), fu(fu_),
@@ -28,54 +42,84 @@ Lsq::insert(const DynInstPtr &inst)
 {
     SCIQ_ASSERT(!entries.full(), "LSQ overflow");
     inst->lsqIndex = 0;  // meaningful only as "is in LSQ"
-    entries.pushBack(Entry{inst, false});
+    inst->lsqCls = -1;
+    inst->lsqBlockSeq = 0;
+    entries.pushBack(inst);
+    if (inst->isStore())
+        storeList.push_back(inst);
 }
 
 void
 Lsq::setAddrReady(const DynInstPtr &inst, Cycle cycle)
 {
     inst->addrReady = true;
-    // Stores whose data is already available become commit-eligible
-    // immediately; others are caught by tick()'s scan.
     if (inst->isStore()) {
+        // The store's address is now known: loads whose conservative
+        // wait depended on it must re-classify.
+        storeEvent(inst->seq);
+        // Stores whose data is already available become commit-eligible
+        // immediately; others wait on tick()'s data-ready list.
         RegIndex data_reg = inst->physSrc[1];
         if (scoreboard.isReady(data_reg))
             cb.onStoreReady(inst, cycle);
+        if (!inst->completed)
+            insertByAge(dataWaitStores, inst);
+    } else {
+        insertByAge(pendingLoads, inst);
     }
 }
 
 int
-Lsq::classifyLoad(std::size_t idx) const
+Lsq::classifyLoad(const DynInstPtr &load) const
 {
-    const DynInstPtr &load = entries[idx].inst;
     const Addr lo = load->effAddr;
     const Addr hi = lo + load->staticInst.memSize();
 
-    // Scan older entries youngest-first so the first overlapping store
+    // Scan older stores youngest-first so the first overlapping store
     // found is the forwarding candidate.
-    for (std::size_t j = idx; j-- > 0;) {
-        const DynInstPtr &st = entries[j].inst;
-        if (!st->isStore())
-            continue;
-        if (!st->addrReady)
-            return 2;  // unknown older address: conservative wait
+    auto it = std::upper_bound(
+        storeList.begin(), storeList.end(), load->seq,
+        [](SeqNum seq, const DynInstPtr &st) { return seq < st->seq; });
+    int cls = 0;
+    SeqNum dep = 0;
+    while (it != storeList.begin()) {
+        const DynInstPtr &st = *--it;
+        if (!st->addrReady) {
+            cls = 2;  // unknown older address: conservative wait
+            dep = st->seq;
+            break;
+        }
         const Addr slo = st->effAddr;
         const Addr shi = slo + st->staticInst.memSize();
         if (slo < hi && lo < shi) {
             // Overlap: forward only on full coverage with ready data.
             const bool covers = slo <= lo && shi >= hi;
             const bool data_ready = scoreboard.isReady(st->physSrc[1]);
-            return (covers && data_ready) ? 1 : 2;
+            cls = (covers && data_ready) ? 1 : 2;
+            dep = st->seq;
+            break;
         }
     }
-    return 0;
+    load->lsqCls = static_cast<std::int8_t>(cls);
+    load->lsqBlockSeq = dep;
+    return cls;
 }
 
 void
-Lsq::sendLoadAccess(Entry &entry, Cycle cycle)
+Lsq::storeEvent(SeqNum seq)
 {
-    DynInstPtr inst = entry.inst;
-    entry.accessSent = true;
+    // Only classes 1/2 carry a store dependence; class 0 ("no older
+    // store can match") cannot be broken by resolving, completing or
+    // committing a store, so it stays cached until the load issues.
+    for (const DynInstPtr &load : pendingLoads) {
+        if (load->lsqCls > 0 && load->lsqBlockSeq == seq)
+            load->lsqCls = -1;
+    }
+}
+
+void
+Lsq::sendLoadAccess(const DynInstPtr &inst, Cycle cycle)
+{
     inst->memAccessSent = true;
     loadsIssued.inc();
     ++pendingAccesses;
@@ -126,50 +170,75 @@ Lsq::tick(Cycle cycle)
     }
 
     // 3. Stores whose data just became ready are now commit-eligible.
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        Entry &e = entries[i];
-        if (e.inst->isStore() && e.inst->addrReady && !e.inst->completed &&
-            scoreboard.isReady(e.inst->physSrc[1])) {
-            cb.onStoreReady(e.inst, cycle);
+    //    The list holds only address-ready stores still waiting on
+    //    their data register, oldest first.
+    if (!dataWaitStores.empty()) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < dataWaitStores.size(); ++i) {
+            DynInstPtr &inst = dataWaitStores[i];
+            if (inst->completed || inst->squashed)
+                continue;  // drop
+            if (scoreboard.isReady(inst->physSrc[1])) {
+                storeEvent(inst->seq);
+                cb.onStoreReady(inst, cycle);
+                if (inst->completed)
+                    continue;  // drop
+            }
+            dataWaitStores[keep++] = std::move(inst);
         }
+        dataWaitStores.resize(keep);
     }
 
     // 4. Issue ready loads (oldest first; non-conflicting loads may
-    //    bypass stalled ones).
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        Entry &e = entries[i];
-        DynInstPtr &inst = e.inst;
-        if (!inst->isLoad() || !inst->addrReady || e.accessSent ||
-            inst->memAccessDone) {
-            continue;
+    //    bypass stalled ones).  Once the cache ports are exhausted the
+    //    remaining loads are not examined this cycle, matching the
+    //    original scan's early exit.
+    if (!pendingLoads.empty()) {
+        std::size_t keep = 0;
+        bool ports_exhausted = false;
+        for (std::size_t i = 0; i < pendingLoads.size(); ++i) {
+            DynInstPtr &inst = pendingLoads[i];
+            if (ports_exhausted) {
+                pendingLoads[keep++] = std::move(inst);
+                continue;
+            }
+            const int cls =
+                inst->lsqCls >= 0 ? inst->lsqCls : classifyLoad(inst);
+            if (cls == 2) {
+                loadConflictStalls.inc();
+                pendingLoads[keep++] = std::move(inst);
+                continue;
+            }
+            if (!fu.tryAcquirePort(cycle)) {
+                portStalls.inc();
+                ports_exhausted = true;
+                pendingLoads[keep++] = std::move(inst);
+                continue;
+            }
+            if (cls == 1) {
+                inst->memAccessSent = true;
+                inst->loadForwarded = true;
+                loadForwards.inc();
+                pendingForwards.emplace_back(inst, cycle + 1);
+            } else {
+                sendLoadAccess(inst, cycle);
+            }
         }
-        int cls = classifyLoad(i);
-        if (cls == 2) {
-            loadConflictStalls.inc();
-            continue;
-        }
-        if (!fu.tryAcquirePort(cycle)) {
-            portStalls.inc();
-            break;  // all ports consumed this cycle
-        }
-        if (cls == 1) {
-            e.accessSent = true;
-            inst->memAccessSent = true;
-            inst->loadForwarded = true;
-            loadForwards.inc();
-            pendingForwards.emplace_back(inst, cycle + 1);
-        } else {
-            sendLoadAccess(e, cycle);
-        }
+        pendingLoads.resize(keep);
     }
 }
 
 void
 Lsq::commitStore(const DynInstPtr &inst, Cycle cycle)
 {
-    SCIQ_ASSERT(!entries.empty() && entries.front().inst == inst,
+    SCIQ_ASSERT(!entries.empty() && entries.front() == inst,
                 "committing store that is not the LSQ head");
     entries.popFront();
+    SCIQ_ASSERT(!storeList.empty() && storeList.front() == inst,
+                "store list out of sync at commit");
+    storeList.pop_front();
+    // The departed store can unblock loads that were waiting on it.
+    storeEvent(inst->seq);
     inst->lsqIndex = -1;
     drainBuffer.emplace_back(inst->effAddr, inst->staticInst.memSize());
     (void)cycle;
@@ -178,7 +247,7 @@ Lsq::commitStore(const DynInstPtr &inst, Cycle cycle)
 void
 Lsq::commitLoad(const DynInstPtr &inst)
 {
-    SCIQ_ASSERT(!entries.empty() && entries.front().inst == inst,
+    SCIQ_ASSERT(!entries.empty() && entries.front() == inst,
                 "committing load that is not the LSQ head");
     entries.popFront();
     inst->lsqIndex = -1;
@@ -187,8 +256,20 @@ Lsq::commitLoad(const DynInstPtr &inst)
 void
 Lsq::squash(SeqNum youngest_kept)
 {
-    while (!entries.empty() && entries.back().inst->seq > youngest_kept)
+    while (!entries.empty() && entries.back()->seq > youngest_kept)
         entries.popBack();
+    while (!storeList.empty() && storeList.back()->seq > youngest_kept)
+        storeList.pop_back();
+    // Squashed entries are strictly younger than every survivor, so no
+    // surviving load's cached class can depend on a removed store.
+    while (!pendingLoads.empty() &&
+           pendingLoads.back()->seq > youngest_kept) {
+        pendingLoads.pop_back();
+    }
+    while (!dataWaitStores.empty() &&
+           dataWaitStores.back()->seq > youngest_kept) {
+        dataWaitStores.pop_back();
+    }
     pendingForwards.erase(
         std::remove_if(pendingForwards.begin(), pendingForwards.end(),
                        [youngest_kept](const auto &p) {

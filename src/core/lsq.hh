@@ -6,6 +6,17 @@
  * address is known and it provably does not conflict with any older
  * pending store; fully-covering older stores with ready data forward
  * directly.  Stores access the cache after commit from a drain buffer.
+ *
+ * Scheduling is event-driven (DESIGN.md §11/§15): instead of scanning
+ * every entry every cycle, the queue keeps age-ordered side lists of
+ * the instructions that can actually make progress — address-ready
+ * loads that have not issued, and address-ready stores still waiting
+ * for their data register — plus a per-load conflict-class cache that
+ * is invalidated only by events on the older store it depends on
+ * (address resolution, data arrival, commit).  Issue order, stall
+ * accounting and forwarding latency are bit-identical to the original
+ * full-scan formulation; the golden-stats harness and the sched-index
+ * differential suite pin that equivalence.
  */
 
 #ifndef SCIQ_CORE_LSQ_HH
@@ -74,21 +85,22 @@ class Lsq
     stats::Scalar portStalls;
 
   private:
-    struct Entry
-    {
-        DynInstPtr inst;
-        bool accessSent = false;
-    };
-
     /**
-     * Conflict scan for the load in `entries[idx]`.
+     * Conflict scan for `load` against the older stores still queued.
+     * Caches the result (and the store it depends on) on the DynInst.
      * @return 0 = free to access cache, 1 = can forward, 2 = must wait.
      */
-    int classifyLoad(std::size_t idx) const;
+    int classifyLoad(const DynInstPtr &load) const;
 
-    void sendLoadAccess(Entry &entry, Cycle cycle);
+    /**
+     * A store changed state (address resolved, data arrived, committed):
+     * drop every cached load classification that depended on it.
+     */
+    void storeEvent(SeqNum seq);
 
-    CircularQueue<Entry> entries;
+    void sendLoadAccess(const DynInstPtr &inst, Cycle cycle);
+
+    CircularQueue<DynInstPtr> entries;
     Cache &dcache;
     FuPool &fu;
     const Scoreboard &scoreboard;
@@ -100,6 +112,15 @@ class Lsq
 
     /** Forwarded loads completing next cycle. */
     std::vector<std::pair<DynInstPtr, Cycle>> pendingForwards;
+
+    /** Stores still in the queue, oldest first (conflict scans). */
+    std::deque<DynInstPtr> storeList;
+
+    /** Address-ready loads not yet issued, oldest first. */
+    std::vector<DynInstPtr> pendingLoads;
+
+    /** Address-ready, not-yet-completed stores, oldest first. */
+    std::vector<DynInstPtr> dataWaitStores;
 
     unsigned pendingAccesses = 0;
 };

@@ -1,6 +1,7 @@
 #include "ooo_core.hh"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "core/fetch_stream.hh"
 #include "iq/fifo_iq.hh"
 #include "iq/ideal_iq.hh"
 #include "iq/prescheduled_iq.hh"
@@ -88,6 +90,13 @@ OooCore::OooCore(const Program &program_, const CoreParams &params_)
 
     program.load(commitMem);
 
+    // ~0 is never a line address (lines are aligned), so it marks an
+    // empty memo slot.
+    readyLineMemo.fill(~static_cast<Addr>(0));
+    icLineMask = ~static_cast<Addr>(mem.icache().lineBytes() - 1);
+    icLineShift = static_cast<unsigned>(
+        std::countr_zero(static_cast<Addr>(mem.icache().lineBytes())));
+
     if (params.warmICache) {
         const unsigned line = mem.icache().lineBytes();
         for (Addr pc = program.base();
@@ -147,6 +156,14 @@ OooCore::FetchContext::readMem(Addr addr, unsigned size)
     // the store queue fills every covered byte from its youngest
     // producer - equivalent to the per-byte youngest-first search, at
     // one queue walk per load instead of one per byte.
+    const Addr lineLo = addr >> kSpecLineShift;
+    const Addr lineHi = (addr + size - 1) >> kSpecLineShift;
+    bool overlapPossible = false;
+    for (Addr l = lineLo; l <= lineHi; ++l)
+        overlapPossible |= core.specStoreLines[l & (kSpecLineBuckets - 1)] != 0;
+    if (!overlapPossible)
+        return core.commitMem.read(addr, size);
+
     std::uint64_t value = 0;
     unsigned filled = 0;  // per-byte bitmask; size <= 8
     const unsigned all = (size >= 8) ? 0xffu : ((1u << size) - 1u);
@@ -182,18 +199,40 @@ OooCore::FetchContext::readMem(Addr addr, unsigned size)
     return value;
 }
 
+void
+OooCore::trackSpecStore(const DynInst &st, int delta)
+{
+    const Addr lo = st.effAddr >> kSpecLineShift;
+    const Addr hi =
+        (st.effAddr + st.staticInst.memSize() - 1) >> kSpecLineShift;
+    for (Addr l = lo; l <= hi; ++l) {
+        specStoreLines[l & (kSpecLineBuckets - 1)] =
+            static_cast<std::uint16_t>(
+                specStoreLines[l & (kSpecLineBuckets - 1)] + delta);
+    }
+}
+
 bool
 OooCore::lineReady(Addr pc)
 {
-    const Addr line = pc & ~static_cast<Addr>(mem.icache().lineBytes() - 1);
+    const Addr line = pc & icLineMask;
+    Addr &memo = readyLineMemo[(line >> icLineShift) & (kReadyMemoSize - 1)];
+    if (memo == line)
+        return true;
     auto it = lineReadyAt.find(line);
-    return it != lineReadyAt.end() && it->second <= curCycle;
+    if (it != lineReadyAt.end() && it->second <= curCycle) {
+        memo = line;
+        return true;
+    }
+    return false;
 }
 
 void
 OooCore::touchLine(Addr pc)
 {
-    const Addr line = pc & ~static_cast<Addr>(mem.icache().lineBytes() - 1);
+    const Addr line = pc & icLineMask;
+    if (readyLineMemo[(line >> icLineShift) & (kReadyMemoSize - 1)] == line)
+        return;  // observed ready; nothing to start
     if (lineReadyAt.count(line))
         return;  // ready or in flight
     lineReadyAt[line] = kCycleNever;
@@ -272,12 +311,28 @@ OooCore::fetchStage()
         // Prefetch the sequential successor line.
         touchLine(fetchPc + mem.icache().lineBytes());
 
-        const Instruction *si = program.fetch(fetchPc);
-        if (!si) {
-            // Wrong-path fetch ran off the program image; wait for the
-            // redirect.
-            fetchInvalid = true;
-            break;
+        // On the correct path the shared stream (when attached) supplies
+        // the decoded instruction and its oracle outcome; wrong-path
+        // fetch diverges per core and always executes locally.
+        const FetchStreamEntry *se = nullptr;
+        if (fetchStream && !wrongPathMode)
+            se = fetchStream->entry(streamIdx);
+
+        const Instruction *si;
+        if (se) {
+            SCIQ_ASSERT(se->pc == fetchPc,
+                        "fetch stream desync: stream pc %llx, core pc %llx",
+                        (unsigned long long)se->pc,
+                        (unsigned long long)fetchPc);
+            si = &se->inst;
+        } else {
+            si = program.fetch(fetchPc);
+            if (!si) {
+                // Wrong-path fetch ran off the program image; wait for
+                // the redirect.
+                fetchInvalid = true;
+                break;
+            }
         }
 
         if (si->isControl() && branches >= params.maxBranchesPerFetch)
@@ -292,19 +347,37 @@ OooCore::fetchStage()
         inst->archSrc = si->srcRegs();
         inst->archDst = si->dstReg();
 
-        // Oracle execution on the speculative state.
-        xc.wroteReg = false;
-        ExecResult res = execute(*si, fetchPc, xc);
-        inst->oracleNextPc = res.nextPc;
-        inst->oracleTaken = res.taken;
-        inst->isHalt = res.halted;
-        inst->effAddr = res.effAddr;
-        inst->memValue = res.memValue;
-        if (xc.wroteReg)
-            inst->dstValue = xc.lastValue;
+        if (se) {
+            // Replay the precomputed oracle outcome onto the
+            // speculative state (a stream entry records at most one
+            // written register - exec_impl has a single writeReg site).
+            inst->oracleNextPc = se->nextPc;
+            inst->oracleTaken = se->taken;
+            inst->isHalt = se->halted;
+            inst->effAddr = se->effAddr;
+            inst->memValue = se->memValue;
+            if (se->dstReg != kInvalidReg) {
+                specRegs[se->dstReg] = se->dstValue;
+                inst->dstValue = se->dstValue;
+            }
+            ++streamIdx;
+        } else {
+            // Oracle execution on the speculative state.
+            xc.wroteReg = false;
+            ExecResult res = execute(*si, fetchPc, xc);
+            inst->oracleNextPc = res.nextPc;
+            inst->oracleTaken = res.taken;
+            inst->isHalt = res.halted;
+            inst->effAddr = res.effAddr;
+            inst->memValue = res.memValue;
+            if (xc.wroteReg)
+                inst->dstValue = xc.lastValue;
+        }
 
-        if (inst->isStore())
+        if (inst->isStore()) {
             storeQueueSpec.push_back(inst);
+            trackSpecStore(*inst, +1);
+        }
 
         inst->predictedNextPc = fetchPc + kInstBytes;
         if (si->isControl()) {
@@ -312,14 +385,17 @@ OooCore::fetchStage()
             predictControl(inst);
         }
         inst->mispredicted = inst->predictedNextPc != inst->oracleNextPc &&
-                             !res.halted;
+                             !inst->isHalt;
 
         // Checkpoint fetch state after executing the control inst so a
         // squash can restart cleanly at its successor.
         if (si->isControl()) {
-            inst->checkpoint = std::make_unique<FetchCheckpoint>();
+            inst->checkpoint = instPool.takeCheckpoint();
+            if (!inst->checkpoint)
+                inst->checkpoint = std::make_unique<FetchCheckpoint>();
             inst->checkpoint->regs = specRegs;
             inst->checkpoint->ras = ras.snapshot();
+            inst->checkpoint->streamNext = streamIdx;
         }
 
         inst->dispatchReadyCycle = curCycle + params.fetchToDecode +
@@ -332,7 +408,7 @@ OooCore::fetchStage()
             wrongPathInsts.inc();
         ++fetched;
 
-        if (res.halted) {
+        if (inst->isHalt) {
             fetchHalted = true;
             break;
         }
@@ -511,8 +587,10 @@ OooCore::doSquash()
 
     iq->squash(target);
     lsq->squash(target);
-    while (!storeQueueSpec.empty() && storeQueueSpec.back()->seq > target)
+    while (!storeQueueSpec.empty() && storeQueueSpec.back()->seq > target) {
+        trackSpecStore(*storeQueueSpec.back(), -1);
         storeQueueSpec.pop_back();
+    }
 
     // Restore the speculative fetch state from the branch's checkpoint.
     SCIQ_ASSERT(branch->checkpoint != nullptr,
@@ -527,6 +605,7 @@ OooCore::doSquash()
     fetchHalted = false;
     fetchInvalid = false;
     wrongPathMode = branch->onWrongPath;
+    streamIdx = branch->checkpoint->streamNext;
     fetchResumeCycle = curCycle + 1;
 }
 
@@ -553,6 +632,7 @@ OooCore::commitStage()
             SCIQ_ASSERT(!storeQueueSpec.empty() &&
                             storeQueueSpec.front() == inst,
                         "spec store queue out of sync at commit");
+            trackSpecStore(*inst, -1);
             storeQueueSpec.pop_front();
             committedStores.inc();
         } else if (inst->isLoad()) {
@@ -654,6 +734,15 @@ OooCore::seedState(const std::array<std::uint64_t, kNumArchRegs> &regs,
     committedRegs = regs;
     commitMem = memory_image;
     fetchPc = start_pc;
+}
+
+void
+OooCore::attachFetchStream(SharedFetchStream *stream)
+{
+    SCIQ_ASSERT(curCycle == 0 && nextSeq == 1,
+                "attachFetchStream after simulation started");
+    fetchStream = stream;
+    streamIdx = 0;
 }
 
 void

@@ -43,6 +43,8 @@
 
 namespace sciq {
 
+class SharedFetchStream;
+
 /** Which instruction-queue design drives the core. */
 enum class IqKind
 {
@@ -160,6 +162,25 @@ class OooCore
      */
     void seedState(const std::array<std::uint64_t, kNumArchRegs> &regs,
                    const SparseMemory &memory_image, Addr start_pc);
+
+    /**
+     * Feed correct-path fetch from a shared oracle stream (batched
+     * lockstep simulation, DESIGN.md §15).  Must be attached after
+     * seedState() and before the first tick(); the stream must have
+     * been constructed from the same architectural state this core was
+     * seeded with.  Wrong-path fetch still executes locally.
+     */
+    void attachFetchStream(SharedFetchStream *stream);
+
+    /**
+     * Trim floor for the attached stream: entries below the number of
+     * committed-since-seed instructions can never be re-read (squash
+     * resume points are always younger than the commit point).
+     */
+    std::uint64_t streamTrimFloor() const { return committedCount(); }
+
+    /** Next fetch PC (stream seeding; equals start PC before tick 0). */
+    Addr fetchProgramCounter() const { return fetchPc; }
 
     /** Attach a pipeline-event observer (tracing); may be null. */
     void setObserver(CommitObserver *obs) { observer = obs; }
@@ -286,17 +307,39 @@ class OooCore
 
     // Speculative fetch state.
     std::array<std::uint64_t, kNumArchRegs> specRegs{};
+    SharedFetchStream *fetchStream = nullptr;  ///< shared oracle stream
+    std::size_t streamIdx = 0;  ///< cursor: next correct-path entry
     Addr fetchPc;
     bool fetchHalted = false;   ///< HALT seen on the (spec) fetch path
     bool fetchInvalid = false;  ///< fetch ran off the program image
     bool wrongPathMode = false;
     Cycle fetchResumeCycle = 0;
     std::deque<DynInstPtr> storeQueueSpec;
+
+    // Line-granular presence counters over storeQueueSpec (64-byte
+    // lines, hashed into 256 buckets).  A fetch-path load whose lines
+    // all count zero provably overlaps no in-flight store and reads
+    // committed memory directly; collisions only cost a spurious
+    // queue walk, never a wrong value.
+    static constexpr unsigned kSpecLineShift = 6;
+    static constexpr unsigned kSpecLineBuckets = 256;
+    std::array<std::uint16_t, kSpecLineBuckets> specStoreLines{};
+    void trackSpecStore(const DynInst &st, int delta);
+
     std::deque<DynInstPtr> frontEndQueue;
     std::size_t frontEndCap;
 
     // I-cache line tracking.
     std::unordered_map<Addr, Cycle> lineReadyAt;  ///< kCycleNever = pending
+
+    // Direct-mapped memo of lines already observed ready.  A ready
+    // line can never become pending again (lineReadyAt values only
+    // ever transition toward ready and curCycle is monotone), so a
+    // memo hit is final and skips the map lookup on the fetch path.
+    static constexpr std::size_t kReadyMemoSize = 64;
+    std::array<Addr, kReadyMemoSize> readyLineMemo;
+    Addr icLineMask = 0;        ///< ~(lineBytes - 1)
+    unsigned icLineShift = 0;   ///< log2(lineBytes)
 
     // Completion schedule: a cycle-bucketed ring indexed by
     // (cycle & wbMask).  Capacity is a power of two strictly greater

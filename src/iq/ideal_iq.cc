@@ -81,8 +81,9 @@ IdealIq::issueSelect(Cycle, const TryIssue &try_issue)
     unsigned issued = 0;
     for (auto it = readyList.begin();
          it != readyList.end() && issued < params.issueWidth;) {
-        DynInstPtr inst = *it;
-        if (operandsReady(*inst) && try_issue(inst)) {
+        // Copy (and so refcount) only the entry actually issued.
+        if (operandsReady(**it) && try_issue(*it)) {
+            DynInstPtr inst = *it;
             instsIssued.inc();
             ++issued;
             inst->ideal.inQueue = false;

@@ -273,6 +273,8 @@ SegmentedIq::canInsert(const DynInstPtr &inst)
         return false;
     }
     Plan plan = computePlan(inst, false);
+    planMemo = plan;
+    planMemoSeq = inst->seq;
     if (plan.needNewChain && !chains.available()) {
         chainStalls.inc();
         return false;
@@ -297,7 +299,17 @@ SegmentedIq::insert(const DynInstPtr &inst, Cycle)
     const int target = targetSegment();
     SCIQ_ASSERT(target >= 0, "insert into full segmented IQ");
 
-    Plan plan = computePlan(inst, true);
+    Plan plan;
+    if (planMemoSeq == inst->seq) {
+        plan = planMemo;
+        if (plan.usedLrp)
+            lrp->predictLeftCritical(inst->pc);
+        if (plan.usedHmp)
+            hmp->predictHit(inst->pc);
+    } else {
+        plan = computePlan(inst, true);
+    }
+    planMemoSeq = kInvalidSeqNum;
     SCIQ_ASSERT(!plan.needNewChain || chains.available(),
                 "insert without a free chain");
 
@@ -685,11 +697,13 @@ SegmentedIq::issueSelect(Cycle cycle, const TryIssue &try_issue)
     unsigned ready = 0;
     unsigned issued = 0;
     for (auto it = seg0.begin(); it != seg0.end();) {
-        DynInstPtr inst = *it;
-        const bool r = operandsReady(*inst);
+        // No refcounted copy on the scan path: the pointer is only
+        // pinned (below) for the entry actually issued and erased.
+        const bool r = operandsReady(**it);
         if (r)
             ++ready;
-        if (r && issued < params.issueWidth && try_issue(inst)) {
+        if (r && issued < params.issueWidth && try_issue(*it)) {
+            DynInstPtr inst = *it;
             instsIssued.inc();
             ++issued;
             ++issuedThisCycle;

@@ -358,6 +358,16 @@ class SegmentedIq : public IqBase
     std::array<RegInfoEntry, kNumArchRegs> regInfo;
     std::deque<Undo> undoLog;
 
+    // canInsert -> insert plan memo.  Dispatch always probes canInsert
+    // immediately before insert with no intervening queue mutation, so
+    // insert can reuse the admission plan instead of recomputing it;
+    // insert re-issues the stat-counting predictor reads the peek-mode
+    // pass skipped (predict and peek return identical values).  A seq
+    // mismatch (e.g. insert without a matching probe) falls back to a
+    // full computePlan.
+    SeqNum planMemoSeq = kInvalidSeqNum;
+    Plan planMemo;
+
     mutable ChainAllocator chains;
     HitMissPredictor *hmp;
     LeftRightPredictor *lrp;

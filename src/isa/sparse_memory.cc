@@ -28,6 +28,17 @@ SparseMemory::read(Addr addr, unsigned size) const
 {
     SCIQ_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
     std::uint64_t val = 0;
+    if (((addr ^ (addr + size - 1)) >> kPageShift) == 0) {
+        // Fast path: the access stays within one page, so one map
+        // lookup serves every byte.
+        const Page *p = findPage(addr);
+        if (!p)
+            return 0;
+        const std::size_t off = addr & (kPageSize - 1);
+        for (unsigned i = 0; i < size; ++i)
+            val |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        return val;
+    }
     for (unsigned i = 0; i < size; ++i) {
         Addr a = addr + i;
         const Page *p = findPage(a);
@@ -41,6 +52,13 @@ void
 SparseMemory::write(Addr addr, unsigned size, std::uint64_t val)
 {
     SCIQ_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    if (((addr ^ (addr + size - 1)) >> kPageShift) == 0) {
+        Page &p = getPage(addr);
+        const std::size_t off = addr & (kPageSize - 1);
+        for (unsigned i = 0; i < size; ++i)
+            p[off + i] = static_cast<std::uint8_t>(val >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i) {
         Addr a = addr + i;
         getPage(a)[a & (kPageSize - 1)] =

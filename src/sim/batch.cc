@@ -1,0 +1,213 @@
+#include "batch.hh"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "core/fetch_stream.hh"
+#include "sim/job_exec.hh"
+
+namespace sciq {
+
+std::string
+lockstepBatchKey(const SimConfig &config)
+{
+    // Only what determines the correct-path fetch sequence: the program
+    // (workload + generation parameters) and the functional warm-up
+    // length.  Warming is purely architectural, so cache and predictor
+    // geometry are irrelevant to the warm state.
+    std::ostringstream os;
+    os << config.workload << "|it" << config.wl.iterations << "|sd"
+       << config.wl.seed << "|sc" << config.wl.scale << "|ff"
+       << config.fastForward;
+    return os.str();
+}
+
+bool
+lockstepBatchable(const SimConfig &config)
+{
+    return config.deadlineSec == 0.0;
+}
+
+namespace {
+
+/** Per-member execution state across the batch phases. */
+struct Slot
+{
+    std::unique_ptr<Simulator> sim;
+    std::uint64_t skipped = 0;
+    bool restored = false;
+    unsigned attempts = 1;
+    double hostSeconds = 0.0;
+    bool active = false;   ///< still ticking in the lockstep loop
+    bool failed = false;
+    RunResult result;      ///< failure row (failed members only)
+};
+
+} // namespace
+
+std::vector<RunResult>
+runLockstepBatch(const std::vector<SimConfig> &configs,
+                 const std::vector<std::string> &keys,
+                 const std::vector<std::size_t> &indices,
+                 const SweepRunner::Options &options)
+{
+    using clock = std::chrono::steady_clock;
+    const std::size_t n = configs.size();
+    std::vector<Slot> slots(n);
+
+    // Phase A: construct and warm each member, with the same
+    // retry-with-backoff containment the per-job path applies.  (Only
+    // this phase can hit transient errors — they all come from the
+    // checkpoint machinery.)
+    for (std::size_t i = 0; i < n; ++i) {
+        Slot &s = slots[i];
+        for (unsigned attempt = 1;; ++attempt) {
+            std::exception_ptr ep;
+            try {
+                s.sim = std::make_unique<Simulator>(configs[i]);
+                s.skipped = s.sim->prepare(s.restored);
+                s.attempts = attempt;
+                s.active = true;
+                break;
+            } catch (...) {
+                ep = std::current_exception();
+            }
+            s.sim.reset();
+            job_exec::Classified c = job_exec::classify(ep);
+            if (c.transient && attempt <= options.maxRetries) {
+                warn("job %zu (%s): transient %s error, retrying "
+                     "(attempt %u/%u): %s",
+                     indices[i], keys[i].c_str(), errorCodeName(c.code),
+                     attempt, options.maxRetries + 1, c.message.c_str());
+                if (options.backoffMs) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(
+                        options.backoffMs << (attempt - 1)));
+                }
+                continue;
+            }
+            warn("job %zu (%s) %s: [%s] %s", indices[i], keys[i].c_str(),
+                 c.timeout ? "timed out" : "failed", errorCodeName(c.code),
+                 c.message.c_str());
+            job_exec::writeArtifact(options.artifactDir, indices[i], c,
+                                    keys[i]);
+            s.result = job_exec::failedResult(configs[i], c, attempt);
+            s.failed = true;
+            break;
+        }
+    }
+
+    // Phase B: build the shared stream from the first surviving
+    // member's seeded architectural state (all members were warmed to
+    // the same state — that is what the batch key guarantees).
+    std::unique_ptr<SharedFetchStream> stream;
+    for (std::size_t i = 0; i < n && !stream; ++i) {
+        if (!slots[i].active)
+            continue;
+        OooCore &core = slots[i].sim->core();
+        stream = std::make_unique<SharedFetchStream>(
+            slots[i].sim->program(), core.commitRegs(), core.commitMemory(),
+            core.fetchProgramCounter());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (slots[i].active)
+            slots[i].sim->core().attachFetchStream(stream.get());
+    }
+
+    // Phase C: lockstep rounds.  Always advance the most-behind member
+    // (fewest committed instructions) so the stream window stays as
+    // small as the pipeline skew between members; a member leaves the
+    // rotation when it halts, exhausts its cycle cap, or fails.
+    constexpr Cycle kChunk = 32768;
+    for (;;) {
+        std::size_t pick = n;
+        std::uint64_t behind = ~0ULL;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!slots[i].active)
+                continue;
+            const std::uint64_t cc = slots[i].sim->core().committedCount();
+            if (cc < behind) {
+                behind = cc;
+                pick = i;
+            }
+        }
+        if (pick == n)
+            break;
+
+        Slot &s = slots[pick];
+        OooCore &core = s.sim->core();
+        const Cycle left = configs[pick].maxCycles - core.cycles();
+        const Cycle step = std::min<Cycle>(kChunk, left);
+        const auto t0 = clock::now();
+        std::exception_ptr ep;
+        try {
+            core.run(~0ULL, step);
+        } catch (...) {
+            ep = std::current_exception();
+        }
+        s.hostSeconds +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+
+        if (ep) {
+            // Mid-run errors (watchdog deadlocks, invariant panics) are
+            // not retryable — the pipeline state is gone.  Contain this
+            // member; its batch-mates keep running.
+            job_exec::Classified c = job_exec::classify(ep);
+            warn("job %zu (%s) %s: [%s] %s", indices[pick],
+                 keys[pick].c_str(), c.timeout ? "timed out" : "failed",
+                 errorCodeName(c.code), c.message.c_str());
+            job_exec::writeArtifact(options.artifactDir, indices[pick], c,
+                                    keys[pick]);
+            s.result = job_exec::failedResult(configs[pick], c, s.attempts);
+            s.failed = true;
+            s.active = false;
+            s.sim.reset();
+        } else if (core.halted() || core.cycles() >= configs[pick].maxCycles) {
+            s.active = false;  // finished; collected below
+        }
+
+        if (stream) {
+            // Entries below every active member's commit point can
+            // never be re-read (squash resume points are younger).
+            std::uint64_t floor = ~0ULL;
+            bool any = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!slots[i].active)
+                    continue;
+                any = true;
+                floor = std::min(floor,
+                                 slots[i].sim->core().streamTrimFloor());
+            }
+            if (any)
+                stream->trim(static_cast<std::size_t>(floor));
+        }
+    }
+
+    // Phase D: collect results in input order.
+    std::vector<RunResult> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Slot &s = slots[i];
+        if (s.failed || !s.sim) {
+            out[i] = std::move(s.result);
+            continue;
+        }
+        std::exception_ptr ep;
+        try {
+            out[i] = s.sim->collect(s.hostSeconds, s.skipped, s.restored);
+            out[i].outcome.attempts = s.attempts;
+            continue;
+        } catch (...) {
+            ep = std::current_exception();
+        }
+        job_exec::Classified c = job_exec::classify(ep);
+        warn("job %zu (%s) failed collecting results: [%s] %s", indices[i],
+             keys[i].c_str(), errorCodeName(c.code), c.message.c_str());
+        job_exec::writeArtifact(options.artifactDir, indices[i], c, keys[i]);
+        out[i] = job_exec::failedResult(configs[i], c, s.attempts);
+    }
+    return out;
+}
+
+} // namespace sciq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Batched lockstep execution (DESIGN.md §15): one worker advances K
+ * same-workload configurations over a single shared correct-path fetch
+ * stream.  The expensive front-end work — decode and oracle execution
+ * of every correct-path instruction — is a pure function of (workload,
+ * warm-up state) and is performed once per batch by a SharedFetchStream
+ * instead of once per configuration; every back-end structure (IQ,
+ * scoreboard, FU pool, LSQ, caches, predictors, stats) stays fully
+ * replicated per configuration, so each member's architected stats are
+ * bit-identical to an unbatched run of the same config.
+ */
+
+#ifndef SCIQ_SIM_BATCH_HH
+#define SCIQ_SIM_BATCH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/sweep.hh"
+
+namespace sciq {
+
+/**
+ * Grouping key for lockstep batching: two configs may share a fetch
+ * stream iff the correct-path instruction sequence they fetch is
+ * identical, i.e. same workload program and same (purely architectural)
+ * functional warm-up.  Core geometry, cache/predictor parameters and
+ * cycle caps may differ freely within a batch.
+ */
+std::string lockstepBatchKey(const SimConfig &config);
+
+/**
+ * Whether this config may join a lockstep batch at all.  Wall-clock
+ * deadline runs are excluded: the deadline is defined over a dedicated
+ * run loop, and interleaved execution would change which cycle it
+ * trips at.
+ */
+bool lockstepBatchable(const SimConfig &config);
+
+/**
+ * Execute one batch in lockstep and return results in input order.
+ * `keys`/`indices` carry each job's sweep key and submission index for
+ * journaling, warnings and failure artifacts.  Job failures (warm-up or
+ * mid-run) are contained into RunResult::outcome exactly as in the
+ * per-job path; a failing member is dropped from the batch without
+ * disturbing the others.  Never throws.
+ */
+std::vector<RunResult> runLockstepBatch(
+    const std::vector<SimConfig> &configs,
+    const std::vector<std::string> &keys,
+    const std::vector<std::size_t> &indices,
+    const SweepRunner::Options &options);
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_BATCH_HH

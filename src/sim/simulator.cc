@@ -191,13 +191,18 @@ Simulator::warmUp(bool &restored)
     }
 }
 
+std::uint64_t
+Simulator::prepare(bool &restored)
+{
+    restored = false;
+    return config.fastForward > 0 ? warmUp(restored) : 0;
+}
+
 RunResult
 Simulator::run()
 {
-    std::uint64_t skipped = 0;
     bool ckptRestored = false;
-    if (config.fastForward > 0)
-        skipped = warmUp(ckptRestored);
+    const std::uint64_t skipped = prepare(ckptRestored);
 
     // Time only the cycle-accurate core loop: construction, fast-forward
     // and golden-model validation are excluded so the number tracks the
@@ -232,6 +237,13 @@ Simulator::run()
     const std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;
 
+    return collect(host_elapsed.count(), skipped, ckptRestored);
+}
+
+RunResult
+Simulator::collect(double host_seconds, std::uint64_t skipped,
+                   bool restored)
+{
     RunResult r;
     r.workload = config.workload;
     r.iqKind = iqKindName(config.core.iqKind);
@@ -243,11 +255,11 @@ Simulator::run()
     r.insts = core_->committedCount();
     r.ipc = core_->ipc();
     r.haltedCleanly = core_->halted();
-    r.ckptRestored = ckptRestored;
+    r.ckptRestored = restored;
     if (auditor_)
         r.auditViolations = auditor_->totalViolations();
 
-    r.hostSeconds = host_elapsed.count();
+    r.hostSeconds = host_seconds;
     if (r.hostSeconds > 0.0) {
         r.hostKcyclesPerSec = r.cycles / r.hostSeconds / 1e3;
         r.hostKinstsPerSec = r.insts / r.hostSeconds / 1e3;

@@ -138,8 +138,21 @@ class Simulator
     /** Run to HALT (or the cycle cap) and collect results. */
     RunResult run();
 
+    /**
+     * Split run() for callers that drive the core loop themselves
+     * (batched lockstep simulation, DESIGN.md §15): prepare() performs
+     * the configured fast-forward (no-op when fastForward is 0) and
+     * returns instructions skipped; collect() extracts the RunResult
+     * after the caller has run the core to completion.  run() is
+     * exactly prepare() + the timed loop + collect().
+     */
+    std::uint64_t prepare(bool &restored);
+    RunResult collect(double host_seconds, std::uint64_t skipped,
+                      bool restored);
+
     OooCore &core() { return *core_; }
     const Program &program() const { return *program_; }
+    const SimConfig &simConfig() const { return config; }
 
     /** The attached invariant auditor, or null when audit is off. */
     Auditor *auditor() { return auditor_.get(); }

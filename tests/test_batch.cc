@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Batched lockstep simulation (DESIGN.md §15): batch=K must be
+ * observationally equivalent to batch=1 — every architected stat in
+ * every RunResult, the emitted sweep JSON, and the journal records are
+ * byte-identical; only host wall-clock fields may differ.  Also covers
+ * fault containment inside a batch (a watchdog deadlock in one member
+ * must not disturb its batch-mates) and journal resume across different
+ * batch settings (host-setting leakage regression).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hh"
+#include "sim/batch.hh"
+#include "sim/journal.hh"
+#include "sim/sweep.hh"
+#include "workload/workloads.hh"
+
+using namespace sciq;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Fresh scratch directory under the system temp dir, per test. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(fs::temp_directory_path() / ("sciq-batch-test-" + name))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+    fs::path operator/(const std::string &leaf) const { return path_ / leaf; }
+
+  private:
+    fs::path path_;
+};
+
+void
+expectSameBits(double a, double b, const char *field, std::size_t i)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << field << " differs (" << a << " vs " << b
+                      << ") config " << i;
+}
+
+/** Every architected RunResult field, bit-for-bit (host perf excluded). */
+void
+expectIdentical(const RunResult &a, const RunResult &b, std::size_t i)
+{
+    EXPECT_EQ(a.workload, b.workload) << "config " << i;
+    EXPECT_EQ(a.iqKind, b.iqKind) << "config " << i;
+    EXPECT_EQ(a.iqSize, b.iqSize) << "config " << i;
+    EXPECT_EQ(a.chains, b.chains) << "config " << i;
+    EXPECT_EQ(a.cycles, b.cycles) << "config " << i;
+    EXPECT_EQ(a.insts, b.insts) << "config " << i;
+    expectSameBits(a.ipc, b.ipc, "ipc", i);
+    expectSameBits(a.avgChains, b.avgChains, "avgChains", i);
+    expectSameBits(a.peakChains, b.peakChains, "peakChains", i);
+    expectSameBits(a.hmpAccuracy, b.hmpAccuracy, "hmpAccuracy", i);
+    expectSameBits(a.hmpCoverage, b.hmpCoverage, "hmpCoverage", i);
+    expectSameBits(a.lrpMispredictRate, b.lrpMispredictRate,
+                   "lrpMispredictRate", i);
+    expectSameBits(a.branchMispredictRate, b.branchMispredictRate,
+                   "branchMispredictRate", i);
+    expectSameBits(a.iqOccupancyAvg, b.iqOccupancyAvg, "iqOccupancyAvg", i);
+    expectSameBits(a.seg0ReadyAvg, b.seg0ReadyAvg, "seg0ReadyAvg", i);
+    expectSameBits(a.seg0OccupancyAvg, b.seg0OccupancyAvg,
+                   "seg0OccupancyAvg", i);
+    expectSameBits(a.deadlockCycleFrac, b.deadlockCycleFrac,
+                   "deadlockCycleFrac", i);
+    expectSameBits(a.twoOutstandingFrac, b.twoOutstandingFrac,
+                   "twoOutstandingFrac", i);
+    expectSameBits(a.headsFromLoadsFrac, b.headsFromLoadsFrac,
+                   "headsFromLoadsFrac", i);
+    expectSameBits(a.l1dMissRate, b.l1dMissRate, "l1dMissRate", i);
+    expectSameBits(a.l1dDelayedHitFrac, b.l1dDelayedHitFrac,
+                   "l1dDelayedHitFrac", i);
+    expectSameBits(a.segActiveAvg, b.segActiveAvg, "segActiveAvg", i);
+    expectSameBits(a.segCyclesActive, b.segCyclesActive, "segCyclesActive",
+                   i);
+    EXPECT_EQ(a.auditViolations, b.auditViolations) << "config " << i;
+    EXPECT_EQ(a.validated, b.validated) << "config " << i;
+    EXPECT_EQ(a.haltedCleanly, b.haltedCleanly) << "config " << i;
+    EXPECT_EQ(a.outcome.status, b.outcome.status) << "config " << i;
+    EXPECT_EQ(a.outcome.code, b.outcome.code) << "config " << i;
+}
+
+/**
+ * Zero every wall-clock / scheduling-dependent field so the sweep JSON
+ * can be compared byte-for-byte between batched and unbatched runs.
+ */
+std::vector<RunResult>
+scrubbed(std::vector<RunResult> results)
+{
+    for (RunResult &r : results) {
+        r.hostSeconds = 0.0;
+        r.hostKcyclesPerSec = 0.0;
+        r.hostKinstsPerSec = 0.0;
+        r.warmSeconds = 0.0;
+        r.warmInstsPerSec = 0.0;
+        r.ckptRestored = false;
+        r.outcome.message.clear();  // carries throw-site wall-clock text
+    }
+    return results;
+}
+
+std::string
+jsonOf(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(os, scrubbed(results));
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Differential: batch=K == batch=1, all workloads x both IQ designs.
+
+TEST(LockstepBatch, AllWorkloadsBitIdenticalAcrossBatchWidths)
+{
+    // Deliberately varied back-end geometry within each batch: the
+    // shared stream must tolerate members with different IQ sizes,
+    // designs and (for segmented) chain counts.
+    std::vector<SimConfig> cfgs;
+    for (const std::string &wl : workloadNames()) {
+        SimConfig seg = makeSegmentedConfig(64, 24, true, true, wl);
+        seg.wl.iterations = 120;
+        cfgs.push_back(seg);
+        SimConfig ideal = makeIdealConfig(96, wl);
+        ideal.wl.iterations = 120;
+        cfgs.push_back(ideal);
+    }
+
+    const std::vector<RunResult> base = SweepRunner(1).run(cfgs);
+    const std::string baseJson = jsonOf(base);
+    for (const RunResult &r : base)
+        ASSERT_TRUE(r.outcome.ok()) << r.outcome.message;
+
+    for (unsigned k : {1u, 2u, 4u, 8u}) {
+        SweepRunner::Options options;
+        options.batch = k;
+        std::vector<RunResult> batched = SweepRunner(1).run(cfgs, options);
+        ASSERT_EQ(batched.size(), base.size());
+        for (std::size_t i = 0; i < base.size(); ++i)
+            expectIdentical(base[i], batched[i], i);
+        EXPECT_EQ(baseJson, jsonOf(batched)) << "batch=" << k;
+    }
+}
+
+TEST(LockstepBatch, MixedWorkloadsGroupCorrectly)
+{
+    // Interleave two workloads so grouping has to reorder execution;
+    // results must still come back in submission order, bit-identical.
+    std::vector<SimConfig> cfgs;
+    for (unsigned size : {32u, 64u, 128u}) {
+        SimConfig a = makeSegmentedConfig(size, size / 2, true, true, "swim");
+        a.wl.iterations = 150;
+        cfgs.push_back(a);
+        SimConfig b = makeIdealConfig(size, "gcc");
+        b.wl.iterations = 150;
+        cfgs.push_back(b);
+    }
+
+    const std::vector<RunResult> base = SweepRunner(1).run(cfgs);
+    SweepRunner::Options options;
+    options.batch = 3;
+    const std::vector<RunResult> batched = SweepRunner(1).run(cfgs, options);
+    ASSERT_EQ(batched.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(batched[i].workload, cfgs[i].workload) << i;
+        expectIdentical(base[i], batched[i], i);
+    }
+}
+
+TEST(LockstepBatch, BatchKeyIgnoresGeometryButNotWarmup)
+{
+    SimConfig a = makeSegmentedConfig(64, 32, true, true, "swim");
+    SimConfig b = makeIdealConfig(256, "swim");
+    b.maxCycles = a.maxCycles / 2;
+    EXPECT_EQ(lockstepBatchKey(a), lockstepBatchKey(b));
+
+    SimConfig c = a;
+    c.fastForward = 100'000;
+    EXPECT_NE(lockstepBatchKey(a), lockstepBatchKey(c));
+    SimConfig d = a;
+    d.wl.seed = 999;
+    EXPECT_NE(lockstepBatchKey(a), lockstepBatchKey(d));
+    SimConfig e = a;
+    e.workload = "gcc";
+    EXPECT_NE(lockstepBatchKey(a), lockstepBatchKey(e));
+
+    EXPECT_TRUE(lockstepBatchable(a));
+    SimConfig f = a;
+    f.deadlineSec = 10.0;
+    EXPECT_FALSE(lockstepBatchable(f));
+}
+
+// ---------------------------------------------------------------------
+// Fault containment inside a batch.
+
+TEST(LockstepBatch, WatchdogDeadlockContainedWithoutCorruptingBatchMates)
+{
+    // Three same-workload members; the middle one deadlocks (injected
+    // commit stall trips the watchdog).  Its row must come back as a
+    // Failed/Deadlock outcome while both batch-mates stay bit-identical
+    // to a clean unbatched run.
+    std::vector<SimConfig> cfgs;
+    SimConfig good1 = makeSegmentedConfig(64, 24, true, true, "swim");
+    good1.wl.iterations = 150;
+    cfgs.push_back(good1);
+
+    SimConfig bad = makeIdealConfig(64, "swim");
+    bad.wl.iterations = 150;
+    bad.core.faultCommitStallAt = 500;
+    bad.core.watchdogCycles = 5'000;
+    bad.validate = false;
+    cfgs.push_back(bad);
+
+    SimConfig good2 = makeIdealConfig(128, "swim");
+    good2.wl.iterations = 150;
+    cfgs.push_back(good2);
+
+    const std::vector<RunResult> clean =
+        SweepRunner(1).run({cfgs[0], cfgs[2]});
+
+    SweepRunner::Options options;
+    options.batch = 3;
+    const std::vector<RunResult> batched = SweepRunner(1).run(cfgs, options);
+    ASSERT_EQ(batched.size(), 3u);
+
+    EXPECT_EQ(batched[1].outcome.status, JobOutcome::Status::Failed);
+    EXPECT_EQ(batched[1].outcome.code, ErrorCode::Deadlock);
+    EXPECT_EQ(batched[1].workload, "swim");
+    EXPECT_EQ(batched[1].iqKind, "ideal");
+
+    expectIdentical(clean[0], batched[0], 0);
+    expectIdentical(clean[1], batched[2], 2);
+    EXPECT_TRUE(batched[0].outcome.ok());
+    EXPECT_TRUE(batched[2].outcome.ok());
+}
+
+TEST(LockstepBatch, BadWorkloadContainedAtConstruction)
+{
+    std::vector<SimConfig> cfgs;
+    SimConfig good = makeSegmentedConfig(64, 24, true, true, "gcc");
+    good.wl.iterations = 150;
+    cfgs.push_back(good);
+    SimConfig bad = good;
+    bad.workload = "no-such-workload";
+    cfgs.push_back(bad);
+
+    const std::vector<RunResult> clean = SweepRunner(1).run({good});
+
+    SweepRunner::Options options;
+    options.batch = 4;
+    const std::vector<RunResult> batched = SweepRunner(1).run(cfgs, options);
+    ASSERT_EQ(batched.size(), 2u);
+    EXPECT_EQ(batched[1].outcome.status, JobOutcome::Status::Failed);
+    EXPECT_EQ(batched[1].outcome.code, ErrorCode::Workload);
+    expectIdentical(clean[0], batched[0], 0);
+}
+
+// ---------------------------------------------------------------------
+// Journal / host-setting invariance (regression: a journal written at
+// one batch/jobs setting must resume byte-identically at another).
+
+TEST(LockstepBatch, JournalWrittenBatchedResumesUnbatched)
+{
+    ScratchDir dir("journal-b4-to-b1");
+    const std::string journal = (dir / "sweep.jsonl").string();
+
+    std::vector<SimConfig> cfgs;
+    for (unsigned size : {32u, 64u, 96u, 128u}) {
+        SimConfig c = makeSegmentedConfig(size, size / 2, true, true, "swim");
+        c.wl.iterations = 150;
+        cfgs.push_back(c);
+    }
+
+    SweepRunner::Options batchedOptions;
+    batchedOptions.batch = 4;
+    batchedOptions.journal = journal;
+    const std::vector<RunResult> first =
+        SweepRunner(1).run(cfgs, batchedOptions);
+    for (const RunResult &r : first)
+        ASSERT_TRUE(r.outcome.ok()) << r.outcome.message;
+
+    // Resume at batch=1 (and again at batch=2): every job must be
+    // served from the journal — no re-runs — and the results must be
+    // byte-identical to the batched pass, proving the sweep key and the
+    // journal records carry no batch/jobs fingerprint.
+    for (unsigned k : {1u, 2u}) {
+        SweepRunner::Options resumeOptions;
+        resumeOptions.batch = k;
+        resumeOptions.journal = journal;
+        std::size_t reran = 0;
+        resumeOptions.progress = [&](std::size_t, std::size_t,
+                                     const RunResult &) { ++reran; };
+        const std::vector<RunResult> resumed =
+            SweepRunner(1).run(cfgs, resumeOptions);
+        EXPECT_EQ(reran, 0u) << "batch=" << k << " re-ran journaled jobs";
+        ASSERT_EQ(resumed.size(), first.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            expectIdentical(first[i], resumed[i], i);
+            // Journal round-trip preserves even the wall-clock fields.
+            expectSameBits(first[i].hostSeconds, resumed[i].hostSeconds,
+                           "hostSeconds", i);
+        }
+    }
+}
+
+TEST(LockstepBatch, SweepKeyInvariantUnderHostSettings)
+{
+    // sweepKey() identifies *what* is simulated; batch/jobs describe
+    // *how*.  The key must not move when host settings change, or
+    // journals would silently stop resuming across them.
+    SimConfig c = makeSegmentedConfig(64, 32, true, true, "swim");
+    const std::string key = sweepKey(c);
+    EXPECT_FALSE(key.empty());
+    for (unsigned jobs : {0u, 1u, 7u}) {
+        SweepRunner runner(jobs);
+        EXPECT_EQ(sweepKey(c), key);
+    }
+    EXPECT_EQ(key.find("batch"), std::string::npos);
+    EXPECT_EQ(key.find("jobs"), std::string::npos);
+}

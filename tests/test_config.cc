@@ -156,3 +156,23 @@ TEST(ConfigMap, CountRejectsMalformed)
         EXPECT_THROW(cfg.getCount("v", 0), FatalError) << bad;
     }
 }
+
+TEST(ConfigMap, CountSuffixBodyMustBeDecimal)
+{
+    // Regression: the suffixed body used to go straight through
+    // strtold, which accepts hex floats and inf/nan — "0x10k" parsed
+    // as 16k rather than being rejected, and "infk"/"nank" slipped
+    // through to absurd counts.  Suffixed bodies are decimal only;
+    // plain hex integers (no suffix) still work via getInt.
+    ConfigMap cfg;
+    for (const char *bad : {"0x10k", "0X10m", "infk", "INFg", "nank",
+                            "NANm", "1e3k", "0x1.8p3m", "+k", "-.g",
+                            ".k", "++1k"}) {
+        cfg.set("v", bad);
+        EXPECT_THROW(cfg.getCount("v", 0), FatalError) << bad;
+    }
+    cfg.set("v", "0x100");
+    EXPECT_EQ(cfg.getCount("v", 0), 256);  // unsuffixed hex unchanged
+    cfg.set("v", "+1.5k");
+    EXPECT_EQ(cfg.getCount("v", 0), 1500);  // explicit sign still fine
+}

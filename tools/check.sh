@@ -34,10 +34,11 @@ run_sanitizer() {
   ctest --test-dir "build-$name" --output-on-failure -j "$jobs" \
         -L sanitize_smoke
   if [ "$name" = tsan ]; then
-    echo "== tsan: parallel sweep + checkpoint reuse =="
+    echo "== tsan: parallel sweep + checkpoint reuse + lockstep batching =="
     "./build-$name/tests/test_sweep"
     "./build-$name/tests/test_checkpoint" \
         --gtest_filter='CheckpointCacheTest.*:CheckpointEndToEnd.*'
+    "./build-$name/tests/test_batch"
   fi
 }
 
@@ -63,8 +64,9 @@ echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
 echo "== scheduling-index differential sweep (audit=1) =="
 ./build/tests/test_sched_index
 
-echo "== host-throughput bench (quick) =="
+echo "== host-throughput bench (quick, unbatched + lockstep batch=3) =="
 ./build/bench/bench_throughput quick=1 workloads=swim,twolf
+./build/bench/bench_throughput quick=1 workloads=swim,twolf batch=3
 
 echo "== bb-cache differential + warming bench (quick) =="
 ./build/tests/test_bb_cache
