@@ -41,6 +41,15 @@ struct ConfigPoint
     std::uint64_t insts = 0;
     double hostSeconds = 0.0;
 
+    // Deterministic host-work counters (iq.work.*, segmented only).
+    // Identical across repetitions, so accumulating them alongside the
+    // wall-clock numbers costs nothing and pairs every kcycles/s figure
+    // with its noise-free proxy.
+    std::uint64_t sigDeliveries = 0;
+    std::uint64_t planCalls = 0;
+    std::uint64_t segsScanned = 0;
+    std::uint64_t laneWords = 0;
+
     double kcps() const
     {
         return hostSeconds > 0.0 ? cycles / hostSeconds / 1e3 : 0.0;
@@ -91,6 +100,10 @@ writeTrajectory(const std::string &path,
         json::writeNumber(out, p.kcps());
         out << ", \"kinsts_per_sec\": ";
         json::writeNumber(out, p.kips());
+        out << ", \"iq_work_signal_deliveries\": " << p.sigDeliveries
+            << ", \"iq_work_plan_calls\": " << p.planCalls
+            << ", \"iq_work_segments_scanned\": " << p.segsScanned
+            << ", \"iq_work_lane_words_touched\": " << p.laneWords;
         out << "}" << (i + 1 == points.size() ? "\n" : ",\n");
     }
     out << "  ]\n}\n";
@@ -166,6 +179,10 @@ main(int argc, char **argv)
             p->cycles += r.cycles;
             p->insts += r.insts;
             p->hostSeconds += r.hostSeconds;
+            p->sigDeliveries += r.iqSignalDeliveries;
+            p->planCalls += r.iqPlanCalls;
+            p->segsScanned += r.iqSegmentsScanned;
+            p->laneWords += r.iqLaneWordsTouched;
         }
         if (points.empty() || rep_seconds < best_seconds) {
             points = std::move(rep_points);
@@ -173,15 +190,22 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("%-16s %12s %12s %10s %12s %12s\n", "config", "cycles",
-                "insts", "host s", "kcycles/s", "kinsts/s");
+    std::printf("%-16s %12s %12s %10s %12s %12s %14s %11s %14s %14s\n",
+                "config", "cycles", "insts", "host s", "kcycles/s",
+                "kinsts/s", "sig_deliveries", "plan_calls",
+                "segs_scanned", "lane_words");
     const ConfigPoint *anchor = nullptr;
     for (const ConfigPoint &p : points) {
-        std::printf("%-16s %12llu %12llu %10.3f %12.1f %12.1f\n",
+        std::printf("%-16s %12llu %12llu %10.3f %12.1f %12.1f %14llu "
+                    "%11llu %14llu %14llu\n",
                     p.name.c_str(),
                     static_cast<unsigned long long>(p.cycles),
                     static_cast<unsigned long long>(p.insts),
-                    p.hostSeconds, p.kcps(), p.kips());
+                    p.hostSeconds, p.kcps(), p.kips(),
+                    static_cast<unsigned long long>(p.sigDeliveries),
+                    static_cast<unsigned long long>(p.planCalls),
+                    static_cast<unsigned long long>(p.segsScanned),
+                    static_cast<unsigned long long>(p.laneWords));
         if (p.name == "segmented-256")
             anchor = &p;
     }

@@ -7,10 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "branch/branch_predictor.hh"
 #include "branch/hit_miss_predictor.hh"
+#include "common/json.hh"
 #include "common/random.hh"
 #include "core/ooo_core.hh"
+#include "iq/segmented_iq.hh"
 #include "isa/functional_core.hh"
 #include "mem/hierarchy.hh"
 #include "sim/sim_config.hh"
@@ -111,6 +118,161 @@ BENCHMARK(BM_CoreTick)
     ->Arg(static_cast<int>(IqKind::Fifo))
     ->Unit(benchmark::kMicrosecond);
 
+/**
+ * Where inside SegmentedIq::tick the time goes.  Runs a swim core for
+ * a fixed tick count with the IQ's substage profiling enabled and
+ * reports the per-substage split (promotion / signal delivery /
+ * countdown / issue select / dispatch) plus the deterministic
+ * iq.work.* counters.
+ */
+struct SubstageSample
+{
+    SegmentedIq::TickProfile prof;
+    SegmentedIq::WorkCounters work;
+    unsigned iqSize = 0;
+    bool soa = true;
+};
+
+SubstageSample
+runSegmentedSubstages(unsigned iq_size, bool soa, std::uint64_t ticks)
+{
+    WorkloadParams wp;
+    wp.iterations = 1 << 20;  // effectively unbounded for the bench
+    Program prog = buildSwim(wp);
+    CoreParams params;
+    params.iqKind = IqKind::Segmented;
+    params.iq.numEntries = iq_size;
+    params.iq.maxChains = 128;
+    params.iq.useHmp = true;
+    params.iq.useLrp = true;
+    params.iq.soaLayout = soa;
+    OooCore core(prog, params);
+    auto *seg = dynamic_cast<SegmentedIq *>(&core.iqUnit());
+    seg->setProfiling(true);
+    for (std::uint64_t t = 0; t < ticks; ++t)
+        core.tick();
+    SubstageSample s;
+    s.prof = seg->profile();
+    s.work = seg->workCounters();
+    s.iqSize = iq_size;
+    s.soa = soa;
+    return s;
+}
+
+void
+BM_SegmentedTickSubstages(benchmark::State &state)
+{
+    const auto iq_size = static_cast<unsigned>(state.range(0));
+    const bool soa = state.range(1) != 0;
+    SubstageSample s;
+    std::uint64_t total_ticks = 0;
+    for (auto _ : state) {
+        state.PauseTiming();  // construction/warm-up excluded
+        constexpr std::uint64_t kTicks = 20000;
+        state.ResumeTiming();
+        s = runSegmentedSubstages(iq_size, soa, kTicks);
+        total_ticks += kTicks;
+    }
+    const double total = s.prof.promoteSec + s.prof.deliverSec +
+                         s.prof.countdownSec + s.prof.issueSec +
+                         s.prof.dispatchSec;
+    auto frac = [&](double sec) { return total > 0.0 ? sec / total : 0.0; };
+    state.counters["promote_frac"] = frac(s.prof.promoteSec);
+    state.counters["deliver_frac"] = frac(s.prof.deliverSec);
+    state.counters["countdown_frac"] = frac(s.prof.countdownSec);
+    state.counters["issue_frac"] = frac(s.prof.issueSec);
+    state.counters["dispatch_frac"] = frac(s.prof.dispatchSec);
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_ticks));
+    state.SetLabel(soa ? "soa" : "reference");
+}
+BENCHMARK(BM_SegmentedTickSubstages)
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * json_out= payload: one substage-profile record per (iq_size, engine)
+ * point, with absolute seconds, ns/tick, fractions, and the exact
+ * iq.work.* counters for the same tick window.
+ */
+void
+writeSubstageJson(const std::string &path)
+{
+    constexpr std::uint64_t kTicks = 50000;
+    std::vector<SubstageSample> samples;
+    for (unsigned size : {64u, 256u})
+        for (bool soa : {false, true})
+            samples.push_back(runSegmentedSubstages(size, soa, kTicks));
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
+        return;
+    }
+    out << "{\n  \"bench\": \"micro_components.substages\",\n"
+        << "  \"workload\": \"swim\",\n  \"ticks\": " << kTicks
+        << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const SubstageSample &s = samples[i];
+        const double total = s.prof.promoteSec + s.prof.deliverSec +
+                             s.prof.countdownSec + s.prof.issueSec +
+                             s.prof.dispatchSec;
+        auto stage = [&](const char *name, double sec, bool last = false) {
+            out << "        {\"stage\": \"" << name << "\", \"seconds\": ";
+            json::writeNumber(out, sec);
+            out << ", \"ns_per_tick\": ";
+            json::writeNumber(
+                out, s.prof.ticks ? sec * 1e9 / s.prof.ticks : 0.0);
+            out << ", \"frac\": ";
+            json::writeNumber(out, total > 0.0 ? sec / total : 0.0);
+            out << "}" << (last ? "\n" : ",\n");
+        };
+        out << "    {\"iq_size\": " << s.iqSize << ", \"engine\": \""
+            << (s.soa ? "soa" : "reference") << "\",\n"
+            << "      \"substages\": [\n";
+        stage("promote", s.prof.promoteSec);
+        stage("deliver", s.prof.deliverSec);
+        stage("countdown", s.prof.countdownSec);
+        stage("issue_select", s.prof.issueSec);
+        stage("dispatch", s.prof.dispatchSec, true);
+        out << "      ],\n      \"work\": {"
+            << "\"signal_deliveries\": " << s.work.signalDeliveries
+            << ", \"plan_calls\": " << s.work.planCalls
+            << ", \"segments_scanned\": " << s.work.segmentsScanned
+            << ", \"lane_words_touched\": " << s.work.laneWordsTouched
+            << "}}" << (i + 1 == samples.size() ? "\n" : ",\n");
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "wrote substage profile to %s\n", path.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Standard BENCHMARK_MAIN plus one repo-style key=value argument:
+ *   json_out=path  write the SegmentedIq tick-substage profile (runs
+ *                  a dedicated profiling pass after the benchmarks)
+ */
+int
+main(int argc, char **argv)
+{
+    std::string json_out;
+    std::vector<char *> bench_argv;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "json_out=", 9) == 0) {
+            json_out = argv[i] + 9;
+            continue;
+        }
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!json_out.empty())
+        writeSubstageJson(json_out);
+    return 0;
+}

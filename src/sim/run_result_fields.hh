@@ -57,6 +57,10 @@ visitRunResultFields(V &&v, R &r)
     v.u64("bbcache_ops_cached", r.bbOpsCached);
     v.u64("bbcache_trace_hits", r.bbTraceHits);
     v.u64("bbcache_succ_hits", r.bbSuccHits);
+    v.u64("iq_work_signal_deliveries", r.iqSignalDeliveries);
+    v.u64("iq_work_plan_calls", r.iqPlanCalls);
+    v.u64("iq_work_segments_scanned", r.iqSegmentsScanned);
+    v.u64("iq_work_lane_words_touched", r.iqLaneWordsTouched);
     v.u64("audit_violations", r.auditViolations);
     v.b("ckpt_restored", r.ckptRestored);
     v.b("validated", r.validated);

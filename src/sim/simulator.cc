@@ -320,6 +320,11 @@ Simulator::collect(double host_seconds, std::uint64_t skipped,
         }
         r.segActiveAvg = seg->activeSegmentsAvg.value();
         r.segCyclesActive = seg->segmentCyclesActive.value();
+        const auto &work = seg->workCounters();
+        r.iqSignalDeliveries = work.signalDeliveries;
+        r.iqPlanCalls = work.planCalls;
+        r.iqSegmentsScanned = work.segmentsScanned;
+        r.iqLaneWordsTouched = work.laneWordsTouched;
     }
 
     if (config.validate) {

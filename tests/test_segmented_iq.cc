@@ -30,6 +30,11 @@ struct SegFixture : public ::testing::Test
         params.enableBypass = true;
         params.enablePushdown = true;
         params.predictedLoadLatency = 4;
+        // These tests unit-test the reference engine's semantics and
+        // read evolving membership state through inst->seg, which only
+        // that engine keeps current.  The SoA engine is covered by the
+        // differential + lane-level tests in test_iq_soa.cc.
+        params.soaLayout = false;
     }
 
     std::unique_ptr<SegmentedIq>

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full pre-merge check: tier-1 tests, the invariant-audit sweep, and one
-# or all sanitizer configurations.  Run from the repository root:
+# Full pre-merge check: tier-1 tests, the invariant-audit sweep, the
+# SoA-engine differential + exact work-counter proxy, and one or all
+# sanitizer configurations.  Run from the repository root:
 #
 #   tools/check.sh [ubsan|asan|tsan|all|faults]
 #
@@ -63,6 +64,14 @@ echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
 
 echo "== scheduling-index differential sweep (audit=1) =="
 ./build/tests/test_sched_index
+
+echo "== SoA-engine differential + exact work-counter proxy =="
+./build/tests/test_iq_soa
+
+echo "== segmented-tick substage profile (quick) =="
+./build/bench/micro_components --benchmark_filter='BM_SegmentedTickSubstages' \
+    --benchmark_min_time=0.01 json_out=/tmp/sciq-substages.json
+grep -q '"bench": "micro_components.substages"' /tmp/sciq-substages.json
 
 echo "== host-throughput bench (quick, unbatched + lockstep batch=3) =="
 ./build/bench/bench_throughput quick=1 workloads=swim,twolf
