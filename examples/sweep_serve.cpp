@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Distributed-sweep coordinator (and single-process reference runner).
+ *
+ * Serves a configuration set to sweep_worker processes over a local
+ * socket (DESIGN.md §17) and merges their streamed results into the
+ * same final JSON a single-process sweep writes — byte-identical up to
+ * the host wall-clock fields.
+ *
+ * Usage examples:
+ *   # coordinator, expecting ~3 workers
+ *   sweep_serve socket=/tmp/sweep.sock workers=3 out=dist.json \
+ *               journal=dist.jsonl
+ *   # single-process reference over the same config set
+ *   sweep_serve mode=local jobs=4 out=ref.json
+ *   # explicit config list (one configSpec line per job)
+ *   sweep_serve spec=jobs.txt socket=/tmp/sweep.sock out=dist.json
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "common/config.hh"
+#include "sim/checkpoint.hh"
+#include "sim/shard.hh"
+
+using namespace sciq;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+/**
+ * The built-in config sets.  `quick` is the CI differential set: three
+ * IQ designs per workload, big enough to exercise sharding and work
+ * stealing, small enough for a smoke gate.  `tiny` is for local
+ * experiments.
+ */
+std::vector<SimConfig>
+presetConfigs(const std::string &preset,
+              std::vector<std::string> workloads)
+{
+    std::uint64_t iters = 0;
+    if (preset == "quick") {
+        if (workloads.empty())
+            workloads = {"swim", "twolf"};
+        iters = 1500;
+    } else if (preset == "tiny") {
+        if (workloads.empty())
+            workloads = {"swim", "gcc"};
+        iters = 200;
+    } else {
+        throw ConfigError("unknown preset '" + preset +
+                          "' (quick|tiny)");
+    }
+
+    std::vector<SimConfig> configs;
+    for (const std::string &wl : workloads) {
+        configs.push_back(makeSegmentedConfig(64, 32, true, true, wl));
+        configs.push_back(makeSegmentedConfig(256, 32, true, true, wl));
+        configs.push_back(makeIdealConfig(256, wl));
+    }
+    for (SimConfig &cfg : configs) {
+        cfg.wl.iterations = iters;
+        cfg.validate = false;
+    }
+    return configs;
+}
+
+std::vector<SimConfig>
+specFileConfigs(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot read spec file '" + path + "'");
+    std::vector<SimConfig> configs;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        configs.push_back(configFromSpec(line));
+    }
+    return configs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap args = ConfigMap::fromArgs(argc, argv);
+    if (args.has("help")) {
+        std::cout <<
+            "keys: mode=serve|local     (default serve)\n"
+            "      preset=quick|tiny    built-in config set\n"
+            "      spec=FILE            configSpec lines instead of a "
+            "preset\n"
+            "      workloads=a,b iters=N ff=N   preset overrides\n"
+            "      socket=PATH          coordinator listen socket\n"
+            "      workers=N            expected worker count (= shard "
+            "count)\n"
+            "      lease_ms=N lease_drops=N dup_ms=N grace_ms=N\n"
+            "      journal=FILE out=FILE\n"
+            "      jobs=N batch=N ckpt_dir=DIR  (mode=local)\n"
+            "      retries=N artifact_dir=DIR\n";
+        return 0;
+    }
+    const std::string complaint = args.unknownKeyMessage(
+        {"mode", "preset", "spec", "workloads", "iters", "ff", "socket",
+         "workers", "lease_ms", "lease_drops", "dup_ms", "grace_ms",
+         "journal", "out", "jobs", "batch", "ckpt_dir", "retries",
+         "artifact_dir", "help"});
+    if (!complaint.empty()) {
+        std::cerr << complaint << "\n";
+        return 2;
+    }
+
+    try {
+        std::vector<SimConfig> configs;
+        if (args.has("spec")) {
+            configs = specFileConfigs(args.getString("spec"));
+        } else {
+            configs = presetConfigs(
+                args.getString("preset", "quick"),
+                splitList(args.getString("workloads")));
+        }
+        for (SimConfig &cfg : configs) {
+            cfg.wl.iterations = static_cast<std::uint64_t>(args.getCount(
+                "iters", static_cast<std::int64_t>(cfg.wl.iterations)));
+            cfg.fastForward = static_cast<std::uint64_t>(args.getCount(
+                "ff", static_cast<std::int64_t>(cfg.fastForward)));
+        }
+        if (configs.empty()) {
+            std::cerr << "no configurations to run\n";
+            return 2;
+        }
+
+        const std::string mode = args.getString("mode", "serve");
+        std::vector<RunResult> results;
+        auto progress = [](std::size_t done, std::size_t total,
+                           const RunResult &r) {
+            std::cout << "[" << done << "/" << total << "] "
+                      << r.workload << " " << r.iqKind << "/" << r.iqSize
+                      << " -> " << jobStatusName(r.outcome.status)
+                      << "\n";
+        };
+
+        if (mode == "local") {
+            SweepRunner::Options options;
+            options.journal = args.getString("journal");
+            options.maxRetries =
+                static_cast<unsigned>(args.getInt("retries", 2));
+            options.artifactDir = args.getString("artifact_dir");
+            options.batch =
+                static_cast<unsigned>(args.getInt("batch", 1));
+            options.progress = progress;
+
+            // Mirror the distributed fleet's shared warm-state store:
+            // one cache for the whole sweep (bench_util.hh idiom).
+            std::shared_ptr<CheckpointCache> cache;
+            const std::string ckptDir = args.getString("ckpt_dir");
+            for (SimConfig &cfg : configs) {
+                if (cfg.fastForward == 0)
+                    continue;
+                if (!cache)
+                    cache = std::make_shared<CheckpointCache>(ckptDir);
+                cfg.ckptCache = cache;
+            }
+
+            SweepRunner runner(
+                static_cast<unsigned>(args.getInt("jobs", 0)));
+            results = runner.run(configs, options);
+        } else if (mode == "serve") {
+            ServeOptions options;
+            options.socketPath =
+                args.getString("socket", "/tmp/sciq-sweep.sock");
+            options.shards =
+                static_cast<unsigned>(args.getInt("workers", 1));
+            options.leaseMs =
+                static_cast<unsigned>(args.getInt("lease_ms", 60'000));
+            options.maxLeaseDrops =
+                static_cast<unsigned>(args.getInt("lease_drops", 3));
+            options.duplicateAfterMs =
+                static_cast<unsigned>(args.getInt("dup_ms", 1'000));
+            options.workerGraceMs =
+                static_cast<unsigned>(args.getInt("grace_ms", 60'000));
+            options.journal = args.getString("journal");
+            options.progress = progress;
+
+            ServeStats stats;
+            results = serveSweep(configs, options, &stats);
+            std::cout << "served " << results.size() << " jobs to "
+                      << stats.workersSeen << " workers: "
+                      << stats.leases << " leases, " << stats.steals
+                      << " steals, " << stats.duplicates
+                      << " duplicate leases ("
+                      << stats.duplicateResults << " losing results), "
+                      << stats.requeues << " requeues, "
+                      << stats.boardFailed << " drop-cap failures, "
+                      << stats.rejectedWorkers << " rejected workers\n";
+        } else {
+            std::cerr << "unknown mode '" << mode << "' (serve|local)\n";
+            return 2;
+        }
+
+        std::size_t ok = 0, restored = 0;
+        for (const RunResult &r : results) {
+            ok += r.outcome.ok();
+            restored += r.ckptRestored;
+        }
+        std::cout << ok << "/" << results.size() << " jobs ok, "
+                  << restored << " restored a warm-up checkpoint\n";
+
+        const std::string out = args.getString("out");
+        if (!out.empty()) {
+            if (!writeResultsJson(out, results)) {
+                std::cerr << "cannot write '" << out << "'\n";
+                return 1;
+            }
+            std::cout << "wrote " << out << "\n";
+        }
+        return ok == results.size() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_serve: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Distributed-sweep worker: connects to a sweep_serve coordinator,
+ * leases jobs one at a time and streams results back (DESIGN.md §17).
+ *
+ * Point every worker of a fleet at the same ckpt_dir= and the
+ * cross-process producer election makes the whole fleet execute each
+ * distinct warm-up exactly once.
+ *
+ * Usage:
+ *   sweep_worker socket=/tmp/sweep.sock name=w0 ckpt_dir=/tmp/ckpt
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/config.hh"
+#include "sim/fault_injector.hh"
+#include "sim/shard.hh"
+
+using namespace sciq;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap args = ConfigMap::fromArgs(argc, argv);
+    if (args.has("help")) {
+        std::cout <<
+            "keys: socket=PATH          coordinator socket (required)\n"
+            "      name=ID              worker name for logs\n"
+            "      ckpt_dir=DIR         shared warm-state store\n"
+            "      retries=N backoff_ms=N artifact_dir=DIR\n"
+            "      connect_timeout_ms=N\n"
+            "      fault_worker_abort=N fault_seed=N   (chaos testing:\n"
+            "      _exit(137) in place of the Nth result)\n";
+        return 0;
+    }
+    const std::string complaint = args.unknownKeyMessage(
+        {"socket", "name", "ckpt_dir", "retries", "backoff_ms",
+         "artifact_dir", "connect_timeout_ms", "fault_worker_abort",
+         "fault_seed", "help"});
+    if (!complaint.empty()) {
+        std::cerr << complaint << "\n";
+        return 2;
+    }
+
+    WorkerOptions options;
+    options.socketPath = args.getString("socket");
+    if (options.socketPath.empty()) {
+        std::cerr << "sweep_worker: socket= is required\n";
+        return 2;
+    }
+    options.name = args.getString("name", "worker");
+    options.ckptDir = args.getString("ckpt_dir");
+    options.maxRetries = static_cast<unsigned>(args.getInt("retries", 2));
+    options.backoffMs =
+        static_cast<unsigned>(args.getInt("backoff_ms", 10));
+    options.artifactDir = args.getString("artifact_dir");
+    options.connectTimeoutMs =
+        static_cast<unsigned>(args.getInt("connect_timeout_ms", 10'000));
+    options.abortExits = true;
+    if (args.has("fault_worker_abort")) {
+        options.faults = std::make_shared<FaultInjector>(
+            static_cast<std::uint64_t>(args.getInt("fault_seed", 1)));
+        options.faults->abortWorker =
+            args.getInt("fault_worker_abort", 0);
+    }
+
+    const WorkerReport report = runWorker(options);
+    std::cout << options.name << ": ran " << report.jobsRun << " jobs, "
+              << report.restored << " restored a warm-up\n";
+    if (!report.error.empty()) {
+        std::cerr << options.name << ": " << report.error << "\n";
+        return 1;
+    }
+    return report.drained ? 0 : 1;
+}

@@ -1,10 +1,14 @@
 #include "checkpoint.hh"
 
 #include <bit>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
@@ -287,6 +291,26 @@ CheckpointCache::pathFor(std::uint64_t key) const
     return dir_ + "/ckpt-" + hexKey(key) + ".sciqckpt";
 }
 
+bool
+CheckpointCache::tryLockKey(std::uint64_t key) const
+{
+    // Existence of `<blob>.lock` is the cross-process producer claim;
+    // O_EXCL makes its creation the atomic election.
+    const std::string lockPath = pathFor(key) + ".lock";
+    const int fd = ::open(lockPath.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+}
+
+void
+CheckpointCache::unlockKey(std::uint64_t key) const
+{
+    ::unlink((pathFor(key) + ".lock").c_str());
+}
+
 CheckpointCache::Blob
 CheckpointCache::findOrBegin(std::uint64_t key)
 {
@@ -309,23 +333,66 @@ CheckpointCache::findOrBegin(std::uint64_t key)
     lock.unlock();
 
     if (!dir_.empty()) {
-        std::string from_disk;
-        bool found = false;
-        try {
-            from_disk = readCheckpointFile(pathFor(key));
-            found = true;
-        } catch (const CheckpointError &) {
-            // No usable file; fall through as producer.
-        }
-        if (found) {
+        auto diskHit = [&](std::string blob) {
             lock.lock();
             Entry &e = entries_[key];
-            e.blob = std::make_shared<const std::string>(
-                std::move(from_disk));
+            e.blob =
+                std::make_shared<const std::string>(std::move(blob));
             e.producing = false;
             ++diskHits_;
             cv_.notify_all();
             return e.blob;
+        };
+
+        // Poll-and-elect until we either read a published blob, win
+        // the cross-process lock, or lose patience.  Iteration order:
+        // blob first, so a winner that already published is picked up
+        // without ever touching the lock.
+        const auto giveUp =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(electionWaitMs);
+        for (;;) {
+            std::string from_disk;
+            bool found = false;
+            try {
+                from_disk = readCheckpointFile(pathFor(key));
+                found = true;
+            } catch (const CheckpointError &) {
+                // No usable file (yet).
+            }
+            if (found)
+                return diskHit(std::move(from_disk));
+
+            if (tryLockKey(key)) {
+                // Won the election — but the previous holder may have
+                // published between our read and its unlink, so probe
+                // once more before paying for the warm-up.
+                try {
+                    from_disk = readCheckpointFile(pathFor(key));
+                    found = true;
+                } catch (const CheckpointError &) {
+                }
+                if (found) {
+                    unlockKey(key);
+                    return diskHit(std::move(from_disk));
+                }
+                lock.lock();
+                entries_[key].diskLock = true;
+                lock.unlock();
+                return nullptr;
+            }
+
+            if (std::chrono::steady_clock::now() >= giveUp) {
+                // Stale lock (crashed producer) or a glacial one:
+                // produce our own copy.  Wasteful, never wrong — every
+                // producer of this key writes bit-identical state.
+                warn("checkpoint lock %s.lock held too long; producing "
+                     "a duplicate warm-up",
+                     pathFor(key).c_str());
+                return nullptr;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(electionPollMs));
         }
     }
     return nullptr;
@@ -343,6 +410,10 @@ CheckpointCache::publish(std::uint64_t key, std::string blob)
     }
     std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[key];
+    if (e.diskLock) {
+        unlockKey(key);
+        e.diskLock = false;
+    }
     e.blob = std::make_shared<const std::string>(std::move(blob));
     e.producing = false;
     ++produced_;
@@ -355,8 +426,11 @@ CheckpointCache::cancel(std::uint64_t key)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end() && !it->second.blob)
+    if (it != entries_.end() && !it->second.blob) {
+        if (it->second.diskLock)
+            unlockKey(key);
         entries_.erase(it);
+    }
     cv_.notify_all();
 }
 

@@ -94,6 +94,15 @@ std::string readCheckpointFile(const std::string &path);
  * producer (findOrBegin returns nullptr) while later askers block until
  * publish()/cancel().  Results stay bit-identical regardless of which
  * job ends up producing, so the election order is free to race.
+ *
+ * With a backing directory the election also spans processes
+ * (distributed sweep workers all pointed at one ckpt_dir, DESIGN.md
+ * §17): the first process to create `<blob path>.lock` (O_EXCL)
+ * produces; the others poll for the published blob file and take a disk
+ * hit once it appears.  A loser that outwaits `electionWaitMs` produces
+ * its own copy — wasteful but still correct, since every producer
+ * writes bit-identical state.  publish()/cancel() release the lock; a
+ * crashed producer's stale lock is bounded by the same timeout.
  */
 class CheckpointCache
 {
@@ -121,6 +130,15 @@ class CheckpointCache
 
     const std::string &dir() const { return dir_; }
 
+    /**
+     * Cross-process election patience: how long a process that lost
+     * the lock race waits for the winner's blob before producing a
+     * duplicate, and how often it probes.  Public so tests can shrink
+     * the stale-lock timeout from minutes to milliseconds.
+     */
+    unsigned electionWaitMs = 120'000;
+    unsigned electionPollMs = 50;
+
     // Reuse accounting (monotonic; read after a sweep completes).
     std::uint64_t memoryHits() const;
     std::uint64_t diskHits() const;
@@ -130,8 +148,12 @@ class CheckpointCache
     struct Entry
     {
         bool producing = false;
+        bool diskLock = false;  ///< this process holds the .lock file
         Blob blob;
     };
+
+    bool tryLockKey(std::uint64_t key) const;
+    void unlockKey(std::uint64_t key) const;
 
     std::string dir_;
     mutable std::mutex mu_;

@@ -45,11 +45,23 @@ class FaultInjector
     /** Remaining checkpoint writes to fail (-1 = every write). */
     std::atomic<std::int64_t> failDiskWrites{0};
 
+    /**
+     * Remaining sweep-worker aborts (-1 = every job).  When the budget
+     * fires, the distributed worker (shard.cc) dies in place of sending
+     * its finished result - the lease stays outstanding, so the
+     * coordinator's lease-expiry/EOF requeue path has to recover the
+     * job.  Chaos coverage for DESIGN.md §17.
+     */
+    std::atomic<std::int64_t> abortWorker{0};
+
     /** True when the next checkpoint read should be corrupted. */
     bool takeCorruptRead() { return take(corruptCkptReads, corrupted_); }
 
     /** True when the next checkpoint write should fail. */
     bool takeDiskWriteFault() { return take(failDiskWrites, failed_); }
+
+    /** True when the worker should abort instead of reporting. */
+    bool takeWorkerAbort() { return take(abortWorker, aborted_); }
 
     /**
      * Deterministically flip bytes in `blob` (seeded by the injector's
@@ -73,6 +85,7 @@ class FaultInjector
     // Observability for tests and artifact reports.
     std::uint64_t corruptedReads() const { return corrupted_.load(); }
     std::uint64_t failedWrites() const { return failed_.load(); }
+    std::uint64_t workerAborts() const { return aborted_.load(); }
     std::uint64_t seed() const { return seed_; }
 
   private:
@@ -96,6 +109,7 @@ class FaultInjector
     std::uint64_t seed_;
     mutable std::atomic<std::uint64_t> corrupted_{0};
     std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> aborted_{0};
 };
 
 } // namespace sciq

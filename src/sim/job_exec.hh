@@ -10,11 +10,13 @@
 #ifndef SCIQ_SIM_JOB_EXEC_HH
 #define SCIQ_SIM_JOB_EXEC_HH
 
+#include <chrono>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "common/errors.hh"
 #include "common/logging.hh"
@@ -110,6 +112,47 @@ writeArtifact(const std::string &dir, std::size_t index,
     out << "sweep key: " << key << "\nerror: " << c.message << "\n\n"
         << c.context;
     inform("wrote failure artifact %s", path.c_str());
+}
+
+/**
+ * Run one job with bounded retry-with-backoff for transient errors.
+ * Never throws: every exception ends up in the returned outcome.  The
+ * single execution path shared by the in-process sweep runner
+ * (sweep.cc) and distributed sweep workers (shard.cc), so a contained
+ * failure looks identical however the job reached a core.
+ */
+inline RunResult
+executeWithRetry(const SimConfig &config, const std::string &key,
+                 std::size_t index, unsigned max_retries,
+                 unsigned backoff_ms, const std::string &artifact_dir)
+{
+    for (unsigned attempt = 1;; ++attempt) {
+        std::exception_ptr ep;
+        try {
+            RunResult r = runSim(config);
+            r.outcome.attempts = attempt;
+            return r;
+        } catch (...) {
+            ep = std::current_exception();
+        }
+        Classified c = classify(ep);
+        if (c.transient && attempt <= max_retries) {
+            warn("job %zu (%s): transient %s error, retrying "
+                 "(attempt %u/%u): %s",
+                 index, key.c_str(), errorCodeName(c.code), attempt,
+                 max_retries + 1, c.message.c_str());
+            if (backoff_ms) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoff_ms << (attempt - 1)));
+            }
+            continue;
+        }
+        warn("job %zu (%s) %s: [%s] %s", index, key.c_str(),
+             c.timeout ? "timed out" : "failed", errorCodeName(c.code),
+             c.message.c_str());
+        writeArtifact(artifact_dir, index, c, key);
+        return failedResult(config, c, attempt);
+    }
 }
 
 } // namespace job_exec

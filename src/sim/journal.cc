@@ -180,6 +180,29 @@ loadJournal(const std::string &path)
     return entries;
 }
 
+std::size_t
+applyJournal(const std::string &path,
+             const std::vector<std::string> &keys,
+             std::vector<RunResult> &results, std::vector<char> &have)
+{
+    std::size_t reused = 0;
+    for (JournalEntry &entry : loadJournal(path)) {
+        if (entry.index >= keys.size() || keys[entry.index] != entry.key)
+            continue;
+        if (entry.result.outcome.ok()) {
+            results[entry.index] = std::move(entry.result);
+            if (!have[entry.index])
+                ++reused;
+            have[entry.index] = 1;
+        } else {
+            if (have[entry.index])
+                --reused;
+            have[entry.index] = 0;
+        }
+    }
+    return reused;
+}
+
 ResultJournal::ResultJournal(const std::string &path)
     : path_(path)
 {

@@ -65,6 +65,19 @@ struct JournalEntry
  */
 std::vector<JournalEntry> loadJournal(const std::string &path);
 
+/**
+ * Resume helper shared by SweepRunner and the distributed coordinator:
+ * load `path` and keep every journaled-ok entry whose (index, sweep
+ * key) still matches `keys`, storing it into `results` and setting
+ * `have[index]`.  A later non-ok line clears `have[index]` again, so a
+ * job whose re-run failed is re-run once more.  Returns the number of
+ * entries reused.  `results` and `have` must be sized keys.size().
+ */
+std::size_t applyJournal(const std::string &path,
+                         const std::vector<std::string> &keys,
+                         std::vector<RunResult> &results,
+                         std::vector<char> &have);
+
 /** Thread-safe appender; one flushed line per record(). */
 class ResultJournal
 {

@@ -1,0 +1,679 @@
+#include "shard.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <list>
+#include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fault_injector.hh"
+#include "sim/job_exec.hh"
+#include "sim/journal.hh"
+#include "sim/worker_proto.hh"
+
+namespace sciq {
+
+std::uint64_t
+shardHash(const std::string &sweep_key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : sweep_key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+unsigned
+shardOf(const std::string &sweep_key, unsigned shards)
+{
+    if (shards <= 1)
+        return 0;
+    return static_cast<unsigned>(shardHash(sweep_key) % shards);
+}
+
+std::string
+configSpec(const SimConfig &config)
+{
+    std::ostringstream os;
+    os << sweepKey(config)
+       << " wrong_path=" << config.core.modelWrongPath
+       << " resize_interval=" << config.core.iq.resizeInterval
+       << " watchdog_cycles=" << config.core.watchdogCycles
+       << " validate=" << config.validate << " audit=" << config.audit
+       << " audit_panic=" << config.auditPanic
+       << " bb_cache=" << config.bbCache
+       << " iq_soa=" << config.core.iq.soaLayout;
+    // Architected fault knobs travel with the job so negative tests
+    // behave the same distributed as local; budgeted injector faults
+    // stay worker-local by design.
+    if (config.core.faultCommitStallAt > 0)
+        os << " fault_commit_stall=" << config.core.faultCommitStallAt;
+    if (config.core.iq.auditInjectOverPromote)
+        os << " fault_overpromote=1";
+    return os.str();
+}
+
+SimConfig
+configFromSpec(const std::string &spec)
+{
+    ConfigMap map;
+    std::istringstream is(spec);
+    std::string token;
+    while (is >> token) {
+        if (!map.parseLine(token))
+            throw ConfigError("malformed config-spec token '" + token +
+                              "'");
+    }
+    SimConfig config;
+    config.apply(map);
+    return config;
+}
+
+// ---------------------------------------------------------------------
+// JobBoard
+
+JobBoard::JobBoard(const std::vector<std::string> &keys,
+                   const std::vector<char> &done, const Options &options)
+    : options_(options)
+{
+    if (options_.shards == 0)
+        options_.shards = 1;
+    jobs_.resize(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        jobs_[i].key = keys[i];
+        jobs_[i].shard = shardOf(keys[i], options_.shards);
+        if (i < done.size() && done[i]) {
+            jobs_[i].done = true;
+            ++doneCount_;
+        }
+    }
+}
+
+unsigned
+JobBoard::shardOfJob(std::size_t index) const
+{
+    return jobs_[index].shard;
+}
+
+JobBoard::Grant
+JobBoard::lease(int worker, unsigned shard, Clock::time_point now,
+                std::size_t &index)
+{
+    if (allDone())
+        return Grant::Drained;
+
+    auto grant = [&](std::size_t i) {
+        jobs_[i].active.push_back(
+            {worker, now, now + std::chrono::milliseconds(options_.leaseMs)});
+        ++leases_;
+        index = i;
+        return Grant::Leased;
+    };
+
+    // 1. Pending work from the worker's own shard, in input order.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const Job &j = jobs_[i];
+        if (!j.done && j.active.empty() && j.shard == shard)
+            return grant(i);
+    }
+
+    // 2. Steal from the shard with the most pending work so straggler
+    //    shards drain fastest.
+    std::vector<std::size_t> pendingPerShard(options_.shards, 0);
+    bool anyPending = false;
+    for (const Job &j : jobs_) {
+        if (!j.done && j.active.empty()) {
+            ++pendingPerShard[j.shard];
+            anyPending = true;
+        }
+    }
+    if (anyPending) {
+        const unsigned victim = static_cast<unsigned>(std::distance(
+            pendingPerShard.begin(),
+            std::max_element(pendingPerShard.begin(),
+                             pendingPerShard.end())));
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            const Job &j = jobs_[i];
+            if (!j.done && j.active.empty() && j.shard == victim) {
+                ++steals_;
+                return grant(i);
+            }
+        }
+    }
+
+    // 3. Straggler hedging: duplicate the longest-outstanding lease
+    //    once it is old enough, as long as this worker does not
+    //    already hold it.  First result wins; the loser is discarded.
+    const auto oldEnough =
+        now - std::chrono::milliseconds(options_.duplicateAfterMs);
+    std::size_t best = jobs_.size();
+    Clock::time_point bestStart{};
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const Job &j = jobs_[i];
+        if (j.done || j.active.empty())
+            continue;
+        Clock::time_point oldest = j.active.front().start;
+        bool mine = false;
+        for (const Lease &l : j.active) {
+            oldest = std::min(oldest, l.start);
+            mine = mine || l.worker == worker;
+        }
+        if (mine || oldest > oldEnough)
+            continue;
+        if (best == jobs_.size() || oldest < bestStart) {
+            best = i;
+            bestStart = oldest;
+        }
+    }
+    if (best != jobs_.size()) {
+        ++duplicates_;
+        return grant(best);
+    }
+    return Grant::Wait;
+}
+
+bool
+JobBoard::complete(std::size_t index)
+{
+    Job &j = jobs_[index];
+    if (j.done)
+        return false;
+    j.done = true;
+    j.active.clear();
+    ++doneCount_;
+    return true;
+}
+
+void
+JobBoard::drop(std::size_t index, std::vector<std::size_t> &requeued,
+               std::vector<std::size_t> &failed)
+{
+    Job &j = jobs_[index];
+    ++j.drops;
+    if (j.drops > options_.maxLeaseDrops) {
+        j.done = true;
+        ++doneCount_;
+        failed.push_back(index);
+    } else {
+        ++requeues_;
+        requeued.push_back(index);
+    }
+}
+
+void
+JobBoard::workerLost(int worker, std::vector<std::size_t> &requeued,
+                     std::vector<std::size_t> &failed)
+{
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        Job &j = jobs_[i];
+        if (j.done || j.active.empty())
+            continue;
+        const std::size_t before = j.active.size();
+        j.active.erase(
+            std::remove_if(j.active.begin(), j.active.end(),
+                           [worker](const Lease &l) {
+                               return l.worker == worker;
+                           }),
+            j.active.end());
+        // Only an orphaned job (no surviving duplicate lease) counts
+        // as a drop; a lost duplicate is covered by the original.
+        if (before != j.active.size() && j.active.empty())
+            drop(i, requeued, failed);
+    }
+}
+
+void
+JobBoard::expireLeases(Clock::time_point now,
+                       std::vector<std::size_t> &requeued,
+                       std::vector<std::size_t> &failed)
+{
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        Job &j = jobs_[i];
+        if (j.done || j.active.empty())
+            continue;
+        const std::size_t before = j.active.size();
+        j.active.erase(std::remove_if(j.active.begin(), j.active.end(),
+                                      [now](const Lease &l) {
+                                          return l.deadline <= now;
+                                      }),
+                       j.active.end());
+        if (before != j.active.size() && j.active.empty())
+            drop(i, requeued, failed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+
+namespace {
+
+struct Conn
+{
+    Conn(int id_, int fd) : id(id_), ch(fd) {}
+
+    int id;
+    LineChannel ch;
+    bool helloed = false;
+    bool dead = false;
+    unsigned shard = 0;
+    std::string name;
+};
+
+} // namespace
+
+std::vector<RunResult>
+serveSweep(const std::vector<SimConfig> &configs,
+           const ServeOptions &options, ServeStats *stats_out)
+{
+    using Clock = JobBoard::Clock;
+
+    for (const SimConfig &cfg : configs) {
+        if (cfg.deadlineSec > 0.0) {
+            throw ConfigError(
+                "distributed sweeps cannot serve deadline_sec jobs: "
+                "wall-clock deadlines are not deterministic across "
+                "workers (run them with a local sweep instead)");
+        }
+    }
+
+    const std::size_t total = configs.size();
+    std::vector<RunResult> results(total);
+    std::vector<std::string> keys(total), specs(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        keys[i] = sweepKey(configs[i]);
+        specs[i] = configSpec(configs[i]);
+    }
+
+    // Resume exactly like SweepRunner::run: journaled-ok entries whose
+    // (index, key) still match are merged up front and never re-leased.
+    std::vector<char> have(total, 0);
+    std::unique_ptr<ResultJournal> journal;
+    if (!options.journal.empty()) {
+        applyJournal(options.journal, keys, results, have);
+        journal = std::make_unique<ResultJournal>(options.journal);
+    }
+
+    JobBoard::Options boardOptions;
+    boardOptions.shards = options.shards == 0 ? 1 : options.shards;
+    boardOptions.leaseMs = options.leaseMs;
+    boardOptions.maxLeaseDrops = options.maxLeaseDrops;
+    boardOptions.duplicateAfterMs = options.duplicateAfterMs;
+    JobBoard board(keys, have, boardOptions);
+
+    ServeStats stats;
+    std::size_t done = 0;
+    for (const char h : have)
+        done += h != 0;
+
+    auto finishJob = [&](std::size_t index, RunResult r) {
+        if (journal)
+            journal->record(index, keys[index], r);
+        results[index] = std::move(r);
+        ++done;
+        if (options.progress)
+            options.progress(done, total, results[index]);
+    };
+
+    // Repeated lease drops contain the job as a Failed row through the
+    // §13 taxonomy, exactly like an in-process job that kept throwing.
+    auto failDropped = [&](const std::vector<std::size_t> &failed) {
+        for (const std::size_t index : failed) {
+            ++stats.boardFailed;
+            job_exec::Classified c;
+            c.code = ErrorCode::Resource;
+            c.transient = true;
+            c.message = "worker lease dropped " +
+                        std::to_string(options.maxLeaseDrops + 1) +
+                        " times (workers died or stalled)";
+            warn("job %zu (%s): %s", index, keys[index].c_str(),
+                 c.message.c_str());
+            finishJob(index, job_exec::failedResult(
+                                 configs[index], c,
+                                 options.maxLeaseDrops + 1));
+        }
+    };
+
+    const int lfd = listenUnix(options.socketPath);
+    std::list<Conn> conns;
+    int nextConnId = 0;
+    unsigned nextShard = 0;
+    auto lastWorkerSeen = Clock::now();
+
+    auto dropConn = [&](Conn &conn) {
+        conn.dead = true;
+        std::vector<std::size_t> requeued, failed;
+        board.workerLost(conn.id, requeued, failed);
+        failDropped(failed);
+        conn.ch.close();
+    };
+
+    // Handle every complete line one connection has buffered; returns
+    // false when the connection should be discarded.
+    auto processConn = [&](Conn &conn) {
+        std::string line;
+        while (conn.ch.popLine(line)) {
+            Message msg;
+            if (!decodeMessage(line, msg))
+                continue;  // torn line: same tolerance as the journal
+            switch (msg.type) {
+              case MsgType::Hello: {
+                Message reply;
+                if (msg.proto != kWorkerProtoVersion) {
+                    ++stats.rejectedWorkers;
+                    reply.type = MsgType::Reject;
+                    reply.reason =
+                        "protocol version mismatch (coordinator " +
+                        std::to_string(kWorkerProtoVersion) +
+                        ", worker " + std::to_string(msg.proto) + ")";
+                    conn.ch.sendLine(encodeMessage(reply));
+                    return false;
+                }
+                conn.helloed = true;
+                conn.name = msg.worker;
+                conn.shard = nextShard++ % boardOptions.shards;
+                ++stats.workersSeen;
+                reply.type = MsgType::Welcome;
+                reply.proto = kWorkerProtoVersion;
+                reply.shard = static_cast<int>(conn.shard);
+                reply.shards = boardOptions.shards;
+                reply.jobs = total;
+                reply.leaseMs = options.leaseMs;
+                if (!conn.ch.sendLine(encodeMessage(reply)))
+                    return false;
+                break;
+              }
+              case MsgType::LeaseReq: {
+                if (!conn.helloed) {
+                    Message reply;
+                    reply.type = MsgType::Reject;
+                    reply.reason = "lease_req before hello";
+                    conn.ch.sendLine(encodeMessage(reply));
+                    return false;
+                }
+                Message reply;
+                std::size_t index = 0;
+                switch (board.lease(conn.id, conn.shard, Clock::now(),
+                                    index)) {
+                  case JobBoard::Grant::Leased:
+                    reply.type = MsgType::Lease;
+                    reply.index = index;
+                    reply.key = keys[index];
+                    reply.spec = specs[index];
+                    break;
+                  case JobBoard::Grant::Wait:
+                    reply.type = MsgType::Wait;
+                    reply.waitMs = 100;
+                    break;
+                  case JobBoard::Grant::Drained:
+                    reply.type = MsgType::Drain;
+                    break;
+                }
+                if (!conn.ch.sendLine(encodeMessage(reply)))
+                    return false;
+                break;
+              }
+              case MsgType::Result: {
+                if (!conn.helloed)
+                    return false;
+                if (msg.index >= total || keys[msg.index] != msg.key) {
+                    warn("ignoring result for unknown job %zu (%s)",
+                         msg.index, msg.key.c_str());
+                    break;
+                }
+                if (board.complete(msg.index))
+                    finishJob(msg.index, std::move(msg.result));
+                else
+                    ++stats.duplicateResults;
+                break;
+              }
+              default:
+                // Coordinator-bound streams never carry coordinator
+                // replies; ignore rather than kill the worker.
+                break;
+            }
+        }
+        return !conn.dead;
+    };
+
+    auto cleanup = [&]() {
+        conns.clear();
+        ::close(lfd);
+        ::unlink(options.socketPath.c_str());
+    };
+
+    try {
+        // Main loop: poll the listen socket and every worker, expire
+        // leases, and stop once the board is fully drained.
+        while (!board.allDone()) {
+            std::vector<pollfd> pfds;
+            pfds.push_back({lfd, POLLIN, 0});
+            for (Conn &conn : conns)
+                pfds.push_back({conn.ch.fd(), POLLIN, 0});
+            ::poll(pfds.data(), pfds.size(), 50);
+
+            if (pfds[0].revents & POLLIN) {
+                // One accept per POLLIN wakeup: the listen fd stays
+                // readable while the backlog is non-empty, so the next
+                // loop iteration picks up any further pending workers.
+                const int fd = acceptUnix(lfd);
+                if (fd >= 0)
+                    conns.emplace_back(nextConnId++, fd);
+            }
+
+            std::size_t slot = 1;
+            for (auto it = conns.begin(); it != conns.end(); ++slot) {
+                Conn &conn = *it;
+                bool alive = true;
+                // A conn accepted above has no pfds entry yet; it is
+                // pumped on the next iteration.
+                if (slot < pfds.size() &&
+                    (pfds[slot].revents & (POLLIN | POLLHUP | POLLERR)))
+                    alive = conn.ch.pump();
+                if (!processConn(conn) || !alive) {
+                    dropConn(conn);
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+
+            std::vector<std::size_t> requeued, failed;
+            board.expireLeases(Clock::now(), requeued, failed);
+            failDropped(failed);
+
+            if (!conns.empty())
+                lastWorkerSeen = Clock::now();
+            else if (Clock::now() - lastWorkerSeen >
+                     std::chrono::milliseconds(options.workerGraceMs)) {
+                throw ResourceError(
+                    "no workers connected for " +
+                    std::to_string(options.workerGraceMs) + "ms with " +
+                    std::to_string(board.remaining()) +
+                    " jobs remaining");
+            }
+        }
+
+        // Drain: answer every remaining lease_req with Drain and give
+        // stragglers a moment to hear it before tearing down.
+        const auto drainDeadline =
+            Clock::now() + std::chrono::milliseconds(2000);
+        while (!conns.empty() && Clock::now() < drainDeadline) {
+            std::vector<pollfd> pfds;
+            for (Conn &conn : conns)
+                pfds.push_back({conn.ch.fd(), POLLIN, 0});
+            ::poll(pfds.data(), pfds.size(), 50);
+            std::size_t slot = 0;
+            for (auto it = conns.begin(); it != conns.end(); ++slot) {
+                Conn &conn = *it;
+                bool alive = true;
+                if (pfds[slot].revents & (POLLIN | POLLHUP | POLLERR))
+                    alive = conn.ch.pump();
+                if (!processConn(conn) || !alive)
+                    it = conns.erase(it);
+                else
+                    ++it;
+            }
+        }
+    } catch (...) {
+        cleanup();
+        throw;
+    }
+    cleanup();
+
+    stats.leases = board.leases();
+    stats.steals = board.steals();
+    stats.duplicates = board.duplicates();
+    stats.requeues = board.requeues();
+    if (stats_out)
+        *stats_out = stats;
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// Worker
+
+namespace {
+
+/** Read lines until one decodes; torn lines are skipped. */
+bool
+recvMessage(LineChannel &ch, Message &msg, unsigned timeout_ms)
+{
+    std::string line;
+    while (ch.recvLine(line, timeout_ms)) {
+        if (decodeMessage(line, msg))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+WorkerReport
+runWorker(const WorkerOptions &options)
+{
+    WorkerReport report;
+    std::string artifactDir = options.artifactDir;
+    if (artifactDir.empty()) {
+        if (const char *env = std::getenv("SCIQ_ARTIFACT_DIR"))
+            artifactDir = env;
+    }
+
+    try {
+        LineChannel ch(
+            connectUnix(options.socketPath, options.connectTimeoutMs));
+
+        Message hello;
+        hello.type = MsgType::Hello;
+        hello.proto = kWorkerProtoVersion;
+        hello.worker = options.name;
+        if (!ch.sendLine(encodeMessage(hello))) {
+            report.error = "handshake send failed";
+            return report;
+        }
+        Message msg;
+        if (!recvMessage(ch, msg, options.replyTimeoutMs)) {
+            report.error = "no handshake reply from coordinator";
+            return report;
+        }
+        if (msg.type == MsgType::Reject) {
+            report.error = "rejected by coordinator: " + msg.reason;
+            return report;
+        }
+        if (msg.type != MsgType::Welcome ||
+            msg.proto != kWorkerProtoVersion) {
+            report.error = "unexpected handshake reply";
+            return report;
+        }
+
+        // One warm-state cache per worker process, disk-backed when
+        // every worker points at the same ckpt_dir: the cross-process
+        // producer election (checkpoint.cc) makes N workers execute
+        // one warm-up total.
+        std::shared_ptr<CheckpointCache> cache;
+        if (!options.ckptDir.empty())
+            cache = std::make_shared<CheckpointCache>(options.ckptDir);
+
+        for (;;) {
+            Message req;
+            req.type = MsgType::LeaseReq;
+            if (!ch.sendLine(encodeMessage(req))) {
+                report.error = "coordinator connection lost";
+                return report;
+            }
+            if (!recvMessage(ch, msg, options.replyTimeoutMs)) {
+                report.error = "no lease reply from coordinator";
+                return report;
+            }
+            if (msg.type == MsgType::Drain) {
+                report.drained = true;
+                return report;
+            }
+            if (msg.type == MsgType::Wait) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(msg.waitMs));
+                continue;
+            }
+            if (msg.type == MsgType::Reject) {
+                report.error = "rejected by coordinator: " + msg.reason;
+                return report;
+            }
+            if (msg.type != MsgType::Lease)
+                continue;
+
+            RunResult r;
+            try {
+                SimConfig cfg = configFromSpec(msg.spec);
+                cfg.faults = options.faults;
+                if (cfg.fastForward > 0 && cache)
+                    cfg.ckptCache = cache;
+                r = job_exec::executeWithRetry(
+                    cfg, msg.key, msg.index, options.maxRetries,
+                    options.backoffMs, artifactDir);
+            } catch (...) {
+                // A spec the worker cannot even parse still produces a
+                // contained Failed row, so the job cannot loop forever
+                // through requeues.
+                job_exec::Classified c =
+                    job_exec::classify(std::current_exception());
+                SimConfig blank;
+                r = job_exec::failedResult(blank, c, 1);
+            }
+            ++report.jobsRun;
+            if (r.ckptRestored)
+                ++report.restored;
+
+            if (options.faults && options.faults->takeWorkerAbort()) {
+                // Chaos hook: die in place of reporting, exactly like
+                // a worker killed mid-job — the coordinator must
+                // requeue the outstanding lease.
+                report.aborted = true;
+                if (options.abortExits)
+                    ::_exit(137);
+                ch.close();
+                return report;
+            }
+
+            Message res;
+            res.type = MsgType::Result;
+            res.index = msg.index;
+            res.key = msg.key;
+            res.result = std::move(r);
+            if (!ch.sendLine(encodeMessage(res))) {
+                report.error = "result send failed";
+                return report;
+            }
+        }
+    } catch (const std::exception &e) {
+        report.error = e.what();
+    }
+    return report;
+}
+
+} // namespace sciq

@@ -40,8 +40,12 @@ SimConfig::apply(const ConfigMap &cfg)
         cfg.getInt("resize_interval", core.iq.resizeInterval));
     core.iq.issueBufferSize = static_cast<unsigned>(
         cfg.getInt("issue_buffer", core.iq.issueBufferSize));
+    core.iq.preschedLineWidth = static_cast<unsigned>(
+        cfg.getInt("line_width", core.iq.preschedLineWidth));
     core.iq.numFifos =
         static_cast<unsigned>(cfg.getInt("fifos", core.iq.numFifos));
+    core.iq.fifoDepth = static_cast<unsigned>(
+        cfg.getInt("depth", core.iq.fifoDepth));
     core.modelWrongPath =
         cfg.getBool("wrong_path", core.modelWrongPath);
 

@@ -30,52 +30,6 @@ SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
     }
 }
 
-namespace {
-
-using job_exec::Classified;
-using job_exec::classify;
-using job_exec::failedResult;
-using job_exec::writeArtifact;
-
-/**
- * Run one job with bounded retry-with-backoff for transient errors.
- * Never throws: every exception ends up in the returned outcome.
- */
-RunResult
-executeJob(const SimConfig &config, const std::string &key,
-           std::size_t index, const SweepRunner::Options &options)
-{
-    for (unsigned attempt = 1;; ++attempt) {
-        std::exception_ptr ep;
-        try {
-            RunResult r = runSim(config);
-            r.outcome.attempts = attempt;
-            return r;
-        } catch (...) {
-            ep = std::current_exception();
-        }
-        Classified c = classify(ep);
-        if (c.transient && attempt <= options.maxRetries) {
-            warn("job %zu (%s): transient %s error, retrying "
-                 "(attempt %u/%u): %s",
-                 index, key.c_str(), errorCodeName(c.code), attempt,
-                 options.maxRetries + 1, c.message.c_str());
-            if (options.backoffMs) {
-                std::this_thread::sleep_for(std::chrono::milliseconds(
-                    options.backoffMs << (attempt - 1)));
-            }
-            continue;
-        }
-        warn("job %zu (%s) %s: [%s] %s", index, key.c_str(),
-             c.timeout ? "timed out" : "failed", errorCodeName(c.code),
-             c.message.c_str());
-        writeArtifact(options.artifactDir, index, c, key);
-        return failedResult(config, c, attempt);
-    }
-}
-
-} // namespace
-
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SimConfig> &configs,
                  const Progress &progress) const
@@ -107,16 +61,7 @@ SweepRunner::run(const std::vector<SimConfig> &configs,
     std::vector<char> have(total, 0);
     std::unique_ptr<ResultJournal> journal;
     if (!options.journal.empty()) {
-        for (JournalEntry &entry : loadJournal(options.journal)) {
-            if (entry.index >= total || keys[entry.index] != entry.key)
-                continue;
-            if (entry.result.outcome.ok()) {
-                results[entry.index] = std::move(entry.result);
-                have[entry.index] = 1;
-            } else {
-                have[entry.index] = 0;
-            }
-        }
+        applyJournal(options.journal, keys, results, have);
         journal = std::make_unique<ResultJournal>(options.journal);
     }
 
@@ -131,7 +76,9 @@ SweepRunner::run(const std::vector<SimConfig> &configs,
     std::mutex progressMutex;
 
     auto runOne = [&](std::size_t i) {
-        RunResult r = executeJob(configs[i], keys[i], i, options);
+        RunResult r = job_exec::executeWithRetry(
+            configs[i], keys[i], i, options.maxRetries, options.backoffMs,
+            options.artifactDir);
         if (journal)
             journal->record(i, keys[i], r);
         results[i] = std::move(r);
@@ -251,7 +198,7 @@ SweepRunner::run(const std::vector<SimConfig> &configs,
     std::vector<std::exception_ptr> errors(workers);
 
     auto worker = [&](unsigned id) {
-        // executeJob never throws; anything caught here is harness
+        // executeWithRetry never throws; anything caught here is harness
         // trouble (e.g. journal I/O), reported after the other workers
         // have drained the queue so no completed result is lost.
         try {

@@ -1,0 +1,323 @@
+#include "worker_proto.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/errors.hh"
+#include "common/json.hh"
+#include "sim/journal.hh"
+
+namespace sciq {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello: return "hello";
+      case MsgType::Welcome: return "welcome";
+      case MsgType::Reject: return "reject";
+      case MsgType::LeaseReq: return "lease_req";
+      case MsgType::Lease: return "lease";
+      case MsgType::Wait: return "wait";
+      case MsgType::Drain: return "drain";
+      case MsgType::Result: return "result";
+    }
+    return "?";
+}
+
+std::string
+encodeMessage(const Message &msg)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"" << msgTypeName(msg.type) << "\"";
+    switch (msg.type) {
+      case MsgType::Hello:
+        os << ",\"proto\":" << msg.proto << ",\"worker\":";
+        json::writeString(os, msg.worker);
+        break;
+      case MsgType::Welcome:
+        os << ",\"proto\":" << msg.proto << ",\"shard\":" << msg.shard
+           << ",\"shards\":" << msg.shards << ",\"jobs\":" << msg.jobs
+           << ",\"lease_ms\":" << msg.leaseMs;
+        break;
+      case MsgType::Reject:
+        os << ",\"reason\":";
+        json::writeString(os, msg.reason);
+        break;
+      case MsgType::LeaseReq:
+      case MsgType::Drain:
+        break;
+      case MsgType::Wait:
+        os << ",\"ms\":" << msg.waitMs;
+        break;
+      case MsgType::Lease:
+        os << ",\"index\":" << msg.index << ",\"key\":";
+        json::writeString(os, msg.key);
+        os << ",\"spec\":";
+        json::writeString(os, msg.spec);
+        break;
+      case MsgType::Result:
+        os << ",\"index\":" << msg.index << ",\"key\":";
+        json::writeString(os, msg.key);
+        os << ",\"result\":";
+        writeResultCompactJson(os, msg.result);
+        break;
+    }
+    os << "}";
+    return os.str();
+}
+
+bool
+decodeMessage(const std::string &line, Message &out)
+{
+    try {
+        const json::Value v = json::parse(line);
+        const std::string type = v.at("type").asString();
+        if (type == "hello") {
+            out.type = MsgType::Hello;
+            out.proto = static_cast<unsigned>(v.at("proto").asNumber());
+            out.worker = v.at("worker").asString();
+        } else if (type == "welcome") {
+            out.type = MsgType::Welcome;
+            out.proto = static_cast<unsigned>(v.at("proto").asNumber());
+            out.shard = static_cast<int>(v.at("shard").asNumber());
+            out.shards = static_cast<unsigned>(v.at("shards").asNumber());
+            out.jobs = static_cast<std::size_t>(v.at("jobs").asNumber());
+            out.leaseMs =
+                static_cast<unsigned>(v.at("lease_ms").asNumber());
+        } else if (type == "reject") {
+            out.type = MsgType::Reject;
+            out.reason = v.at("reason").asString();
+        } else if (type == "lease_req") {
+            out.type = MsgType::LeaseReq;
+        } else if (type == "lease") {
+            out.type = MsgType::Lease;
+            out.index = static_cast<std::size_t>(v.at("index").asNumber());
+            out.key = v.at("key").asString();
+            out.spec = v.at("spec").asString();
+        } else if (type == "wait") {
+            out.type = MsgType::Wait;
+            out.waitMs = static_cast<unsigned>(v.at("ms").asNumber());
+        } else if (type == "drain") {
+            out.type = MsgType::Drain;
+        } else if (type == "result") {
+            out.type = MsgType::Result;
+            out.index = static_cast<std::size_t>(v.at("index").asNumber());
+            out.key = v.at("key").asString();
+            out.result = resultFromJson(v.at("result"));
+        } else {
+            return false;
+        }
+        return true;
+    } catch (const std::exception &) {
+        // Torn/truncated line or wrong field shape: not a message.
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------------
+
+namespace {
+
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw ResourceError("socket path too long for AF_UNIX: '" +
+                            path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    ::unlink(path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ResourceError("socket(): " + std::string(strerror(errno)));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        const std::string msg = strerror(errno);
+        ::close(fd);
+        throw ResourceError("cannot listen on '" + path + "': " + msg);
+    }
+    return fd;
+}
+
+int
+acceptUnix(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    return fd < 0 ? -1 : fd;
+}
+
+int
+connectUnix(const std::string &path, unsigned timeout_ms)
+{
+    const sockaddr_un addr = unixAddr(path);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            throw ResourceError("socket(): " +
+                                std::string(strerror(errno)));
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            return fd;
+        }
+        ::close(fd);
+        // The coordinator may still be binding its socket; retry until
+        // the connect deadline instead of failing on startup races.
+        if (std::chrono::steady_clock::now() >= deadline) {
+            throw ResourceError("cannot connect to coordinator at '" +
+                                path + "': " + strerror(errno));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+LineChannel::~LineChannel() { close(); }
+
+LineChannel::LineChannel(LineChannel &&other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_))
+{
+    other.fd_ = -1;
+}
+
+LineChannel &
+LineChannel::operator=(LineChannel &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+LineChannel::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+LineChannel::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineChannel::pump()
+{
+    if (fd_ < 0)
+        return false;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n =
+            ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            return false;  // orderly EOF: peer is gone
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;  // drained everything currently available
+        return false;
+    }
+}
+
+bool
+LineChannel::popLine(std::string &line)
+{
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    line.assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+}
+
+bool
+LineChannel::recvLine(std::string &line, unsigned timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        if (popLine(line))
+            return true;
+        if (fd_ < 0)
+            return false;
+        pollfd pfd{fd_, POLLIN, 0};
+        int wait = -1;
+        if (timeout_ms > 0) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (left.count() <= 0)
+                return false;
+            wait = static_cast<int>(left.count());
+        }
+        const int rc = ::poll(&pfd, 1, wait);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (rc == 0)
+            return false;  // timeout
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            // EOF: surface any final complete line first.
+            return popLine(line);
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+}
+
+} // namespace sciq

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Line-oriented coordinator/worker protocol for distributed sweeps
+ * (DESIGN.md §17).
+ *
+ * Every message is one newline-delimited JSON object with a `type`
+ * field, exchanged over a local stream socket:
+ *
+ *   worker -> coordinator   {"type":"hello","proto":1,"worker":"w0"}
+ *   coordinator -> worker   {"type":"welcome","proto":1,"shard":0,
+ *                            "shards":3,"jobs":42,"lease_ms":60000}
+ *                           {"type":"reject","reason":"..."}
+ *   worker -> coordinator   {"type":"lease_req"}
+ *   coordinator -> worker   {"type":"lease","index":7,"key":"...",
+ *                            "spec":"workload=swim ..."}
+ *                           {"type":"wait","ms":200}
+ *                           {"type":"drain"}
+ *   worker -> coordinator   {"type":"result","index":7,"key":"...",
+ *                            "result":{...}}
+ *
+ * The handshake is versioned: a coordinator rejects any hello whose
+ * `proto` differs from kWorkerProtoVersion, so mixed-build fleets fail
+ * loudly instead of merging subtly different results.  The `result`
+ * body is exactly the journal's compact RunResult object, so a result
+ * streamed over the wire round-trips doubles bit-for-bit just like a
+ * journal line (journal.hh), which is what makes the coordinator's
+ * merged JSON byte-identical to a single-process run.
+ *
+ * Decoding is tolerant in the same way the journal loader is: a torn
+ * or truncated line (killed writer, half-flushed buffer) decodes to
+ * `false` and is skipped by the receiver rather than aborting the
+ * sweep.
+ */
+
+#ifndef SCIQ_SIM_WORKER_PROTO_HH
+#define SCIQ_SIM_WORKER_PROTO_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace sciq {
+
+/** Wire-format version; bump on any message/layout change. */
+constexpr unsigned kWorkerProtoVersion = 1;
+
+enum class MsgType
+{
+    Hello,     ///< worker introduces itself (proto, name)
+    Welcome,   ///< coordinator accepts (shard id, totals)
+    Reject,    ///< coordinator refuses (version mismatch, bad state)
+    LeaseReq,  ///< idle worker asks for a job
+    Lease,     ///< one job: index, sweep key, full config spec
+    Wait,      ///< nothing leasable right now; retry in `waitMs`
+    Drain,     ///< no work left, ever; worker should exit
+    Result,    ///< finished job: index, key, journal-format result
+};
+
+const char *msgTypeName(MsgType type);
+
+struct Message
+{
+    MsgType type = MsgType::Hello;
+
+    unsigned proto = 0;       ///< hello/welcome
+    std::string worker;       ///< hello: worker name
+    int shard = -1;           ///< welcome: assigned shard id
+    unsigned shards = 0;      ///< welcome: coordinator shard count
+    std::size_t jobs = 0;     ///< welcome: total jobs in the sweep
+    unsigned leaseMs = 0;     ///< welcome: lease length workers see
+    unsigned waitMs = 0;      ///< wait: suggested retry delay
+    std::string reason;       ///< reject
+    std::size_t index = 0;    ///< lease/result: job index
+    std::string key;          ///< lease/result: host-setting-free sweepKey
+    std::string spec;         ///< lease: complete configSpec string
+    RunResult result;         ///< result payload (journal format)
+};
+
+/** Serialize one message as a single line (no trailing newline). */
+std::string encodeMessage(const Message &msg);
+
+/**
+ * Parse one line into `out`.  Returns false — never throws — on torn,
+ * truncated or otherwise malformed input, mirroring the journal
+ * loader's tolerance.
+ */
+bool decodeMessage(const std::string &line, Message &out);
+
+// ---------------------------------------------------------------------
+// Local stream-socket transport (AF_UNIX).
+
+/**
+ * Create, bind and listen on a Unix-domain socket, removing any stale
+ * file at `path` first.  Throws ResourceError on failure.
+ */
+int listenUnix(const std::string &path);
+
+/** Accept one pending connection, or -1 when none is ready. */
+int acceptUnix(int listen_fd);
+
+/**
+ * Connect to `path`, retrying while the coordinator is still starting
+ * up, until `timeout_ms` elapses.  Throws ResourceError on timeout.
+ */
+int connectUnix(const std::string &path, unsigned timeout_ms);
+
+/**
+ * Buffered newline-delimited channel over one socket fd (owned:
+ * closed on destruction; move-only).
+ *
+ * The coordinator uses the non-blocking pair pump()/popLine() from its
+ * poll loop; workers use the blocking recvLine().  sendLine() never
+ * raises SIGPIPE — a peer that died mid-send surfaces as `false`.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(LineChannel &&other) noexcept;
+    LineChannel &operator=(LineChannel &&other) noexcept;
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    int fd() const { return fd_; }
+
+    /** Write `line` + '\n'; false once the peer is gone. */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Read whatever the socket has ready into the internal buffer
+     * without blocking.  Returns false on EOF or a hard error (the
+     * buffered complete lines remain poppable).
+     */
+    bool pump();
+
+    /** Pop the next complete buffered line; false when none. */
+    bool popLine(std::string &line);
+
+    /**
+     * Blocking receive of one complete line, waiting up to
+     * `timeout_ms` (0 = forever).  False on EOF, error or timeout.
+     */
+    bool recvLine(std::string &line, unsigned timeout_ms);
+
+    /** Close the fd now (e.g. to simulate an abrupt worker death). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace sciq
+
+#endif // SCIQ_SIM_WORKER_PROTO_HH

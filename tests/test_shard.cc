@@ -1,0 +1,634 @@
+/**
+ * @file
+ * Distributed sweep service (DESIGN.md §17): shard partition
+ * stability, config-spec round-trips, wire-protocol tolerance, the
+ * JobBoard lease state machine, and end-to-end coordinator/worker
+ * sweeps that must merge byte-identically to a single-process run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/errors.hh"
+#include "sim/fault_injector.hh"
+#include "sim/journal.hh"
+#include "sim/shard.hh"
+#include "sim/sweep.hh"
+#include "sim/worker_proto.hh"
+
+using namespace sciq;
+
+namespace {
+
+std::string
+testSocket(const std::string &tag)
+{
+    // Keep well under the sockaddr_un sun_path limit.
+    return "/tmp/sciq-" + tag + "-" + std::to_string(::getpid()) +
+           ".sock";
+}
+
+std::vector<SimConfig>
+smallConfigSet()
+{
+    std::vector<SimConfig> cfgs;
+    for (const auto &wl : {"swim", "gcc"}) {
+        for (unsigned size : {32u, 64u}) {
+            SimConfig seg = makeSegmentedConfig(size, 32, true, true, wl);
+            seg.wl.iterations = 200;
+            cfgs.push_back(seg);
+        }
+        SimConfig ideal = makeIdealConfig(64, wl);
+        ideal.wl.iterations = 200;
+        cfgs.push_back(ideal);
+    }
+    return cfgs;
+}
+
+void
+expectSameBits(double a, double b, const char *field, std::size_t i)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << field << " differs (" << a << " vs " << b
+                      << ") config " << i;
+}
+
+/** writeResultsJson with the host wall-clock lines removed. */
+std::string
+maskedResultsJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    static const char *masked[] = {
+        "\"host_seconds\"", "\"host_kcycles_per_sec\"",
+        "\"host_kinsts_per_sec\"", "\"warm_seconds\"",
+        "\"warm_insts_per_sec\"",
+    };
+    std::istringstream is(os.str());
+    std::string out, line;
+    while (std::getline(is, line)) {
+        bool skip = false;
+        for (const char *m : masked)
+            skip = skip || line.find(m) != std::string::npos;
+        if (!skip)
+            out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Sharding and config specs
+
+TEST(Shard, ShardOfIsPermutationStableAndInRange)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    for (unsigned shards : {1u, 2u, 3u, 7u}) {
+        std::vector<unsigned> forward, backward;
+        for (const SimConfig &cfg : cfgs)
+            forward.push_back(shardOf(sweepKey(cfg), shards));
+        for (auto it = cfgs.rbegin(); it != cfgs.rend(); ++it)
+            backward.push_back(shardOf(sweepKey(*it), shards));
+        std::reverse(backward.begin(), backward.end());
+        // A pure function of the key: the job list's order (or any
+        // lease history) cannot move a job between shards.
+        EXPECT_EQ(forward, backward);
+        for (const unsigned s : forward)
+            EXPECT_LT(s, shards);
+    }
+    EXPECT_EQ(shardOf("anything", 0), 0u);
+}
+
+TEST(Shard, DistinctKeysSpreadAcrossShards)
+{
+    // Not a strict uniformity claim - just that the hash is not
+    // degenerate for realistic key sets.
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    std::vector<bool> hit(3, false);
+    for (const SimConfig &cfg : cfgs)
+        hit[shardOf(sweepKey(cfg), 3)] = true;
+    EXPECT_TRUE(hit[0] || hit[1] || hit[2]);
+    unsigned used = 0;
+    for (const bool h : hit)
+        used += h;
+    EXPECT_GE(used, 2u) << "6 distinct keys all hashed to one shard";
+}
+
+TEST(Shard, ConfigSpecRoundTripsEveryIqKind)
+{
+    std::vector<SimConfig> cfgs;
+    cfgs.push_back(makeSegmentedConfig(128, 16, true, false, "swim"));
+    cfgs.push_back(makeIdealConfig(64, "gcc"));
+    cfgs.push_back(makePrescheduledConfig(96, "twolf"));
+    cfgs.push_back(makeFifoConfig(8, 16, "equake"));
+    cfgs[0].fastForward = 5000;
+    cfgs[0].validate = true;
+    cfgs[1].audit = true;
+    cfgs[2].core.iq.preschedLineWidth = 7;
+    cfgs[3].core.iq.fifoDepth = 16;
+    cfgs[3].bbCache = false;
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const std::string spec = configSpec(cfgs[i]);
+        const SimConfig back = configFromSpec(spec);
+        // The spec must reproduce the job's full architected identity:
+        // same sweep key and a fixpoint spec.
+        EXPECT_EQ(sweepKey(back), sweepKey(cfgs[i])) << "config " << i;
+        EXPECT_EQ(configSpec(back), spec) << "config " << i;
+    }
+}
+
+TEST(Shard, ConfigFromSpecRejectsJunk)
+{
+    EXPECT_THROW(configFromSpec("workload=swim not-a-kv-token"),
+                 ConfigError);
+    EXPECT_THROW(configFromSpec("iq=bogus"), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+
+TEST(WorkerProto, MessagesRoundTrip)
+{
+    Message hello;
+    hello.type = MsgType::Hello;
+    hello.proto = kWorkerProtoVersion;
+    hello.worker = "w\"0\n";  // hostile name: quotes and newline
+    Message out;
+    ASSERT_TRUE(decodeMessage(encodeMessage(hello), out));
+    EXPECT_EQ(out.type, MsgType::Hello);
+    EXPECT_EQ(out.proto, hello.proto);
+    EXPECT_EQ(out.worker, hello.worker);
+
+    Message welcome;
+    welcome.type = MsgType::Welcome;
+    welcome.proto = 1;
+    welcome.shard = 2;
+    welcome.shards = 3;
+    welcome.jobs = 42;
+    welcome.leaseMs = 60'000;
+    ASSERT_TRUE(decodeMessage(encodeMessage(welcome), out));
+    EXPECT_EQ(out.type, MsgType::Welcome);
+    EXPECT_EQ(out.shard, 2);
+    EXPECT_EQ(out.shards, 3u);
+    EXPECT_EQ(out.jobs, 42u);
+    EXPECT_EQ(out.leaseMs, 60'000u);
+
+    Message lease;
+    lease.type = MsgType::Lease;
+    lease.index = 7;
+    lease.key = "workload=swim iters=200";
+    lease.spec = lease.key + " validate=0";
+    ASSERT_TRUE(decodeMessage(encodeMessage(lease), out));
+    EXPECT_EQ(out.type, MsgType::Lease);
+    EXPECT_EQ(out.index, 7u);
+    EXPECT_EQ(out.key, lease.key);
+    EXPECT_EQ(out.spec, lease.spec);
+
+    for (const MsgType t :
+         {MsgType::LeaseReq, MsgType::Drain}) {
+        Message bare;
+        bare.type = t;
+        ASSERT_TRUE(decodeMessage(encodeMessage(bare), out));
+        EXPECT_EQ(out.type, t);
+    }
+
+    Message wait;
+    wait.type = MsgType::Wait;
+    wait.waitMs = 250;
+    ASSERT_TRUE(decodeMessage(encodeMessage(wait), out));
+    EXPECT_EQ(out.type, MsgType::Wait);
+    EXPECT_EQ(out.waitMs, 250u);
+
+    Message reject;
+    reject.type = MsgType::Reject;
+    reject.reason = "version mismatch";
+    ASSERT_TRUE(decodeMessage(encodeMessage(reject), out));
+    EXPECT_EQ(out.type, MsgType::Reject);
+    EXPECT_EQ(out.reason, reject.reason);
+}
+
+TEST(WorkerProto, ResultPayloadRoundTripsDoublesBitForBit)
+{
+    Message res;
+    res.type = MsgType::Result;
+    res.index = 3;
+    res.key = "workload=swim iters=200";
+    res.result.workload = "swim";
+    res.result.iqKind = "segmented";
+    res.result.iqSize = 64;
+    res.result.ipc = 1.0 / 3.0;
+    res.result.hmpAccuracy = std::nan("");  // undefined rate
+    res.result.outcome.status = JobOutcome::Status::Ok;
+
+    Message out;
+    ASSERT_TRUE(decodeMessage(encodeMessage(res), out));
+    EXPECT_EQ(out.index, 3u);
+    EXPECT_EQ(out.result.workload, "swim");
+    EXPECT_EQ(out.result.iqSize, 64u);
+    expectSameBits(out.result.ipc, res.result.ipc, "ipc", 0);
+    EXPECT_TRUE(std::isnan(out.result.hmpAccuracy));
+}
+
+TEST(WorkerProto, TornAndMalformedLinesAreTolerated)
+{
+    Message res;
+    res.type = MsgType::Result;
+    res.index = 1;
+    res.key = "k";
+    res.result.ipc = 0.5;
+    const std::string full = encodeMessage(res);
+
+    Message out;
+    // Every strict prefix is a torn line a killed worker could leave.
+    for (std::size_t len = 0; len < full.size(); ++len)
+        EXPECT_FALSE(decodeMessage(full.substr(0, len), out))
+            << "prefix length " << len;
+    EXPECT_TRUE(decodeMessage(full, out));
+
+    EXPECT_FALSE(decodeMessage("", out));
+    EXPECT_FALSE(decodeMessage("not json at all", out));
+    EXPECT_FALSE(decodeMessage("{\"type\":\"no-such-type\"}", out));
+    EXPECT_FALSE(decodeMessage("{\"type\":\"lease\"}", out));
+}
+
+// ---------------------------------------------------------------------
+// JobBoard lease state machine (fake clock, no sockets)
+
+namespace {
+
+JobBoard::Clock::time_point
+t0()
+{
+    return JobBoard::Clock::time_point() + std::chrono::hours(1);
+}
+
+std::vector<std::string>
+boardKeys(std::size_t n)
+{
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back("job-" + std::to_string(i));
+    return keys;
+}
+
+} // namespace
+
+TEST(JobBoard, PrefersOwnShardThenSteals)
+{
+    JobBoard::Options options;
+    options.shards = 2;
+    const std::vector<std::string> keys = boardKeys(4);
+    JobBoard board(keys, std::vector<char>(4, 0), options);
+
+    // Find one job from each shard for a worker homed there.
+    const unsigned shard0 = board.shardOfJob(0);
+    std::size_t index = 0;
+    ASSERT_EQ(board.lease(1, shard0, t0(), index),
+              JobBoard::Grant::Leased);
+    EXPECT_EQ(board.shardOfJob(index), shard0);
+    EXPECT_EQ(board.steals(), 0u);
+
+    // Lease everything; once a shard empties, grants become steals.
+    std::uint64_t granted = 1;
+    while (board.lease(1, shard0, t0(), index) ==
+           JobBoard::Grant::Leased)
+        ++granted;
+    EXPECT_EQ(granted, 4u);
+    EXPECT_GT(board.steals(), 0u);
+
+    // All in flight, none old enough to duplicate: wait.
+    EXPECT_EQ(board.lease(2, 1, t0(), index), JobBoard::Grant::Wait);
+}
+
+TEST(JobBoard, CompleteIsIdempotentAndDrains)
+{
+    JobBoard board(boardKeys(2), std::vector<char>(2, 0), {});
+    std::size_t index = 0;
+    ASSERT_EQ(board.lease(1, 0, t0(), index), JobBoard::Grant::Leased);
+    EXPECT_TRUE(board.complete(index));
+    EXPECT_FALSE(board.complete(index)) << "duplicate result must lose";
+    ASSERT_EQ(board.lease(1, 0, t0(), index), JobBoard::Grant::Leased);
+    EXPECT_TRUE(board.complete(index));
+    EXPECT_TRUE(board.allDone());
+    EXPECT_EQ(board.lease(1, 0, t0(), index),
+              JobBoard::Grant::Drained);
+}
+
+TEST(JobBoard, JournalDoneJobsAreNeverLeased)
+{
+    std::vector<char> done = {1, 0, 1};
+    JobBoard board(boardKeys(3), done, {});
+    std::size_t index = 99;
+    ASSERT_EQ(board.lease(1, 0, t0(), index), JobBoard::Grant::Leased);
+    EXPECT_EQ(index, 1u);
+    EXPECT_TRUE(board.complete(1));
+    EXPECT_TRUE(board.allDone());
+}
+
+TEST(JobBoard, ExpiryRequeuesWithoutLossOrDuplication)
+{
+    JobBoard::Options options;
+    options.leaseMs = 1000;
+    JobBoard board(boardKeys(2), std::vector<char>(2, 0), options);
+
+    std::size_t a = 0, b = 0;
+    ASSERT_EQ(board.lease(1, 0, t0(), a), JobBoard::Grant::Leased);
+    ASSERT_EQ(board.lease(1, 0, t0(), b), JobBoard::Grant::Leased);
+    EXPECT_NE(a, b);
+
+    // Nothing expires before the deadline.
+    std::vector<std::size_t> requeued, failed;
+    board.expireLeases(t0() + std::chrono::milliseconds(999), requeued,
+                       failed);
+    EXPECT_TRUE(requeued.empty());
+    EXPECT_TRUE(failed.empty());
+
+    // Both leases expire exactly once; the jobs come back leasable.
+    board.expireLeases(t0() + std::chrono::milliseconds(1001), requeued,
+                       failed);
+    EXPECT_EQ(requeued.size(), 2u);
+    EXPECT_TRUE(failed.empty());
+    EXPECT_EQ(board.requeues(), 2u);
+    EXPECT_FALSE(board.allDone());
+
+    std::size_t again = 99;
+    const auto later = t0() + std::chrono::milliseconds(2000);
+    ASSERT_EQ(board.lease(2, 0, later, again), JobBoard::Grant::Leased);
+    EXPECT_TRUE(board.complete(again));
+    ASSERT_EQ(board.lease(2, 0, later, again), JobBoard::Grant::Leased);
+    EXPECT_TRUE(board.complete(again));
+    EXPECT_TRUE(board.allDone()) << "requeue lost or duplicated a job";
+}
+
+TEST(JobBoard, RepeatedDropsFailTheJob)
+{
+    JobBoard::Options options;
+    options.leaseMs = 10;
+    options.maxLeaseDrops = 2;
+    JobBoard board(boardKeys(1), std::vector<char>(1, 0), options);
+
+    auto now = t0();
+    for (unsigned round = 0; round < 3; ++round) {
+        std::size_t index = 0;
+        ASSERT_EQ(board.lease(1, 0, now, index),
+                  JobBoard::Grant::Leased);
+        std::vector<std::size_t> requeued, failed;
+        now += std::chrono::milliseconds(11);
+        board.expireLeases(now, requeued, failed);
+        if (round < 2) {
+            EXPECT_EQ(requeued.size(), 1u) << "round " << round;
+            EXPECT_TRUE(failed.empty()) << "round " << round;
+        } else {
+            EXPECT_TRUE(requeued.empty());
+            ASSERT_EQ(failed.size(), 1u);
+            EXPECT_EQ(failed[0], 0u);
+        }
+    }
+    EXPECT_TRUE(board.allDone()) << "drop cap must contain the job";
+}
+
+TEST(JobBoard, WorkerLossDropsOnlyOrphanedJobs)
+{
+    JobBoard::Options options;
+    options.duplicateAfterMs = 100;
+    JobBoard board(boardKeys(1), std::vector<char>(1, 0), options);
+
+    std::size_t index = 0;
+    ASSERT_EQ(board.lease(1, 0, t0(), index), JobBoard::Grant::Leased);
+    // Old enough: a second worker gets a duplicate lease of the job.
+    const auto later = t0() + std::chrono::milliseconds(200);
+    ASSERT_EQ(board.lease(2, 0, later, index), JobBoard::Grant::Leased);
+    EXPECT_EQ(board.duplicates(), 1u);
+
+    // Losing the duplicate holder is free: the original still covers
+    // the job, so no drop is charged.
+    std::vector<std::size_t> requeued, failed;
+    board.workerLost(2, requeued, failed);
+    EXPECT_TRUE(requeued.empty());
+    EXPECT_TRUE(failed.empty());
+    EXPECT_EQ(board.requeues(), 0u);
+
+    // Losing the last holder orphans the job: one requeue.
+    board.workerLost(1, requeued, failed);
+    EXPECT_EQ(requeued.size(), 1u);
+    EXPECT_TRUE(failed.empty());
+    EXPECT_EQ(board.requeues(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end coordinator/worker sweeps (in-process threads)
+
+namespace {
+
+ServeOptions
+quickServeOptions(const std::string &socket, unsigned shards)
+{
+    ServeOptions options;
+    options.socketPath = socket;
+    options.shards = shards;
+    options.leaseMs = 60'000;
+    options.workerGraceMs = 30'000;
+    return options;
+}
+
+WorkerOptions
+quickWorkerOptions(const std::string &socket, const std::string &name)
+{
+    WorkerOptions options;
+    options.socketPath = socket;
+    options.name = name;
+    options.backoffMs = 0;
+    return options;
+}
+
+} // namespace
+
+TEST(ServeSweep, DistributedMatchesSingleProcessByteForByte)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    const std::vector<RunResult> ref = SweepRunner(1).run(cfgs);
+
+    const std::string socket = testSocket("e2e");
+    ServeStats stats;
+    std::vector<RunResult> dist;
+    std::thread coord([&] {
+        dist = serveSweep(cfgs, quickServeOptions(socket, 2), &stats);
+    });
+    std::thread w0(
+        [&] { runWorker(quickWorkerOptions(socket, "w0")); });
+    std::thread w1(
+        [&] { runWorker(quickWorkerOptions(socket, "w1")); });
+    w0.join();
+    w1.join();
+    coord.join();
+
+    ASSERT_EQ(dist.size(), ref.size());
+    EXPECT_EQ(stats.workersSeen, 2u);
+    EXPECT_GE(stats.leases, cfgs.size());
+    for (const RunResult &r : dist)
+        EXPECT_TRUE(r.outcome.ok()) << r.outcome.message;
+    // The merge contract: identical bytes up to wall-clock fields.
+    EXPECT_EQ(maskedResultsJson(dist), maskedResultsJson(ref));
+}
+
+TEST(ServeSweep, ResumesFromJournalWithoutRerunning)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    const std::string socket = testSocket("resume");
+    const std::string journal =
+        "/tmp/sciq-resume-" + std::to_string(::getpid()) + ".jsonl";
+    ::unlink(journal.c_str());
+
+    ServeOptions options = quickServeOptions(socket, 1);
+    options.journal = journal;
+
+    std::vector<RunResult> first;
+    std::thread coord(
+        [&] { first = serveSweep(cfgs, options, nullptr); });
+    std::thread w0(
+        [&] { runWorker(quickWorkerOptions(socket, "w0")); });
+    w0.join();
+    coord.join();
+
+    // Second serve: every job is already journaled, so the sweep
+    // drains without a single lease (and without any worker).
+    ServeStats stats;
+    std::vector<RunResult> second;
+    std::thread coord2(
+        [&] { second = serveSweep(cfgs, options, &stats); });
+    coord2.join();
+    EXPECT_EQ(stats.leases, 0u);
+    EXPECT_EQ(maskedResultsJson(second), maskedResultsJson(first));
+    ::unlink(journal.c_str());
+}
+
+TEST(ServeSweep, RejectsVersionMismatchedWorkers)
+{
+    std::vector<SimConfig> cfgs = {makeIdealConfig(64, "swim")};
+    cfgs[0].wl.iterations = 100;
+
+    const std::string socket = testSocket("proto");
+    ServeStats stats;
+    std::thread coord([&] {
+        serveSweep(cfgs, quickServeOptions(socket, 1), &stats);
+    });
+
+    // A worker from a different build speaks a different version; the
+    // coordinator must refuse it instead of merging its results.
+    {
+        LineChannel ch(connectUnix(socket, 10'000));
+        Message hello;
+        hello.type = MsgType::Hello;
+        hello.proto = kWorkerProtoVersion + 1;
+        hello.worker = "time-traveller";
+        ASSERT_TRUE(ch.sendLine(encodeMessage(hello)));
+        Message reply;
+        std::string line;
+        ASSERT_TRUE(ch.recvLine(line, 10'000));
+        ASSERT_TRUE(decodeMessage(line, reply));
+        EXPECT_EQ(reply.type, MsgType::Reject);
+        EXPECT_NE(reply.reason.find("version"), std::string::npos);
+    }
+
+    // A current-version worker still drains the sweep.
+    WorkerReport report = runWorker(quickWorkerOptions(socket, "ok"));
+    coord.join();
+    EXPECT_TRUE(report.drained) << report.error;
+    EXPECT_EQ(stats.rejectedWorkers, 1u);
+}
+
+TEST(ServeSweep, DeadWorkerLeaseIsRequeuedWithoutLossOrDuplication)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    const std::vector<RunResult> ref = SweepRunner(1).run(cfgs);
+
+    const std::string socket = testSocket("death");
+    ServeOptions options = quickServeOptions(socket, 1);
+    ServeStats stats;
+    std::vector<RunResult> dist;
+    std::thread coord(
+        [&] { dist = serveSweep(cfgs, options, &stats); });
+
+    // A worker that leases one job and dies with the result unsent:
+    // connection EOF must requeue the lease.
+    {
+        LineChannel ch(connectUnix(socket, 10'000));
+        Message hello;
+        hello.type = MsgType::Hello;
+        hello.proto = kWorkerProtoVersion;
+        hello.worker = "doomed";
+        ASSERT_TRUE(ch.sendLine(encodeMessage(hello)));
+        std::string line;
+        ASSERT_TRUE(ch.recvLine(line, 10'000));
+        Message req;
+        req.type = MsgType::LeaseReq;
+        ASSERT_TRUE(ch.sendLine(encodeMessage(req)));
+        ASSERT_TRUE(ch.recvLine(line, 10'000));
+        Message lease;
+        ASSERT_TRUE(decodeMessage(line, lease));
+        ASSERT_EQ(lease.type, MsgType::Lease);
+        // kill -9 equivalent: drop the connection, lease outstanding.
+    }
+
+    WorkerReport report = runWorker(quickWorkerOptions(socket, "w0"));
+    coord.join();
+    EXPECT_TRUE(report.drained) << report.error;
+    EXPECT_EQ(stats.requeues, 1u);
+    EXPECT_EQ(stats.boardFailed, 0u);
+    EXPECT_EQ(maskedResultsJson(dist), maskedResultsJson(ref));
+}
+
+TEST(ServeSweep, FaultInjectedWorkerAbortIsRecovered)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    const std::vector<RunResult> ref = SweepRunner(1).run(cfgs);
+
+    const std::string socket = testSocket("chaos");
+    ServeStats stats;
+    std::vector<RunResult> dist;
+    std::thread coord([&] {
+        dist = serveSweep(cfgs, quickServeOptions(socket, 2), &stats);
+    });
+
+    // Deterministic chaos: the seeded budget makes this worker die in
+    // place of sending its first result (abortExits=false drops the
+    // connection instead of _exit so the test process survives).
+    WorkerOptions chaotic = quickWorkerOptions(socket, "chaotic");
+    chaotic.faults = std::make_shared<FaultInjector>(42);
+    chaotic.faults->abortWorker = 1;
+    chaotic.abortExits = false;
+
+    WorkerReport chaosReport;
+    std::thread w0([&] { chaosReport = runWorker(chaotic); });
+    w0.join();
+    EXPECT_TRUE(chaosReport.aborted);
+    EXPECT_EQ(chaotic.faults->workerAborts(), 1u);
+
+    WorkerReport report = runWorker(quickWorkerOptions(socket, "w1"));
+    coord.join();
+    EXPECT_TRUE(report.drained) << report.error;
+    EXPECT_GE(stats.requeues, 1u);
+    EXPECT_EQ(stats.boardFailed, 0u);
+    EXPECT_EQ(maskedResultsJson(dist), maskedResultsJson(ref));
+}
+
+TEST(ServeSweep, RejectsWallClockDeadlineJobs)
+{
+    std::vector<SimConfig> cfgs = {makeIdealConfig(64, "swim")};
+    cfgs[0].deadlineSec = 1.0;
+    EXPECT_THROW(
+        serveSweep(cfgs, quickServeOptions(testSocket("dl"), 1)),
+        ConfigError);
+}

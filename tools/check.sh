@@ -1,26 +1,109 @@
 #!/bin/sh
 # Full pre-merge check: tier-1 tests, the invariant-audit sweep, the
-# SoA-engine differential + exact work-counter proxy, and one or all
-# sanitizer configurations.  Run from the repository root:
+# SoA-engine differential + exact work-counter proxy, sanitizer
+# configurations, and the distributed-sweep differential gates.  Run
+# from the repository root:
 #
-#   tools/check.sh [ubsan|asan|tsan|all|faults]
+#   tools/check.sh [ubsan|asan|tsan|all|faults|distributed|chaos]...
 #
-# The optional argument picks the sanitizer config (default: ubsan).
-# `all` runs every sanitizer sequentially in its own build tree, which
-# is what CI's sanitizer job invokes.  `faults` instead runs only the
-# fault-containment suite (error taxonomy, watchdog, fault injection,
-# journal resume) against the tier-1 build — the fast loop when
-# iterating on DESIGN.md §13 machinery.
+# Modes compose: `tools/check.sh ubsan distributed` runs both legs in
+# order.  Default: ubsan.
+#
+#   ubsan|asan|tsan  tier-1 build + full tests + differential suite,
+#                    then that sanitizer's smoke subset
+#   all              the same, then every sanitizer sequentially (CI)
+#   faults           only the fault-containment suite on the tier-1
+#                    build (fast loop for DESIGN.md §13 machinery)
+#   distributed      coordinator + 3 local workers must merge the quick
+#                    config set byte-identically to a single-process
+#                    run, and a shared ckpt_dir fleet must do exactly
+#                    one warm-up total (DESIGN.md §17)
+#   chaos            the same differential with one worker kill -9'd
+#                    mid-sweep; lease requeue must keep the final JSON
+#                    byte-identical
+#
+# On failure the EXIT trap names the leg that failed and its build dir.
 set -eu
 
-san="${1:-ubsan}"
-case "$san" in
-  ubsan|asan|tsan|all|faults) ;;
-  *) echo "unknown mode '$san' (want ubsan, asan, tsan, all or faults)" >&2
-     exit 2 ;;
-esac
+[ "$#" -gt 0 ] || set -- ubsan
+for mode in "$@"; do
+  case "$mode" in
+    ubsan|asan|tsan|all|faults|distributed|chaos) ;;
+    *) echo "unknown mode '$mode' (want ubsan, asan, tsan, all," \
+            "faults, distributed or chaos)" >&2
+       exit 2 ;;
+  esac
+done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+leg=""
+leg_dir=""
+scratch=""
+on_exit() {
+  rc=$?
+  if [ -n "$scratch" ]; then
+    rm -rf "$scratch"
+  fi
+  if [ "$rc" -ne 0 ] && [ -n "$leg" ]; then
+    echo "FAILED leg: $leg (build dir: $leg_dir)" >&2
+  fi
+}
+trap on_exit EXIT
+
+begin_leg() {
+  leg="$1"
+  leg_dir="$2"
+  echo "== $leg =="
+}
+
+tier1_built=""
+tier1_build() {
+  if [ -z "$tier1_built" ]; then
+    begin_leg "tier-1 build" build
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$jobs"
+    tier1_built=1
+  fi
+}
+
+# Tier-1 tests plus the single-process differential suite; the
+# precondition for every sanitizer leg, run at most once.
+tier1_tested=""
+tier1_full() {
+  tier1_build
+  if [ -n "$tier1_tested" ]; then
+    return 0
+  fi
+  tier1_tested=1
+
+  begin_leg "tier-1 full test suite" build
+  ctest --test-dir build --output-on-failure -j "$jobs"
+
+  begin_leg "audit sweep (all workloads, segmented + ideal, audit=1)" build
+  ./build/tests/test_audit
+
+  begin_leg "scheduling-index differential sweep (audit=1)" build
+  ./build/tests/test_sched_index
+
+  begin_leg "SoA-engine differential + exact work-counter proxy" build
+  ./build/tests/test_iq_soa
+
+  begin_leg "segmented-tick substage profile (quick)" build
+  ./build/bench/micro_components \
+      --benchmark_filter='BM_SegmentedTickSubstages' \
+      --benchmark_min_time=0.01 json_out=/tmp/sciq-substages.json
+  grep -q '"bench": "micro_components.substages"' /tmp/sciq-substages.json
+
+  begin_leg "host-throughput bench (quick, unbatched + lockstep batch=3)" \
+            build
+  ./build/bench/bench_throughput quick=1 workloads=swim,twolf
+  ./build/bench/bench_throughput quick=1 workloads=swim,twolf batch=3
+
+  begin_leg "bb-cache differential + warming bench (quick)" build
+  ./build/tests/test_bb_cache
+  ./build/bench/micro_warm quick=1 workloads=swim,twolf
+}
 
 # One sanitizer configuration: configure + build under build-<name>,
 # then run the fast sanitize_smoke test subset.  TSAN additionally runs
@@ -29,13 +112,14 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 run_sanitizer() {
   name="$1"
   flag="$2"
-  echo "== sanitizer smoke ($name) =="
+  begin_leg "sanitizer smoke ($name)" "build-$name"
   cmake -B "build-$name" -S . "$flag" >/dev/null
   cmake --build "build-$name" -j "$jobs"
   ctest --test-dir "build-$name" --output-on-failure -j "$jobs" \
         -L sanitize_smoke
   if [ "$name" = tsan ]; then
-    echo "== tsan: parallel sweep + checkpoint reuse + lockstep batching =="
+    begin_leg "tsan: parallel sweep + checkpoint reuse + lockstep batching" \
+              "build-$name"
     "./build-$name/tests/test_sweep"
     "./build-$name/tests/test_checkpoint" \
         --gtest_filter='CheckpointCacheTest.*:CheckpointEndToEnd.*'
@@ -43,58 +127,102 @@ run_sanitizer() {
   fi
 }
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs"
+# The wall-clock-only fields two otherwise identical runs legitimately
+# disagree on; everything else must match to the byte.
+wallclock_mask='"host_seconds"|"host_kcycles_per_sec"|"host_kinsts_per_sec"|"warm_seconds"|"warm_insts_per_sec"'
 
-if [ "$san" = faults ]; then
-  echo "== fault-containment suite (taxonomy, watchdog, injection, journal) =="
+masked() {
+  grep -Ev "$wallclock_mask" "$1"
+}
+
+distributed_reference() {
+  ./build/examples/sweep_serve mode=local jobs=4 preset=quick \
+      out="$scratch/ref.json" >/dev/null
+}
+
+compare_masked() {
+  masked "$scratch/ref.json" > "$scratch/ref.masked"
+  masked "$1" > "$scratch/got.masked"
+  diff -u "$scratch/ref.masked" "$scratch/got.masked"
+  echo "final JSON is byte-identical to the single-process run"
+}
+
+leg_faults() {
+  tier1_build
+  begin_leg "fault-containment suite (taxonomy, watchdog, injection, journal)" \
+            build
   ./build/tests/test_errors
   ./build/tests/test_faults
   ./build/tests/test_journal
   ./build/tests/test_sweep
-  echo "== all checks passed =="
-  exit 0
-fi
+}
 
-ctest --test-dir build --output-on-failure -j "$jobs"
+leg_distributed() {
+  tier1_build
+  begin_leg "distributed sweep differential (coordinator + 3 workers)" build
+  scratch="$(mktemp -d)"
+  distributed_reference
+  tools/sweep_local.sh -b build -w 3 -- \
+      "socket=$scratch/sweep.sock" workers=3 preset=quick \
+      "out=$scratch/dist.json" "journal=$scratch/dist.jsonl"
+  compare_masked "$scratch/dist.json"
 
-echo "== audit sweep (all workloads, segmented + ideal, audit=1) =="
-./build/tests/test_audit
+  begin_leg "distributed warm-up sharing (one warm-up per fleet)" build
+  mkdir "$scratch/ckpt"
+  tools/sweep_local.sh -b build -w 2 -d "$scratch/ckpt" -- \
+      "socket=$scratch/warm.sock" workers=2 preset=quick \
+      workloads=swim ff=50000 "out=$scratch/warm.json"
+  restored="$(grep -c '"ckpt_restored": true' "$scratch/warm.json")"
+  blobs="$(find "$scratch/ckpt" -name '*.sciqckpt' | wc -l)"
+  if [ "$restored" -ne 2 ] || [ "$blobs" -ne 1 ]; then
+    echo "warm sharing broke: $restored restored jobs (want 2)," \
+         "$blobs blobs (want 1)" >&2
+    exit 1
+  fi
+  echo "fleet of 2 workers did one warm-up: 1 blob, 2 restored jobs"
+  rm -rf "$scratch"
+  scratch=""
+}
 
-echo "== scheduling-index differential sweep (audit=1) =="
-./build/tests/test_sched_index
+leg_chaos() {
+  tier1_build
+  begin_leg "worker-chaos differential (kill -9 one of 3 workers)" build
+  scratch="$(mktemp -d)"
+  distributed_reference
+  tools/sweep_local.sh -b build -w 3 -k 2 -- \
+      "socket=$scratch/sweep.sock" workers=3 preset=quick \
+      "out=$scratch/dist.json" "journal=$scratch/dist.jsonl"
+  compare_masked "$scratch/dist.json"
+  rm -rf "$scratch"
+  scratch=""
+}
 
-echo "== SoA-engine differential + exact work-counter proxy =="
-./build/tests/test_iq_soa
-
-echo "== segmented-tick substage profile (quick) =="
-./build/bench/micro_components --benchmark_filter='BM_SegmentedTickSubstages' \
-    --benchmark_min_time=0.01 json_out=/tmp/sciq-substages.json
-grep -q '"bench": "micro_components.substages"' /tmp/sciq-substages.json
-
-echo "== host-throughput bench (quick, unbatched + lockstep batch=3) =="
-./build/bench/bench_throughput quick=1 workloads=swim,twolf
-./build/bench/bench_throughput quick=1 workloads=swim,twolf batch=3
-
-echo "== bb-cache differential + warming bench (quick) =="
-./build/tests/test_bb_cache
-./build/bench/micro_warm quick=1 workloads=swim,twolf
-
-if [ "$san" = all ]; then
-  run_sanitizer ubsan -DSCIQ_UBSAN=ON
-  run_sanitizer asan -DSCIQ_ASAN=ON
-  run_sanitizer tsan -DSCIQ_TSAN=ON
-else
-  case "$san" in
-    ubsan) run_sanitizer ubsan -DSCIQ_UBSAN=ON ;;
-    asan)  run_sanitizer asan -DSCIQ_ASAN=ON ;;
-    tsan)  run_sanitizer tsan -DSCIQ_TSAN=ON ;;
+for mode in "$@"; do
+  case "$mode" in
+    ubsan)
+      tier1_full
+      run_sanitizer ubsan -DSCIQ_UBSAN=ON ;;
+    asan)
+      tier1_full
+      run_sanitizer asan -DSCIQ_ASAN=ON ;;
+    tsan)
+      tier1_full
+      run_sanitizer tsan -DSCIQ_TSAN=ON ;;
+    all)
+      tier1_full
+      run_sanitizer ubsan -DSCIQ_UBSAN=ON
+      run_sanitizer asan -DSCIQ_ASAN=ON
+      run_sanitizer tsan -DSCIQ_TSAN=ON ;;
+    faults) leg_faults ;;
+    distributed) leg_distributed ;;
+    chaos) leg_chaos ;;
   esac
-fi
+done
 
 # Lint the shell tooling when shellcheck is available (CI always has
 # it; skip with a notice on bare development machines).
+leg="shellcheck"
+leg_dir="tools"
 if command -v shellcheck >/dev/null 2>&1; then
   echo "== shellcheck tools/*.sh =="
   shellcheck tools/*.sh
@@ -102,4 +230,5 @@ else
   echo "== shellcheck not installed; skipping shell lint =="
 fi
 
+leg=""
 echo "== all checks passed =="

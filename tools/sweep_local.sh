@@ -1,0 +1,124 @@
+#!/bin/sh
+# Launch a local distributed sweep: one sweep_serve coordinator plus a
+# small worker fleet on this machine (DESIGN.md §17).
+#
+#   tools/sweep_local.sh [-b build_dir] [-w workers] [-k kill_idx] \
+#                        [-d ckpt_dir] -- <sweep_serve args...>
+#
+#   -b DIR   build tree holding examples/sweep_serve (default ./build)
+#   -w N     worker processes to start (default 3)
+#   -k IDX   chaos mode: kill -9 worker IDX once the coordinator's
+#            journal shows progress (requires journal= in the serve
+#            args); the victim's exit status is ignored
+#   -d DIR   shared ckpt_dir= handed to every worker
+#
+# The serve args must include socket=PATH (workers connect to it).
+# Exit status: the coordinator's, unless a non-victim worker failed.
+set -eu
+
+build=./build
+workers=3
+kill_idx=""
+ckpt_dir=""
+
+while getopts "b:w:k:d:" opt; do
+  case "$opt" in
+    b) build=$OPTARG ;;
+    w) workers=$OPTARG ;;
+    k) kill_idx=$OPTARG ;;
+    d) ckpt_dir=$OPTARG ;;
+    *) echo "usage: $0 [-b dir] [-w n] [-k idx] [-d ckpt_dir] -- args" >&2
+       exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+socket=""
+journal=""
+for arg in "$@"; do
+  case "$arg" in
+    socket=*) socket=${arg#socket=} ;;
+    journal=*) journal=${arg#journal=} ;;
+  esac
+done
+if [ -z "$socket" ]; then
+  echo "sweep_local: socket=PATH must be among the sweep_serve args" >&2
+  exit 2
+fi
+if [ -n "$kill_idx" ] && [ -z "$journal" ]; then
+  echo "sweep_local: -k needs journal= among the sweep_serve args" \
+       "(used to wait for sweep progress before killing)" >&2
+  exit 2
+fi
+
+"$build/examples/sweep_serve" "$@" &
+serve_pid=$!
+
+# Workers retry their connect during startup, but waiting for the
+# socket here keeps the timeline readable and catches a coordinator
+# that died on bad arguments immediately.
+tries=0
+while [ ! -S "$socket" ]; do
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "sweep_local: coordinator exited before listening" >&2
+    wait "$serve_pid" || exit $?
+    exit 1
+  fi
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "sweep_local: coordinator socket never appeared" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+pids=""
+w=1
+while [ "$w" -le "$workers" ]; do
+  if [ -n "$ckpt_dir" ]; then
+    "$build/examples/sweep_worker" "socket=$socket" "name=w$w" \
+        "ckpt_dir=$ckpt_dir" &
+  else
+    "$build/examples/sweep_worker" "socket=$socket" "name=w$w" &
+  fi
+  pids="$pids $w:$!"
+  w=$((w + 1))
+done
+
+if [ -n "$kill_idx" ]; then
+  # Wait for at least one journaled result so the victim dies mid-sweep
+  # (possibly holding a lease), not before doing anything.
+  tries=0
+  while [ ! -s "$journal" ] && [ "$tries" -le 600 ]; do
+    tries=$((tries + 1))
+    sleep 0.1
+  done
+  victim=""
+  for entry in $pids; do
+    case "$entry" in
+      "$kill_idx":*) victim=${entry#*:} ;;
+    esac
+  done
+  if [ -n "$victim" ]; then
+    echo "sweep_local: kill -9 worker $kill_idx (pid $victim)"
+    kill -9 "$victim" 2>/dev/null || true
+  else
+    echo "sweep_local: -k $kill_idx: no such worker" >&2
+  fi
+fi
+
+status=0
+for entry in $pids; do
+  idx=${entry%%:*}
+  pid=${entry#*:}
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ] && [ "$idx" != "$kill_idx" ]; then
+    echo "sweep_local: worker $idx failed (exit $rc)" >&2
+    status=1
+  fi
+done
+
+wait "$serve_pid" || status=$?
+exit "$status"
