@@ -2,21 +2,30 @@
  * @file
  * Distributed-sweep coordinator (and single-process reference runner).
  *
- * Serves a configuration set to sweep_worker processes over a local
- * socket (DESIGN.md §17) and merges their streamed results into the
- * same final JSON a single-process sweep writes — byte-identical up to
- * the host wall-clock fields.
+ * Serves a configuration set to sweep_worker processes over an AF_UNIX
+ * socket or a TCP listener (DESIGN.md §17/§18) and merges their
+ * streamed results into the same final JSON a single-process sweep
+ * writes — byte-identical up to the host wall-clock fields.
+ *
+ * SIGTERM/SIGINT trigger a graceful drain: leasing stops, in-flight
+ * results are collected and journaled (fsync'd), and the process exits
+ * with status 3.  Re-running with the same listen=/journal= resumes
+ * the sweep; surviving workers reconnect by themselves.
  *
  * Usage examples:
- *   # coordinator, expecting ~3 workers
+ *   # coordinator, expecting ~3 workers, over a unix socket
  *   sweep_serve socket=/tmp/sweep.sock workers=3 out=dist.json \
  *               journal=dist.jsonl
+ *   # same over TCP (workers connect=host:port from other machines)
+ *   sweep_serve listen=0.0.0.0:7070 workers=3 journal=dist.jsonl
  *   # single-process reference over the same config set
  *   sweep_serve mode=local jobs=4 out=ref.json
  *   # explicit config list (one configSpec line per job)
  *   sweep_serve spec=jobs.txt socket=/tmp/sweep.sock out=dist.json
  */
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,11 +33,21 @@
 
 #include "common/config.hh"
 #include "sim/checkpoint.hh"
+#include "sim/fault_injector.hh"
 #include "sim/shard.hh"
+#include "sim/worker_proto.hh"
 
 using namespace sciq;
 
 namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
 
 std::vector<std::string>
 splitList(const std::string &csv)
@@ -109,20 +128,27 @@ main(int argc, char **argv)
             "      spec=FILE            configSpec lines instead of a "
             "preset\n"
             "      workloads=a,b iters=N ff=N   preset overrides\n"
-            "      socket=PATH          coordinator listen socket\n"
+            "      socket=PATH          AF_UNIX listen socket\n"
+            "      listen=HOST:PORT     TCP listener instead of a "
+            "socket\n"
             "      workers=N            expected worker count (= shard "
             "count)\n"
             "      lease_ms=N lease_drops=N dup_ms=N grace_ms=N\n"
-            "      journal=FILE out=FILE\n"
+            "      heartbeat_ms=N       ping cadence (0 disables)\n"
+            "      drain_ms=N           SIGTERM/SIGINT drain window\n"
+            "      journal=FILE out=FILE sync_journal=0|1\n"
             "      jobs=N batch=N ckpt_dir=DIR  (mode=local)\n"
-            "      retries=N artifact_dir=DIR\n";
+            "      retries=N artifact_dir=DIR\n"
+            "      fault_coord_abort=N fault_seed=N  (chaos testing:\n"
+            "      _exit(137) after journaling the Nth result)\n";
         return 0;
     }
     const std::string complaint = args.unknownKeyMessage(
         {"mode", "preset", "spec", "workloads", "iters", "ff", "socket",
-         "workers", "lease_ms", "lease_drops", "dup_ms", "grace_ms",
-         "journal", "out", "jobs", "batch", "ckpt_dir", "retries",
-         "artifact_dir", "help"});
+         "listen", "workers", "lease_ms", "lease_drops", "dup_ms",
+         "grace_ms", "heartbeat_ms", "drain_ms", "journal", "out",
+         "sync_journal", "jobs", "batch", "ckpt_dir", "retries",
+         "artifact_dir", "fault_coord_abort", "fault_seed", "help"});
     if (!complaint.empty()) {
         std::cerr << complaint << "\n";
         return 2;
@@ -150,6 +176,7 @@ main(int argc, char **argv)
 
         const std::string mode = args.getString("mode", "serve");
         std::vector<RunResult> results;
+        bool interrupted = false;
         auto progress = [](std::size_t done, std::size_t total,
                            const RunResult &r) {
             std::cout << "[" << done << "/" << total << "] "
@@ -185,8 +212,15 @@ main(int argc, char **argv)
             results = runner.run(configs, options);
         } else if (mode == "serve") {
             ServeOptions options;
-            options.socketPath =
-                args.getString("socket", "/tmp/sciq-sweep.sock");
+            if (args.has("listen")) {
+                // Validate up front so a typo fails with a what-to-write
+                // message instead of a late bind error.
+                options.endpoint =
+                    tcpEndpoint(args.getString("listen")).str();
+            } else {
+                options.endpoint =
+                    args.getString("socket", "/tmp/sciq-sweep.sock");
+            }
             options.shards =
                 static_cast<unsigned>(args.getInt("workers", 1));
             options.leaseMs =
@@ -197,11 +231,31 @@ main(int argc, char **argv)
                 static_cast<unsigned>(args.getInt("dup_ms", 1'000));
             options.workerGraceMs =
                 static_cast<unsigned>(args.getInt("grace_ms", 60'000));
+            options.heartbeatMs = static_cast<unsigned>(
+                args.getInt("heartbeat_ms", 1'000));
+            options.drainGraceMs =
+                static_cast<unsigned>(args.getInt("drain_ms", 2'000));
             options.journal = args.getString("journal");
+            options.syncJournal = args.getInt("sync_journal", 1) != 0;
             options.progress = progress;
+            options.abortExits = true;
+            if (args.has("fault_coord_abort")) {
+                options.faults = std::make_shared<FaultInjector>(
+                    static_cast<std::uint64_t>(
+                        args.getInt("fault_seed", 1)));
+                options.faults->abortCoordinator =
+                    args.getInt("fault_coord_abort", 0);
+            }
+
+            // Graceful drain on SIGTERM/SIGINT: stop leasing, journal
+            // the in-flight results, exit 3 so supervisors restart us.
+            std::signal(SIGINT, onStopSignal);
+            std::signal(SIGTERM, onStopSignal);
+            options.stop = &g_stop;
 
             ServeStats stats;
             results = serveSweep(configs, options, &stats);
+            interrupted = stats.interrupted;
             std::cout << "served " << results.size() << " jobs to "
                       << stats.workersSeen << " workers: "
                       << stats.leases << " leases, " << stats.steals
@@ -210,10 +264,20 @@ main(int argc, char **argv)
                       << stats.duplicateResults << " losing results), "
                       << stats.requeues << " requeues, "
                       << stats.boardFailed << " drop-cap failures, "
-                      << stats.rejectedWorkers << " rejected workers\n";
+                      << stats.rejectedWorkers << " rejected workers, "
+                      << stats.heartbeatDrops << " heartbeat drops\n";
         } else {
             std::cerr << "unknown mode '" << mode << "' (serve|local)\n";
             return 2;
+        }
+
+        if (interrupted) {
+            // The sweep is incomplete by request; the journal is valid
+            // and fsync'd.  Do not write out= — a restart on the same
+            // journal produces the byte-identical final file instead.
+            std::cout << "interrupted: journal is resumable, rerun "
+                         "with the same listen=/journal= to finish\n";
+            return 3;
         }
 
         std::size_t ok = 0, restored = 0;

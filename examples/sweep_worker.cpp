@@ -1,14 +1,20 @@
 /**
  * @file
- * Distributed-sweep worker: connects to a sweep_serve coordinator,
- * leases jobs one at a time and streams results back (DESIGN.md §17).
+ * Distributed-sweep worker: connects to a sweep_serve coordinator over
+ * an AF_UNIX socket or TCP, leases jobs one at a time and streams
+ * results back (DESIGN.md §17/§18).
  *
  * Point every worker of a fleet at the same ckpt_dir= and the
  * cross-process producer election makes the whole fleet execute each
  * distinct warm-up exactly once.
  *
+ * A worker survives coordinator restarts: on EOF or a missed heartbeat
+ * deadline it keeps its unacked result, reconnects with capped
+ * jittered backoff, and redelivers.
+ *
  * Usage:
  *   sweep_worker socket=/tmp/sweep.sock name=w0 ckpt_dir=/tmp/ckpt
+ *   sweep_worker connect=coordinator-host:7070 name=w1
  */
 
 #include <iostream>
@@ -17,6 +23,7 @@
 #include "common/config.hh"
 #include "sim/fault_injector.hh"
 #include "sim/shard.hh"
+#include "sim/worker_proto.hh"
 
 using namespace sciq;
 
@@ -26,28 +33,46 @@ main(int argc, char **argv)
     ConfigMap args = ConfigMap::fromArgs(argc, argv);
     if (args.has("help")) {
         std::cout <<
-            "keys: socket=PATH          coordinator socket (required)\n"
+            "keys: socket=PATH          coordinator AF_UNIX socket\n"
+            "      connect=HOST:PORT    coordinator TCP endpoint\n"
             "      name=ID              worker name for logs\n"
             "      ckpt_dir=DIR         shared warm-state store\n"
             "      retries=N backoff_ms=N artifact_dir=DIR\n"
             "      connect_timeout_ms=N\n"
-            "      fault_worker_abort=N fault_seed=N   (chaos testing:\n"
-            "      _exit(137) in place of the Nth result)\n";
+            "      reconnects=N reconnect_ms=N   coordinator-loss "
+            "retry policy\n"
+            "      fault_worker_abort=N fault_conn_drop=N fault_seed=N\n"
+            "      (chaos testing: _exit(137) in place of the Nth "
+            "result /\n"
+            "      sever the connection at the Nth result send)\n";
         return 0;
     }
     const std::string complaint = args.unknownKeyMessage(
-        {"socket", "name", "ckpt_dir", "retries", "backoff_ms",
-         "artifact_dir", "connect_timeout_ms", "fault_worker_abort",
-         "fault_seed", "help"});
+        {"socket", "connect", "name", "ckpt_dir", "retries",
+         "backoff_ms", "artifact_dir", "connect_timeout_ms",
+         "reconnects", "reconnect_ms", "fault_worker_abort",
+         "fault_conn_drop", "fault_seed", "help"});
     if (!complaint.empty()) {
         std::cerr << complaint << "\n";
         return 2;
     }
 
     WorkerOptions options;
-    options.socketPath = args.getString("socket");
-    if (options.socketPath.empty()) {
-        std::cerr << "sweep_worker: socket= is required\n";
+    try {
+        if (args.has("connect")) {
+            // Validate up front so a typo fails with a what-to-write
+            // message instead of a late connect error.
+            options.endpoint =
+                tcpEndpoint(args.getString("connect")).str();
+        } else {
+            options.endpoint = args.getString("socket");
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_worker: " << e.what() << "\n";
+        return 2;
+    }
+    if (options.endpoint.empty()) {
+        std::cerr << "sweep_worker: socket= or connect= is required\n";
         return 2;
     }
     options.name = args.getString("name", "worker");
@@ -58,17 +83,25 @@ main(int argc, char **argv)
     options.artifactDir = args.getString("artifact_dir");
     options.connectTimeoutMs =
         static_cast<unsigned>(args.getInt("connect_timeout_ms", 10'000));
+    options.maxReconnects =
+        static_cast<unsigned>(args.getInt("reconnects", 8));
+    options.reconnectBackoffMs =
+        static_cast<unsigned>(args.getInt("reconnect_ms", 100));
     options.abortExits = true;
-    if (args.has("fault_worker_abort")) {
+    if (args.has("fault_worker_abort") || args.has("fault_conn_drop")) {
         options.faults = std::make_shared<FaultInjector>(
             static_cast<std::uint64_t>(args.getInt("fault_seed", 1)));
         options.faults->abortWorker =
             args.getInt("fault_worker_abort", 0);
+        options.faults->dropConnection =
+            args.getInt("fault_conn_drop", 0);
     }
 
     const WorkerReport report = runWorker(options);
     std::cout << options.name << ": ran " << report.jobsRun << " jobs, "
-              << report.restored << " restored a warm-up\n";
+              << report.restored << " restored a warm-up, "
+              << report.reconnects << " reconnects, "
+              << report.redelivered << " redelivered\n";
     if (!report.error.empty()) {
         std::cerr << options.name << ": " << report.error << "\n";
         return 1;

@@ -20,11 +20,39 @@
 
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 
 namespace sciq {
 namespace job_exec {
+
+/**
+ * Exponential backoff delay for retry `attempt` (1-based): base << (n-1),
+ * clamped to `cap_ms` when nonzero.  A nonzero `jitter_seed` spreads the
+ * delay deterministically over [3/4, 5/4] of the nominal value so a
+ * fleet of workers reconnecting after a coordinator crash does not
+ * stampede the fresh listener in lockstep.
+ */
+inline unsigned
+backoffDelayMs(unsigned base_ms, unsigned attempt, unsigned cap_ms = 0,
+               std::uint64_t jitter_seed = 0)
+{
+    if (base_ms == 0)
+        return 0;
+    const unsigned shift = attempt > 1 ? attempt - 1 : 0;
+    std::uint64_t delay = shift >= 32
+                              ? std::uint64_t(base_ms) << 32
+                              : std::uint64_t(base_ms) << shift;
+    if (cap_ms && delay > cap_ms)
+        delay = cap_ms;
+    if (jitter_seed && delay >= 4) {
+        Random rng(jitter_seed + attempt);
+        const std::uint64_t spread = delay / 4;
+        delay = delay - spread + rng.below(2 * spread + 1);
+    }
+    return static_cast<unsigned>(delay);
+}
 
 /** The in-flight exception, classified through the taxonomy. */
 struct Classified
@@ -143,7 +171,7 @@ executeWithRetry(const SimConfig &config, const std::string &key,
                  max_retries + 1, c.message.c_str());
             if (backoff_ms) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(
-                    backoff_ms << (attempt - 1)));
+                    backoffDelayMs(backoff_ms, attempt)));
             }
             continue;
         }

@@ -1,7 +1,13 @@
 #include "journal.hh"
 
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/errors.hh"
 #include "sim/run_result_fields.hh"
@@ -68,6 +74,32 @@ struct CompactWriter
     void b(const char *key, bool v) { sep(key); os << (v ? "true" : "false"); }
 };
 
+/**
+ * Range-checked narrowing for journal/wire-supplied numbers.  A corrupt
+ * or hostile line must make the parse throw (and the tolerant loaders
+ * skip the line), never reach the undefined behaviour of an
+ * out-of-range double-to-integer cast.
+ */
+std::uint64_t
+checkedU64(const json::Value &v)
+{
+    const double d = v.asNumber();
+    if (!(d >= 0.0) || d > 9007199254740992.0 /* 2^53 */ ||
+        d != std::floor(d)) {
+        throw std::range_error("journal number out of range");
+    }
+    return static_cast<std::uint64_t>(d);
+}
+
+int
+checkedI32(const json::Value &v)
+{
+    const double d = v.asNumber();
+    if (!(d >= -2147483648.0) || d > 2147483647.0 || d != std::floor(d))
+        throw std::range_error("journal number out of range");
+    return static_cast<int>(d);
+}
+
 /** Parser counterpart: pulls each field out of a json object. */
 struct FieldReader
 {
@@ -82,20 +114,24 @@ struct FieldReader
     void
     uns(const char *key, unsigned &v)
     {
-        if (obj.contains(key))
-            v = static_cast<unsigned>(obj.at(key).asNumber());
+        if (!obj.contains(key))
+            return;
+        const std::uint64_t u = checkedU64(obj.at(key));
+        if (u > 0xffffffffull)
+            throw std::range_error("journal number out of range");
+        v = static_cast<unsigned>(u);
     }
     void
     i(const char *key, int &v)
     {
         if (obj.contains(key))
-            v = static_cast<int>(obj.at(key).asNumber());
+            v = checkedI32(obj.at(key));
     }
     void
     u64(const char *key, std::uint64_t &v)
     {
         if (obj.contains(key))
-            v = static_cast<std::uint64_t>(obj.at(key).asNumber());
+            v = checkedU64(obj.at(key));
     }
     void
     num(const char *key, double &v)
@@ -147,8 +183,10 @@ resultFromJson(const json::Value &obj)
     if (obj.contains("error_msg"))
         r.outcome.message = obj.at("error_msg").asString();
     if (obj.contains("attempts")) {
-        r.outcome.attempts =
-            static_cast<unsigned>(obj.at("attempts").asNumber());
+        const std::uint64_t u = checkedU64(obj.at("attempts"));
+        if (u > 0xffffffffull)
+            throw std::range_error("journal number out of range");
+        r.outcome.attempts = static_cast<unsigned>(u);
     }
     return r;
 }
@@ -167,7 +205,7 @@ loadJournal(const std::string &path)
         JournalEntry entry;
         try {
             const json::Value v = json::parse(line);
-            entry.index = static_cast<std::size_t>(v.at("index").asNumber());
+            entry.index = static_cast<std::size_t>(checkedU64(v.at("index")));
             entry.key = v.at("key").asString();
             entry.result = resultFromJson(v.at("result"));
         } catch (const std::exception &) {
@@ -203,8 +241,8 @@ applyJournal(const std::string &path,
     return reused;
 }
 
-ResultJournal::ResultJournal(const std::string &path)
-    : path_(path)
+ResultJournal::ResultJournal(const std::string &path, bool sync)
+    : path_(path), sync_(sync)
 {
     // A writer killed mid-record leaves a torn tail line with no
     // newline; appending straight after it would corrupt the first new
@@ -217,13 +255,24 @@ ResultJournal::ResultJournal(const std::string &path)
             needNewline = in.get() != '\n';
         }
     }
-    out_.open(path, std::ios::app);
-    if (!out_) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
         throw ResourceError("cannot open result journal '" + path +
-                            "' for append");
+                            "' for append: " + std::strerror(errno));
     }
-    if (needNewline)
-        out_ << '\n';
+    if (needNewline && ::write(fd_, "\n", 1) != 1) {
+        const std::string msg = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw ResourceError("write to result journal '" + path +
+                            "' failed: " + msg);
+    }
+}
+
+ResultJournal::~ResultJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
 }
 
 void
@@ -235,14 +284,28 @@ ResultJournal::record(std::size_t index, const std::string &key,
     json::writeString(line, key);
     line << ",\"result\":";
     writeResultCompactJson(line, result);
-    line << "}";
+    line << "}\n";
+    const std::string buf = line.str();
 
     std::lock_guard<std::mutex> lock(mu_);
-    out_ << line.str() << '\n';
-    out_.flush();
-    if (!out_) {
-        throw ResourceError("write to result journal '" + path_ +
-                            "' failed");
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ResourceError("write to result journal '" + path_ +
+                                "' failed: " + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // The coordinator acks a result to its worker only after this
+    // returns; with sync_ the row must be durable, not merely in the
+    // page cache, before that ack can release the worker's copy.
+    if (sync_ && ::fsync(fd_) != 0) {
+        throw ResourceError("fsync of result journal '" + path_ +
+                            "' failed: " + std::strerror(errno));
     }
 }
 

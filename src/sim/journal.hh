@@ -78,21 +78,39 @@ std::size_t applyJournal(const std::string &path,
                          std::vector<RunResult> &results,
                          std::vector<char> &have);
 
-/** Thread-safe appender; one flushed line per record(). */
+/**
+ * Thread-safe appender; one fully written line per record().
+ *
+ * Writes go straight to an O_APPEND fd (no stdio buffer), so a record
+ * that returned is at worst in the page cache, never in a user-space
+ * buffer a crash would discard.  With `sync = true` every record is
+ * additionally fsync'd before returning — the distributed coordinator
+ * uses this so a result is durable *before* it is acked to the worker:
+ * a coordinator killed at any instant either never acked (the worker
+ * redelivers on reconnect) or has the row on disk (resume replays it),
+ * which is what keeps a crashed-and-restarted sweep byte-identical
+ * (DESIGN.md §18).
+ */
 class ResultJournal
 {
   public:
     /** Opens `path` in append mode; throws ResourceError on failure. */
-    explicit ResultJournal(const std::string &path);
+    explicit ResultJournal(const std::string &path, bool sync = false);
+    ~ResultJournal();
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
 
     void record(std::size_t index, const std::string &key,
                 const RunResult &result);
 
     const std::string &path() const { return path_; }
+    bool synced() const { return sync_; }
 
   private:
     std::string path_;
-    std::ofstream out_;
+    int fd_ = -1;
+    bool sync_ = false;
     std::mutex mu_;
 };
 

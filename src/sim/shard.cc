@@ -264,6 +264,8 @@ struct Conn
     bool dead = false;
     unsigned shard = 0;
     std::string name;
+    LineChannel::Clock::time_point lastPing =
+        LineChannel::Clock::now();
 };
 
 } // namespace
@@ -297,7 +299,8 @@ serveSweep(const std::vector<SimConfig> &configs,
     std::unique_ptr<ResultJournal> journal;
     if (!options.journal.empty()) {
         applyJournal(options.journal, keys, results, have);
-        journal = std::make_unique<ResultJournal>(options.journal);
+        journal = std::make_unique<ResultJournal>(options.journal,
+                                                  options.syncJournal);
     }
 
     JobBoard::Options boardOptions;
@@ -319,6 +322,17 @@ serveSweep(const std::vector<SimConfig> &configs,
         ++done;
         if (options.progress)
             options.progress(done, total, results[index]);
+        // Chaos hook: die at the worst possible instant — the result
+        // is journaled durably but not yet acked, so the restarted
+        // coordinator must resume from the journal while the worker
+        // redelivers and gets deduped.
+        if (options.faults && options.faults->takeCoordAbort()) {
+            if (options.abortExits)
+                ::_exit(137);
+            throw ResourceError(
+                "injected coordinator abort after journaling job " +
+                std::to_string(index));
+        }
     };
 
     // Repeated lease drops contain the job as a Failed row through the
@@ -340,11 +354,16 @@ serveSweep(const std::vector<SimConfig> &configs,
         }
     };
 
-    const int lfd = listenUnix(options.socketPath);
+    const Endpoint ep = parseEndpoint(options.endpoint);
+    const int lfd = listenEndpoint(ep);
+    if (options.boundPortOut)
+        options.boundPortOut->store(boundPort(lfd));
     std::list<Conn> conns;
     int nextConnId = 0;
     unsigned nextShard = 0;
     auto lastWorkerSeen = Clock::now();
+    bool draining = false;
+    Clock::time_point drainStart{};
 
     auto dropConn = [&](Conn &conn) {
         conn.dead = true;
@@ -355,7 +374,9 @@ serveSweep(const std::vector<SimConfig> &configs,
     };
 
     // Handle every complete line one connection has buffered; returns
-    // false when the connection should be discarded.
+    // false when the connection should be discarded.  Replies go
+    // through queueLine: a peer that stopped reading cannot block the
+    // pump, it just accumulates toward the pending cap and is dropped.
     auto processConn = [&](Conn &conn) {
         std::string line;
         while (conn.ch.popLine(line)) {
@@ -385,7 +406,8 @@ serveSweep(const std::vector<SimConfig> &configs,
                 reply.shards = boardOptions.shards;
                 reply.jobs = total;
                 reply.leaseMs = options.leaseMs;
-                if (!conn.ch.sendLine(encodeMessage(reply)))
+                reply.heartbeatMs = options.heartbeatMs;
+                if (!conn.ch.queueLine(encodeMessage(reply)))
                     return false;
                 break;
               }
@@ -394,11 +416,21 @@ serveSweep(const std::vector<SimConfig> &configs,
                     Message reply;
                     reply.type = MsgType::Reject;
                     reply.reason = "lease_req before hello";
-                    conn.ch.sendLine(encodeMessage(reply));
+                    conn.ch.queueLine(encodeMessage(reply));
                     return false;
                 }
                 Message reply;
                 std::size_t index = 0;
+                if (draining) {
+                    // Stop-drain: no new leases, but keep the worker
+                    // alive — it will reconnect into the restarted
+                    // coordinator and resume from there.
+                    reply.type = MsgType::Wait;
+                    reply.waitMs = 200;
+                    if (!conn.ch.queueLine(encodeMessage(reply)))
+                        return false;
+                    break;
+                }
                 switch (board.lease(conn.id, conn.shard, Clock::now(),
                                     index)) {
                   case JobBoard::Grant::Leased:
@@ -415,7 +447,7 @@ serveSweep(const std::vector<SimConfig> &configs,
                     reply.type = MsgType::Drain;
                     break;
                 }
-                if (!conn.ch.sendLine(encodeMessage(reply)))
+                if (!conn.ch.queueLine(encodeMessage(reply)))
                     return false;
                 break;
               }
@@ -427,12 +459,33 @@ serveSweep(const std::vector<SimConfig> &configs,
                          msg.index, msg.key.c_str());
                     break;
                 }
-                if (board.complete(msg.index))
-                    finishJob(msg.index, std::move(msg.result));
+                const std::size_t index = msg.index;
+                if (board.complete(index))
+                    finishJob(index, std::move(msg.result));
                 else
                     ++stats.duplicateResults;
+                // Ack even the duplicate: the worker must learn its
+                // copy is no longer needed, whichever lease won.  The
+                // journal row (fsync'd under syncJournal) is already
+                // durable by the time finishJob returned.
+                Message ack;
+                ack.type = MsgType::ResultAck;
+                ack.index = index;
+                if (!conn.ch.queueLine(encodeMessage(ack)))
+                    return false;
                 break;
               }
+              case MsgType::Ping: {
+                Message pong;
+                pong.type = MsgType::Pong;
+                pong.seq = msg.seq;
+                if (!conn.ch.queueLine(encodeMessage(pong)))
+                    return false;
+                break;
+              }
+              case MsgType::Pong:
+                // Liveness is any-received-byte; nothing else to do.
+                break;
               default:
                 // Coordinator-bound streams never carry coordinator
                 // replies; ignore rather than kill the worker.
@@ -445,81 +498,128 @@ serveSweep(const std::vector<SimConfig> &configs,
     auto cleanup = [&]() {
         conns.clear();
         ::close(lfd);
-        ::unlink(options.socketPath.c_str());
+        if (ep.kind == Endpoint::Kind::Unix)
+            ::unlink(ep.path.c_str());
+    };
+
+    // One poll + pump + process sweep over the fleet, shared by the
+    // main loop and the post-completion drain.
+    auto serviceConns = [&](bool accepting) {
+        std::vector<pollfd> pfds;
+        if (accepting)
+            pfds.push_back({lfd, POLLIN, 0});
+        for (Conn &conn : conns) {
+            short events = POLLIN;
+            if (conn.ch.pendingOut() > 0)
+                events |= POLLOUT;
+            pfds.push_back({conn.ch.fd(), events, 0});
+        }
+        ::poll(pfds.data(), pfds.size(), 50);
+
+        if (accepting && (pfds[0].revents & POLLIN)) {
+            // One accept per POLLIN wakeup: the listen fd stays
+            // readable while the backlog is non-empty, so the next
+            // loop iteration picks up any further pending workers.
+            const int fd = acceptConn(lfd);
+            if (fd >= 0)
+                conns.emplace_back(nextConnId++, fd);
+        }
+
+        const auto now = LineChannel::Clock::now();
+        std::size_t slot = accepting ? 1 : 0;
+        for (auto it = conns.begin(); it != conns.end(); ++slot) {
+            Conn &conn = *it;
+            bool alive = true;
+            // A conn accepted above has no pfds entry yet; it is
+            // pumped on the next iteration.
+            if (slot < pfds.size() &&
+                (pfds[slot].revents & (POLLIN | POLLHUP | POLLERR)))
+                alive = conn.ch.pump();
+            if (options.heartbeatMs > 0 && alive) {
+                if (conn.ch.msSinceRecv() >
+                    options.heartbeatMs * kHeartbeatTimeoutFactor) {
+                    // Half-open or frozen peer: detected in a few
+                    // heartbeat intervals instead of a lease length.
+                    ++stats.heartbeatDrops;
+                    warn("dropping silent connection %d (%s): no bytes "
+                         "for %ums",
+                         conn.id, conn.name.c_str(),
+                         conn.ch.msSinceRecv());
+                    alive = false;
+                } else if (conn.helloed &&
+                           now - conn.lastPing >
+                               std::chrono::milliseconds(
+                                   options.heartbeatMs)) {
+                    conn.lastPing = now;
+                    Message ping;
+                    ping.type = MsgType::Ping;
+                    alive = conn.ch.queueLine(encodeMessage(ping));
+                }
+            }
+            if (alive) {
+                alive = processConn(conn) && conn.ch.flushQueued() &&
+                        conn.ch.alive();
+            }
+            if (!alive) {
+                dropConn(conn);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
     };
 
     try {
         // Main loop: poll the listen socket and every worker, expire
-        // leases, and stop once the board is fully drained.
+        // leases, and stop once the board is fully drained — or the
+        // stop flag flips, in which case lease handout stops, in-flight
+        // results are collected for drainGraceMs, and the (valid,
+        // fsync'd) journal is left for the restarted coordinator.
         while (!board.allDone()) {
-            std::vector<pollfd> pfds;
-            pfds.push_back({lfd, POLLIN, 0});
-            for (Conn &conn : conns)
-                pfds.push_back({conn.ch.fd(), POLLIN, 0});
-            ::poll(pfds.data(), pfds.size(), 50);
-
-            if (pfds[0].revents & POLLIN) {
-                // One accept per POLLIN wakeup: the listen fd stays
-                // readable while the backlog is non-empty, so the next
-                // loop iteration picks up any further pending workers.
-                const int fd = acceptUnix(lfd);
-                if (fd >= 0)
-                    conns.emplace_back(nextConnId++, fd);
+            if (!draining && options.stop && options.stop->load()) {
+                draining = true;
+                stats.interrupted = true;
+                drainStart = Clock::now();
+                inform("stop requested: draining %zu in-flight jobs, "
+                       "%zu remaining overall",
+                       conns.size(), board.remaining());
             }
+            if (draining &&
+                Clock::now() - drainStart >
+                    std::chrono::milliseconds(options.drainGraceMs))
+                break;
 
-            std::size_t slot = 1;
-            for (auto it = conns.begin(); it != conns.end(); ++slot) {
-                Conn &conn = *it;
-                bool alive = true;
-                // A conn accepted above has no pfds entry yet; it is
-                // pumped on the next iteration.
-                if (slot < pfds.size() &&
-                    (pfds[slot].revents & (POLLIN | POLLHUP | POLLERR)))
-                    alive = conn.ch.pump();
-                if (!processConn(conn) || !alive) {
-                    dropConn(conn);
-                    it = conns.erase(it);
-                } else {
-                    ++it;
+            serviceConns(/*accepting=*/true);
+
+            if (!draining) {
+                std::vector<std::size_t> requeued, failed;
+                board.expireLeases(Clock::now(), requeued, failed);
+                failDropped(failed);
+
+                if (!conns.empty())
+                    lastWorkerSeen = Clock::now();
+                else if (Clock::now() - lastWorkerSeen >
+                         std::chrono::milliseconds(
+                             options.workerGraceMs)) {
+                    throw ResourceError(
+                        "no workers connected for " +
+                        std::to_string(options.workerGraceMs) +
+                        "ms with " + std::to_string(board.remaining()) +
+                        " jobs remaining");
                 }
-            }
-
-            std::vector<std::size_t> requeued, failed;
-            board.expireLeases(Clock::now(), requeued, failed);
-            failDropped(failed);
-
-            if (!conns.empty())
-                lastWorkerSeen = Clock::now();
-            else if (Clock::now() - lastWorkerSeen >
-                     std::chrono::milliseconds(options.workerGraceMs)) {
-                throw ResourceError(
-                    "no workers connected for " +
-                    std::to_string(options.workerGraceMs) + "ms with " +
-                    std::to_string(board.remaining()) +
-                    " jobs remaining");
             }
         }
 
         // Drain: answer every remaining lease_req with Drain and give
-        // stragglers a moment to hear it before tearing down.
-        const auto drainDeadline =
-            Clock::now() + std::chrono::milliseconds(2000);
-        while (!conns.empty() && Clock::now() < drainDeadline) {
-            std::vector<pollfd> pfds;
-            for (Conn &conn : conns)
-                pfds.push_back({conn.ch.fd(), POLLIN, 0});
-            ::poll(pfds.data(), pfds.size(), 50);
-            std::size_t slot = 0;
-            for (auto it = conns.begin(); it != conns.end(); ++slot) {
-                Conn &conn = *it;
-                bool alive = true;
-                if (pfds[slot].revents & (POLLIN | POLLHUP | POLLERR))
-                    alive = conn.ch.pump();
-                if (!processConn(conn) || !alive)
-                    it = conns.erase(it);
-                else
-                    ++it;
-            }
+        // stragglers a moment to hear it before tearing down.  Keep
+        // accepting: a worker reconnecting to redeliver a result we
+        // already have (its ack was lost to a crash) gets a duplicate
+        // ack and a clean Drain instead of a vanished listener.
+        if (!stats.interrupted) {
+            const auto drainDeadline =
+                Clock::now() + std::chrono::milliseconds(2000);
+            while (!conns.empty() && Clock::now() < drainDeadline)
+                serviceConns(/*accepting=*/true);
         }
     } catch (...) {
         cleanup();
@@ -541,17 +641,112 @@ serveSweep(const std::vector<SimConfig> &configs,
 
 namespace {
 
-/** Read lines until one decodes; torn lines are skipped. */
-bool
-recvMessage(LineChannel &ch, Message &msg, unsigned timeout_ms)
+/**
+ * One worker connection: the channel plus its heartbeat pinger thread.
+ * The pinger only ever *sends* (the main thread owns every read), so
+ * the two threads meet solely inside LineChannel's send mutex.  A busy
+ * worker keeps the coordinator's liveness clock fresh through these
+ * pings even while a multi-minute job blocks its read loop.
+ */
+struct WorkerLink
 {
-    std::string line;
-    while (ch.recvLine(line, timeout_ms)) {
-        if (decodeMessage(line, msg))
-            return true;
+    LineChannel ch;
+    unsigned heartbeatMs = 0;
+
+    explicit WorkerLink(int fd) : ch(fd) {}
+
+    ~WorkerLink()
+    {
+        stopPinger_.store(true, std::memory_order_relaxed);
+        if (pinger_.joinable())
+            pinger_.join();
     }
-    return false;
-}
+
+    void
+    startPinger()
+    {
+        if (heartbeatMs == 0)
+            return;
+        pinger_ = std::thread([this] {
+            std::uint64_t seq = 0;
+            const auto slice = std::chrono::milliseconds(
+                std::min(heartbeatMs, 50u));
+            auto next = LineChannel::Clock::now() +
+                        std::chrono::milliseconds(heartbeatMs);
+            while (!stopPinger_.load(std::memory_order_relaxed)) {
+                if (LineChannel::Clock::now() < next) {
+                    std::this_thread::sleep_for(slice);
+                    continue;
+                }
+                next += std::chrono::milliseconds(heartbeatMs);
+                Message ping;
+                ping.type = MsgType::Ping;
+                ping.seq = ++seq;
+                if (!ch.sendLine(encodeMessage(ping)))
+                    return;  // channel closed or dead: stop quietly
+            }
+        });
+    }
+
+    /**
+     * Receive the next non-heartbeat message, answering pings along
+     * the way.  False on EOF/error/timeout, and on a coordinator
+     * frozen past the heartbeat deadline — which is how a half-open
+     * TCP connection is detected in seconds rather than a full
+     * replyTimeout.
+     */
+    bool
+    recvReply(Message &msg, unsigned timeout_ms)
+    {
+        const auto deadline = LineChannel::Clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            std::string line;
+            if (ch.recvLine(line, 100)) {
+                Message m;
+                if (!decodeMessage(line, m))
+                    continue;  // torn line: skip, like the journal
+                if (m.type == MsgType::Ping) {
+                    Message pong;
+                    pong.type = MsgType::Pong;
+                    pong.seq = m.seq;
+                    ch.sendLine(encodeMessage(pong));
+                    continue;
+                }
+                if (m.type == MsgType::Pong)
+                    continue;
+                msg = std::move(m);
+                return true;
+            }
+            if (!ch.alive())
+                return false;
+            if (heartbeatMs > 0 &&
+                ch.msSinceRecv() > heartbeatMs * kHeartbeatTimeoutFactor)
+                return false;
+            if (timeout_ms > 0 && LineChannel::Clock::now() >= deadline)
+                return false;
+        }
+    }
+
+    /** Send `res` and wait for its ResultAck. */
+    bool
+    deliver(const Message &res, unsigned timeout_ms)
+    {
+        if (!ch.sendLine(encodeMessage(res)))
+            return false;
+        Message msg;
+        while (recvReply(msg, timeout_ms)) {
+            if (msg.type == MsgType::ResultAck && msg.index == res.index)
+                return true;
+            // Anything else mid-ack is unexpected; keep waiting.
+        }
+        return false;
+    }
+
+  private:
+    std::atomic<bool> stopPinger_{false};
+    std::thread pinger_;
+};
 
 } // namespace
 
@@ -565,51 +760,105 @@ runWorker(const WorkerOptions &options)
             artifactDir = env;
     }
 
+    Endpoint ep;
     try {
-        LineChannel ch(
-            connectUnix(options.socketPath, options.connectTimeoutMs));
+        ep = parseEndpoint(options.endpoint);
+    } catch (const std::exception &e) {
+        report.error = e.what();
+        return report;
+    }
+
+    // One warm-state cache per worker process, disk-backed when every
+    // worker points at the same ckpt_dir: the cross-process producer
+    // election (checkpoint.cc) makes N workers execute one warm-up
+    // total.  Survives reconnects.
+    std::shared_ptr<CheckpointCache> cache;
+    try {
+        if (!options.ckptDir.empty())
+            cache = std::make_shared<CheckpointCache>(options.ckptDir);
+    } catch (const std::exception &e) {
+        report.error = e.what();
+        return report;
+    }
+
+    // A finished-but-unacked result survives connection loss here and
+    // is redelivered after the re-handshake; the coordinator's
+    // first-result-wins merge dedups if the original did land.
+    bool havePending = false;
+    Message pending;
+
+    // Consecutive connection failures without real progress (an acked
+    // result or a granted lease).  Reset on progress, so a long sweep
+    // tolerates any number of coordinator restarts.
+    unsigned failures = 0;
+    const std::uint64_t jitterSeed = shardHash(options.name) | 1;
+    bool everConnected = false;
+
+    for (;;) {
+        // ----- connect + handshake (one attempt per loop iteration)
+        std::unique_ptr<WorkerLink> link;
+        bool lost = false;
+        std::string lostWhat;
+        try {
+            link = std::make_unique<WorkerLink>(
+                connectEndpoint(ep, options.connectTimeoutMs));
+        } catch (const std::exception &e) {
+            report.error = e.what();
+            return report;
+        }
 
         Message hello;
         hello.type = MsgType::Hello;
         hello.proto = kWorkerProtoVersion;
         hello.worker = options.name;
-        if (!ch.sendLine(encodeMessage(hello))) {
-            report.error = "handshake send failed";
-            return report;
-        }
         Message msg;
-        if (!recvMessage(ch, msg, options.replyTimeoutMs)) {
-            report.error = "no handshake reply from coordinator";
-            return report;
-        }
-        if (msg.type == MsgType::Reject) {
+        if (!link->ch.sendLine(encodeMessage(hello)) ||
+            !link->recvReply(msg, options.replyTimeoutMs)) {
+            // Coordinator vanished mid-handshake (torn Welcome): a
+            // contained, retryable condition — not a hang.
+            lost = true;
+            lostWhat = "no handshake reply from coordinator";
+        } else if (msg.type == MsgType::Reject) {
+            // Permanent: reconnecting with the same hello cannot help.
             report.error = "rejected by coordinator: " + msg.reason;
             return report;
-        }
-        if (msg.type != MsgType::Welcome ||
-            msg.proto != kWorkerProtoVersion) {
+        } else if (msg.type != MsgType::Welcome ||
+                   msg.proto != kWorkerProtoVersion) {
             report.error = "unexpected handshake reply";
             return report;
+        } else {
+            link->heartbeatMs = msg.heartbeatMs;
+            link->startPinger();
+            if (everConnected)
+                ++report.reconnects;
+            everConnected = true;
         }
 
-        // One warm-state cache per worker process, disk-backed when
-        // every worker points at the same ckpt_dir: the cross-process
-        // producer election (checkpoint.cc) makes N workers execute
-        // one warm-up total.
-        std::shared_ptr<CheckpointCache> cache;
-        if (!options.ckptDir.empty())
-            cache = std::make_shared<CheckpointCache>(options.ckptDir);
+        // ----- redeliver the unacked result from the previous link
+        if (!lost && havePending) {
+            if (link->deliver(pending, options.replyTimeoutMs)) {
+                havePending = false;
+                ++report.redelivered;
+                failures = 0;
+            } else {
+                lost = true;
+                lostWhat = "redelivery failed";
+            }
+        }
 
-        for (;;) {
+        // ----- lease-execute-report until drained or disconnected
+        while (!lost) {
             Message req;
             req.type = MsgType::LeaseReq;
-            if (!ch.sendLine(encodeMessage(req))) {
-                report.error = "coordinator connection lost";
-                return report;
+            if (!link->ch.sendLine(encodeMessage(req))) {
+                lost = true;
+                lostWhat = "coordinator connection lost";
+                break;
             }
-            if (!recvMessage(ch, msg, options.replyTimeoutMs)) {
-                report.error = "no lease reply from coordinator";
-                return report;
+            if (!link->recvReply(msg, options.replyTimeoutMs)) {
+                lost = true;
+                lostWhat = "no lease reply from coordinator";
+                break;
             }
             if (msg.type == MsgType::Drain) {
                 report.drained = true;
@@ -626,6 +875,7 @@ runWorker(const WorkerOptions &options)
             }
             if (msg.type != MsgType::Lease)
                 continue;
+            failures = 0;
 
             RunResult r;
             try {
@@ -656,24 +906,54 @@ runWorker(const WorkerOptions &options)
                 report.aborted = true;
                 if (options.abortExits)
                     ::_exit(137);
-                ch.close();
+                link->ch.close();
                 return report;
             }
 
-            Message res;
-            res.type = MsgType::Result;
-            res.index = msg.index;
-            res.key = msg.key;
-            res.result = std::move(r);
-            if (!ch.sendLine(encodeMessage(res))) {
-                report.error = "result send failed";
-                return report;
+            pending.type = MsgType::Result;
+            pending.index = msg.index;
+            pending.key = msg.key;
+            pending.result = std::move(r);
+            havePending = true;
+
+            if (options.faults && options.faults->takeConnDrop()) {
+                // Chaos hook: sever right at the send — the pending
+                // result must survive the reconnect and be redelivered.
+                link->ch.close();
+                lost = true;
+                lostWhat = "injected connection drop";
+                break;
             }
+
+            if (!link->deliver(pending, options.replyTimeoutMs)) {
+                lost = true;
+                lostWhat = "result ack never arrived";
+                break;
+            }
+            havePending = false;
+            failures = 0;
         }
-    } catch (const std::exception &e) {
-        report.error = e.what();
+
+        // ----- connection lost: bounded, jittered reconnect
+        link.reset();  // joins the pinger, closes the fd
+        ++failures;
+        if (failures > options.maxReconnects) {
+            report.error = lostWhat + " (gave up after " +
+                           std::to_string(failures - 1) +
+                           " reconnect attempts)";
+            return report;
+        }
+        const unsigned delay = job_exec::backoffDelayMs(
+            options.reconnectBackoffMs, failures,
+            options.reconnectBackoffCapMs, jitterSeed);
+        warn("worker %s: %s; reconnecting in %ums (attempt %u/%u)",
+             options.name.c_str(), lostWhat.c_str(), delay, failures,
+             options.maxReconnects);
+        if (delay) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
     }
-    return report;
 }
 
 } // namespace sciq

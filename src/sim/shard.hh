@@ -28,13 +28,24 @@
  * `maxLeaseDrops` times is contained as a Failed row with a transient
  * ResourceError code — it appears in the final JSON like any other
  * contained failure, the sweep itself never dies.
+ *
+ * Availability model (DESIGN.md §18): endpoints may be AF_UNIX paths
+ * or TCP host:port specs, heartbeats detect half-open connections in
+ * seconds, workers reconnect with capped jittered backoff and
+ * redeliver unacked results, and the coordinator journals each result
+ * durably (fsync) before acking — so a coordinator killed at any
+ * instant can be restarted on the same listen=/journal= pair, the
+ * surviving workers reconnect into it, and the merged JSON stays
+ * byte-identical to an uninterrupted run.
  */
 
 #ifndef SCIQ_SIM_SHARD_HH
 #define SCIQ_SIM_SHARD_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -164,8 +175,12 @@ class JobBoard
 /** Coordinator policy + observability for one served sweep. */
 struct ServeOptions
 {
-    /** AF_UNIX socket path workers connect to. */
-    std::string socketPath;
+    /**
+     * Where workers connect: an AF_UNIX socket path ("/tmp/sweep.sock")
+     * or a TCP host:port spec ("127.0.0.1:7070", "[::1]:7070";
+     * port 0 = kernel-assigned, reported via boundPortOut).
+     */
+    std::string endpoint;
 
     /**
      * Expected worker count = static shard count for shardOf().  The
@@ -185,8 +200,50 @@ struct ServeOptions
      */
     unsigned workerGraceMs = 60'000;
 
+    /**
+     * Heartbeat cadence advertised in the Welcome; a peer silent for
+     * kHeartbeatTimeoutFactor intervals is dropped (its leases
+     * requeue).  0 disables heartbeats entirely.
+     */
+    unsigned heartbeatMs = 1'000;
+
     /** Same resumable JSONL journal as SweepRunner::Options. */
     std::string journal;
+
+    /**
+     * fsync the journal before each result is acked/counted.  On by
+     * default: without it a coordinator crash can lose a
+     * recorded-but-buffered row and break resume bit-identity.  Tests
+     * that hammer thousands of tiny journals may turn it off.
+     */
+    bool syncJournal = true;
+
+    /**
+     * Graceful-drain trigger (SIGTERM/SIGINT in the binary): when the
+     * pointed-to flag becomes true, the coordinator stops leasing,
+     * collects in-flight results for up to drainGraceMs, leaves a
+     * valid journal and returns with stats.interrupted set.
+     */
+    const std::atomic<bool> *stop = nullptr;
+
+    /** How long a drain waits for in-flight results before returning. */
+    unsigned drainGraceMs = 2'000;
+
+    /**
+     * Chaos injection: abortCoordinator fires in the ack path after a
+     * result is journaled (see FaultInjector).  abortExits selects
+     * `_exit(137)` (process chaos) vs a thrown ResourceError
+     * (in-process tests restart the coordinator in the same process).
+     */
+    std::shared_ptr<FaultInjector> faults;
+    bool abortExits = false;
+
+    /**
+     * When non-null, receives the bound TCP port (useful with port 0).
+     * Atomic because the common pattern runs serveSweep on its own
+     * thread and polls this from the launcher.
+     */
+    std::atomic<unsigned> *boundPortOut = nullptr;
 
     SweepRunner::Progress progress;
 };
@@ -202,6 +259,8 @@ struct ServeStats
     std::uint64_t boardFailed = 0;       ///< jobs failed by drop cap
     std::uint64_t rejectedWorkers = 0;   ///< handshake rejections
     std::uint64_t workersSeen = 0;
+    std::uint64_t heartbeatDrops = 0;    ///< conns dropped as silent
+    bool interrupted = false;            ///< stop-flag graceful drain
 };
 
 /**
@@ -219,7 +278,8 @@ std::vector<RunResult> serveSweep(const std::vector<SimConfig> &configs,
 /** One worker process/thread's configuration. */
 struct WorkerOptions
 {
-    std::string socketPath;
+    /** Coordinator endpoint: AF_UNIX path or TCP host:port spec. */
+    std::string endpoint;
     std::string name = "worker";
 
     /** Shared warm-state store; all workers point at one directory. */
@@ -248,16 +308,30 @@ struct WorkerOptions
 
     /** Max wait for any coordinator reply (0 = forever). */
     unsigned replyTimeoutMs = 120'000;
+
+    /**
+     * Survive coordinator loss: on EOF/heartbeat-timeout the worker
+     * keeps its unacked result, reconnects with capped exponential
+     * backoff + jitter, re-handshakes under the same name, and
+     * redelivers.  The failure counter resets on real progress (an
+     * acked result or a granted lease), so a long sweep tolerates any
+     * number of coordinator restarts as long as each one comes back.
+     */
+    unsigned maxReconnects = 8;
+    unsigned reconnectBackoffMs = 100;
+    unsigned reconnectBackoffCapMs = 5'000;
 };
 
 /** What one worker did, for logging and tests. */
 struct WorkerReport
 {
     std::uint64_t jobsRun = 0;
-    std::uint64_t restored = 0;   ///< jobs whose warm-up was restored
-    bool drained = false;         ///< coordinator said Drain
-    bool aborted = false;         ///< abortWorker fault fired
-    std::string error;            ///< non-empty on protocol failure
+    std::uint64_t restored = 0;    ///< jobs whose warm-up was restored
+    std::uint64_t reconnects = 0;  ///< successful re-handshakes
+    std::uint64_t redelivered = 0; ///< results resent after reconnect
+    bool drained = false;          ///< coordinator said Drain
+    bool aborted = false;          ///< abortWorker fault fired
+    std::string error;             ///< non-empty on protocol failure
 };
 
 /**

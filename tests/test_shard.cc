@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <sstream>
 #include <thread>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/errors.hh"
@@ -178,12 +181,30 @@ TEST(WorkerProto, MessagesRoundTrip)
     welcome.shards = 3;
     welcome.jobs = 42;
     welcome.leaseMs = 60'000;
+    welcome.heartbeatMs = 1'000;
     ASSERT_TRUE(decodeMessage(encodeMessage(welcome), out));
     EXPECT_EQ(out.type, MsgType::Welcome);
     EXPECT_EQ(out.shard, 2);
     EXPECT_EQ(out.shards, 3u);
     EXPECT_EQ(out.jobs, 42u);
     EXPECT_EQ(out.leaseMs, 60'000u);
+    EXPECT_EQ(out.heartbeatMs, 1'000u);
+
+    Message ack;
+    ack.type = MsgType::ResultAck;
+    ack.index = 9;
+    ASSERT_TRUE(decodeMessage(encodeMessage(ack), out));
+    EXPECT_EQ(out.type, MsgType::ResultAck);
+    EXPECT_EQ(out.index, 9u);
+
+    for (const MsgType t : {MsgType::Ping, MsgType::Pong}) {
+        Message hb;
+        hb.type = t;
+        hb.seq = 123456789012345ull;
+        ASSERT_TRUE(decodeMessage(encodeMessage(hb), out));
+        EXPECT_EQ(out.type, t);
+        EXPECT_EQ(out.seq, 123456789012345ull);
+    }
 
     Message lease;
     lease.type = MsgType::Lease;
@@ -261,6 +282,90 @@ TEST(WorkerProto, TornAndMalformedLinesAreTolerated)
     EXPECT_FALSE(decodeMessage("not json at all", out));
     EXPECT_FALSE(decodeMessage("{\"type\":\"no-such-type\"}", out));
     EXPECT_FALSE(decodeMessage("{\"type\":\"lease\"}", out));
+}
+
+TEST(WorkerProto, OutOfRangeNumbersAreMalformedNotNarrowed)
+{
+    // Narrowing a hostile number would be UB; decode must say no.
+    Message out;
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"result_ack\",\"index\":-1}", out));
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"result_ack\",\"index\":1.5}", out));
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"result_ack\",\"index\":1e300}", out));
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"hello\",\"proto\":-2,\"worker\":\"w\"}", out));
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"hello\",\"proto\":4294967296,\"worker\":\"w\"}",
+        out));
+    EXPECT_FALSE(decodeMessage(
+        "{\"type\":\"wait\",\"ms\":\"soon\"}", out));
+    // In-range values still decode.
+    EXPECT_TRUE(decodeMessage(
+        "{\"type\":\"result_ack\",\"index\":4294967295}", out));
+    EXPECT_EQ(out.index, 4294967295u);
+}
+
+// ---------------------------------------------------------------------
+// Endpoints
+
+TEST(Endpoint, TcpSpecsParseAndReject)
+{
+    Endpoint ep = tcpEndpoint("127.0.0.1:7070");
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(ep.host, "127.0.0.1");
+    EXPECT_EQ(ep.port, 7070u);
+    EXPECT_EQ(ep.str(), "127.0.0.1:7070");
+
+    ep = tcpEndpoint("[::1]:9000");
+    EXPECT_EQ(ep.host, "::1");
+    EXPECT_EQ(ep.port, 9000u);
+
+    ep = tcpEndpoint("build-box:0");
+    EXPECT_EQ(ep.host, "build-box");
+    EXPECT_EQ(ep.port, 0u);
+
+    EXPECT_THROW(tcpEndpoint("no-port"), ConfigError);
+    EXPECT_THROW(tcpEndpoint(":7070"), ConfigError);
+    EXPECT_THROW(tcpEndpoint("host:"), ConfigError);
+    EXPECT_THROW(tcpEndpoint("host:notaport"), ConfigError);
+    EXPECT_THROW(tcpEndpoint("host:70000"), ConfigError);
+    EXPECT_THROW(tcpEndpoint("::1:7070"), ConfigError)
+        << "raw v6 needs brackets";
+    EXPECT_THROW(tcpEndpoint("[::1]7070"), ConfigError);
+}
+
+TEST(Endpoint, ParseAutoDetectsKind)
+{
+    EXPECT_EQ(parseEndpoint("/tmp/x.sock").kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(parseEndpoint("relative.sock").kind,
+              Endpoint::Kind::Unix);
+    EXPECT_EQ(parseEndpoint("localhost:80").kind, Endpoint::Kind::Tcp);
+    // A colon without a '/' is claimed by TCP; junk after it is loud.
+    EXPECT_THROW(parseEndpoint("host:junk"), ConfigError);
+}
+
+TEST(Endpoint, TcpLoopbackListenConnectRoundTrip)
+{
+    Endpoint listen = tcpEndpoint("127.0.0.1:0");
+    const int lfd = listenEndpoint(listen);
+    ASSERT_GE(lfd, 0);
+    const unsigned port = boundPort(lfd);
+    ASSERT_GT(port, 0u);
+
+    Endpoint peer = tcpEndpoint("127.0.0.1:" + std::to_string(port));
+    const int cfd = connectEndpoint(peer, 5'000);
+    ASSERT_GE(cfd, 0);
+    const int afd = acceptConn(lfd);
+    ASSERT_GE(afd, 0);
+
+    LineChannel client(cfd), server(afd);
+    ASSERT_TRUE(client.sendLine("over tcp"));
+    std::string line;
+    ASSERT_TRUE(server.recvLine(line, 5'000));
+    EXPECT_EQ(line, "over tcp");
+    ::close(lfd);
 }
 
 // ---------------------------------------------------------------------
@@ -433,10 +538,10 @@ TEST(JobBoard, WorkerLossDropsOnlyOrphanedJobs)
 namespace {
 
 ServeOptions
-quickServeOptions(const std::string &socket, unsigned shards)
+quickServeOptions(const std::string &endpoint, unsigned shards)
 {
     ServeOptions options;
-    options.socketPath = socket;
+    options.endpoint = endpoint;
     options.shards = shards;
     options.leaseMs = 60'000;
     options.workerGraceMs = 30'000;
@@ -444,13 +549,28 @@ quickServeOptions(const std::string &socket, unsigned shards)
 }
 
 WorkerOptions
-quickWorkerOptions(const std::string &socket, const std::string &name)
+quickWorkerOptions(const std::string &endpoint, const std::string &name)
 {
     WorkerOptions options;
-    options.socketPath = socket;
+    options.endpoint = endpoint;
     options.name = name;
     options.backoffMs = 0;
     return options;
+}
+
+/** Raw-client receive that skips heartbeat traffic. */
+bool
+recvSkippingHeartbeats(LineChannel &ch, Message &msg, unsigned timeout_ms)
+{
+    std::string line;
+    while (ch.recvLine(line, timeout_ms)) {
+        if (!decodeMessage(line, msg))
+            continue;
+        if (msg.type == MsgType::Ping || msg.type == MsgType::Pong)
+            continue;
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -535,9 +655,7 @@ TEST(ServeSweep, RejectsVersionMismatchedWorkers)
         hello.worker = "time-traveller";
         ASSERT_TRUE(ch.sendLine(encodeMessage(hello)));
         Message reply;
-        std::string line;
-        ASSERT_TRUE(ch.recvLine(line, 10'000));
-        ASSERT_TRUE(decodeMessage(line, reply));
+        ASSERT_TRUE(recvSkippingHeartbeats(ch, reply, 10'000));
         EXPECT_EQ(reply.type, MsgType::Reject);
         EXPECT_NE(reply.reason.find("version"), std::string::npos);
     }
@@ -570,14 +688,14 @@ TEST(ServeSweep, DeadWorkerLeaseIsRequeuedWithoutLossOrDuplication)
         hello.proto = kWorkerProtoVersion;
         hello.worker = "doomed";
         ASSERT_TRUE(ch.sendLine(encodeMessage(hello)));
-        std::string line;
-        ASSERT_TRUE(ch.recvLine(line, 10'000));
+        Message welcome;
+        ASSERT_TRUE(recvSkippingHeartbeats(ch, welcome, 10'000));
+        ASSERT_EQ(welcome.type, MsgType::Welcome);
         Message req;
         req.type = MsgType::LeaseReq;
         ASSERT_TRUE(ch.sendLine(encodeMessage(req)));
-        ASSERT_TRUE(ch.recvLine(line, 10'000));
         Message lease;
-        ASSERT_TRUE(decodeMessage(line, lease));
+        ASSERT_TRUE(recvSkippingHeartbeats(ch, lease, 10'000));
         ASSERT_EQ(lease.type, MsgType::Lease);
         // kill -9 equivalent: drop the connection, lease outstanding.
     }
@@ -631,4 +749,225 @@ TEST(ServeSweep, RejectsWallClockDeadlineJobs)
     EXPECT_THROW(
         serveSweep(cfgs, quickServeOptions(testSocket("dl"), 1)),
         ConfigError);
+}
+
+TEST(ServeSweep, TcpLoopbackMatchesSingleProcessByteForByte)
+{
+    const std::vector<SimConfig> cfgs = smallConfigSet();
+    const std::vector<RunResult> ref = SweepRunner(1).run(cfgs);
+
+    // Bind port 0 and pick up the kernel-assigned port: no fixed-port
+    // collisions between parallel test runs.
+    ServeOptions options = quickServeOptions("127.0.0.1:0", 2);
+    std::atomic<unsigned> port{0};
+    options.boundPortOut = &port;
+
+    ServeStats stats;
+    std::vector<RunResult> dist;
+    std::thread coord([&] { dist = serveSweep(cfgs, options, &stats); });
+    while (port == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::string peer = "127.0.0.1:" + std::to_string(port);
+
+    WorkerReport r0, r1;
+    std::thread w0([&] { r0 = runWorker(quickWorkerOptions(peer, "w0")); });
+    std::thread w1([&] { r1 = runWorker(quickWorkerOptions(peer, "w1")); });
+    w0.join();
+    w1.join();
+    coord.join();
+
+    EXPECT_TRUE(r0.drained) << r0.error;
+    EXPECT_TRUE(r1.drained) << r1.error;
+    EXPECT_EQ(stats.workersSeen, 2u);
+    EXPECT_EQ(maskedResultsJson(dist), maskedResultsJson(ref));
+}
+
+// ---------------------------------------------------------------------
+// Handshake failure containment (satellite: skew + torn Welcome)
+
+namespace {
+
+/** A minimal scripted coordinator for handshake-failure tests. */
+struct FakeCoordinator
+{
+    int lfd = -1;
+    unsigned port = 0;
+    std::thread thread;
+
+    explicit FakeCoordinator(std::function<void(int fd)> script)
+    {
+        lfd = listenEndpoint(tcpEndpoint("127.0.0.1:0"));
+        port = boundPort(lfd);
+        thread = std::thread([this, script = std::move(script)] {
+            const int fd = ::accept(lfd, nullptr, nullptr);
+            if (fd >= 0)
+                script(fd);
+        });
+    }
+
+    ~FakeCoordinator()
+    {
+        if (thread.joinable())
+            thread.join();
+        ::close(lfd);
+    }
+
+    std::string endpoint() const
+    {
+        return "127.0.0.1:" + std::to_string(port);
+    }
+};
+
+/** Read one line (the hello) off a raw fd. */
+void
+eatLine(int fd)
+{
+    char c = 0;
+    while (::read(fd, &c, 1) == 1 && c != '\n') {
+    }
+}
+
+} // namespace
+
+TEST(Handshake, WorkerRejectsSkewedCoordinatorWithoutHanging)
+{
+    // A coordinator from a different build welcomes with the wrong
+    // proto version: the worker must classify and stop, not merge.
+    FakeCoordinator fake([](int fd) {
+        eatLine(fd);
+        Message welcome;
+        welcome.type = MsgType::Welcome;
+        welcome.proto = kWorkerProtoVersion + 1;
+        welcome.shards = 1;
+        const std::string line = encodeMessage(welcome) + "\n";
+        (void)!::write(fd, line.data(), line.size());
+        ::close(fd);
+    });
+
+    WorkerOptions options = quickWorkerOptions(fake.endpoint(), "w0");
+    options.maxReconnects = 0;
+    options.replyTimeoutMs = 5'000;
+    const WorkerReport report = runWorker(options);
+    EXPECT_FALSE(report.drained);
+    EXPECT_NE(report.error.find("unexpected handshake reply"),
+              std::string::npos)
+        << report.error;
+}
+
+TEST(Handshake, RejectIsPermanentNotRetried)
+{
+    FakeCoordinator fake([](int fd) {
+        eatLine(fd);
+        Message reject;
+        reject.type = MsgType::Reject;
+        reject.reason = "protocol version mismatch";
+        const std::string line = encodeMessage(reject) + "\n";
+        (void)!::write(fd, line.data(), line.size());
+        ::close(fd);
+    });
+
+    WorkerOptions options = quickWorkerOptions(fake.endpoint(), "w0");
+    options.maxReconnects = 5;  // must NOT be consumed by a reject
+    options.replyTimeoutMs = 5'000;
+    const WorkerReport report = runWorker(options);
+    EXPECT_EQ(report.reconnects, 0u);
+    EXPECT_NE(report.error.find("rejected by coordinator"),
+              std::string::npos)
+        << report.error;
+}
+
+TEST(Handshake, TornWelcomeIsContainedOnTheWorkerSide)
+{
+    // The coordinator dies mid-Welcome: the worker sees a torn line
+    // then EOF, and must come back with a classified error quickly.
+    FakeCoordinator fake([](int fd) {
+        eatLine(fd);
+        Message welcome;
+        welcome.type = MsgType::Welcome;
+        welcome.proto = kWorkerProtoVersion;
+        welcome.shards = 1;
+        const std::string line = encodeMessage(welcome);
+        (void)!::write(fd, line.data(), line.size() / 2);  // no '\n'
+        ::close(fd);
+    });
+
+    WorkerOptions options = quickWorkerOptions(fake.endpoint(), "w0");
+    options.maxReconnects = 0;
+    options.connectTimeoutMs = 2'000;
+    options.replyTimeoutMs = 5'000;
+    const auto start = std::chrono::steady_clock::now();
+    const WorkerReport report = runWorker(options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(report.drained);
+    EXPECT_NE(report.error.find("no handshake reply"),
+              std::string::npos)
+        << report.error;
+    EXPECT_LT(elapsed, std::chrono::seconds(5)) << "must not hang";
+}
+
+TEST(Handshake, TornHelloIsContainedOnTheCoordinatorSide)
+{
+    // The worker dies mid-Hello: the coordinator must drop the torn
+    // connection and still serve a real worker afterwards.
+    std::vector<SimConfig> cfgs = {makeIdealConfig(64, "swim")};
+    cfgs[0].wl.iterations = 100;
+
+    const std::string socket = testSocket("tornhello");
+    ServeStats stats;
+    std::thread coord([&] {
+        serveSweep(cfgs, quickServeOptions(socket, 1), &stats);
+    });
+
+    {
+        LineChannel ch(connectUnix(socket, 10'000));
+        Message hello;
+        hello.type = MsgType::Hello;
+        hello.proto = kWorkerProtoVersion;
+        hello.worker = "torn";
+        const std::string full = encodeMessage(hello);
+        // Half a hello and EOF; never a complete line.
+        ASSERT_TRUE(ch.sendLine(full.substr(0, full.size() / 2) +
+                                "\x01partial"));
+    }
+
+    WorkerReport report = runWorker(quickWorkerOptions(socket, "ok"));
+    coord.join();
+    EXPECT_TRUE(report.drained) << report.error;
+}
+
+TEST(Heartbeat, FrozenCoordinatorIsDetectedInSeconds)
+{
+    // The coordinator welcomes on a 200ms heartbeat then freezes
+    // completely (no pings, no replies).  The worker must declare it
+    // dead from the missed-heartbeat deadline — well under 3s and far
+    // under the 60s replyTimeout — instead of waiting a lease out.
+    std::atomic<bool> holdOpen{true};
+    FakeCoordinator fake([&holdOpen](int fd) {
+        eatLine(fd);
+        Message welcome;
+        welcome.type = MsgType::Welcome;
+        welcome.proto = kWorkerProtoVersion;
+        welcome.shards = 1;
+        welcome.jobs = 1;
+        welcome.leaseMs = 60'000;
+        welcome.heartbeatMs = 200;
+        const std::string line = encodeMessage(welcome) + "\n";
+        (void)!::write(fd, line.data(), line.size());
+        // Frozen, but the connection stays open (half-open peer).
+        while (holdOpen.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ::close(fd);
+    });
+
+    WorkerOptions options = quickWorkerOptions(fake.endpoint(), "w0");
+    options.maxReconnects = 0;
+    options.replyTimeoutMs = 60'000;
+    const auto start = std::chrono::steady_clock::now();
+    const WorkerReport report = runWorker(options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    holdOpen.store(false);
+    EXPECT_FALSE(report.drained);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_LT(elapsed, std::chrono::seconds(3))
+        << "frozen peer not detected by heartbeat deadline";
 }

@@ -16,13 +16,20 @@
 #                    build (fast loop for DESIGN.md §13 machinery)
 #   distributed      coordinator + 3 local workers must merge the quick
 #                    config set byte-identically to a single-process
-#                    run, and a shared ckpt_dir fleet must do exactly
-#                    one warm-up total (DESIGN.md §17)
-#   chaos            the same differential with one worker kill -9'd
-#                    mid-sweep; lease requeue must keep the final JSON
-#                    byte-identical
+#                    run — over an AF_UNIX socket and again over TCP
+#                    loopback — and a shared ckpt_dir fleet must do
+#                    exactly one warm-up total (DESIGN.md §17/§18)
+#   chaos            the differential with one worker kill -9'd
+#                    mid-sweep (lease requeue), then with the
+#                    COORDINATOR kill -9'd and restarted on the same
+#                    TCP endpoint + journal (crash recovery), then the
+#                    in-process randomized chaos harness (test_chaos,
+#                    20 seeded coordinator-kill trials); every path
+#                    must keep the final JSON byte-identical
 #
-# On failure the EXIT trap names the leg that failed and its build dir.
+# On failure the EXIT trap names the leg that failed and its build dir,
+# and copies any sweep journals/results from the scratch dir into
+# $SCIQ_ARTIFACT_DIR (when set) for post-mortem.
 set -eu
 
 [ "$#" -gt 0 ] || set -- ubsan
@@ -42,6 +49,15 @@ leg_dir=""
 scratch=""
 on_exit() {
   rc=$?
+  if [ "$rc" -ne 0 ] && [ -n "$scratch" ] &&
+     [ -n "${SCIQ_ARTIFACT_DIR:-}" ]; then
+    # Failure post-mortem: the journals say exactly which jobs were
+    # journaled before a kill and what the merge saw.
+    mkdir -p "$SCIQ_ARTIFACT_DIR"
+    cp "$scratch"/*.jsonl "$scratch"/*.json "$scratch"/*.masked \
+       "$SCIQ_ARTIFACT_DIR"/ 2>/dev/null || true
+    echo "sweep journals/results copied to $SCIQ_ARTIFACT_DIR" >&2
+  fi
   if [ -n "$scratch" ]; then
     rm -rf "$scratch"
   fi
@@ -167,6 +183,13 @@ leg_distributed() {
       "out=$scratch/dist.json" "journal=$scratch/dist.jsonl"
   compare_masked "$scratch/dist.json"
 
+  begin_leg "distributed sweep differential (TCP loopback)" build
+  port=$(( 21000 + ($$ % 10000) ))
+  tools/sweep_local.sh -b build -w 3 -- \
+      "listen=127.0.0.1:$port" workers=3 preset=quick \
+      "out=$scratch/tcp.json" "journal=$scratch/tcp.jsonl"
+  compare_masked "$scratch/tcp.json"
+
   begin_leg "distributed warm-up sharing (one warm-up per fleet)" build
   mkdir "$scratch/ckpt"
   tools/sweep_local.sh -b build -w 2 -d "$scratch/ckpt" -- \
@@ -193,6 +216,20 @@ leg_chaos() {
       "socket=$scratch/sweep.sock" workers=3 preset=quick \
       "out=$scratch/dist.json" "journal=$scratch/dist.jsonl"
   compare_masked "$scratch/dist.json"
+
+  begin_leg "coordinator-chaos differential (kill -9 + restart, TCP)" build
+  # SIGKILL the coordinator after its journal shows fsync'd progress,
+  # restart it on the same endpoint + journal: the workers reconnect,
+  # redeliver their unacked results, and the merge must not notice.
+  port=$(( 31000 + ($$ % 10000) ))
+  tools/sweep_local.sh -b build -w 3 -K -- \
+      "listen=127.0.0.1:$port" workers=3 preset=quick \
+      "out=$scratch/coord.json" "journal=$scratch/coord.jsonl"
+  compare_masked "$scratch/coord.json"
+
+  begin_leg "randomized chaos harness (in-process seeded trials)" build
+  ./build/tests/test_chaos
+
   rm -rf "$scratch"
   scratch=""
 }
